@@ -1,0 +1,188 @@
+"""Shared harness used by every benchmark: regenerates the paper's tables.
+
+Each ``table*_rows`` function returns a list of dictionaries -- one per row of
+the corresponding table in the paper -- and is exercised both by the
+pytest-benchmark entries in this directory and by ``EXPERIMENTS.md``.
+
+Scaling
+-------
+The full ISPD'09-style suite takes several minutes per flow with the
+transient engine, so the benchmarks default to *scaled* instances (a fraction
+of the sinks per chip) and the fast Arnoldi engine; set the environment
+variable ``REPRO_BENCH_SCALE=1.0`` and ``REPRO_BENCH_ENGINE=spice`` to run the
+full-size reproduction.  The *shape* of every table (orderings, trends,
+ratios) is preserved at reduced scale; absolute picosecond values shift.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import all_baselines
+from repro.core import ContangoFlow, FlowConfig, analyze_composites, table1_rows as _table1
+from repro.core.composite import smallest_dominating_count
+from repro.cts import ispd09_buffer_library
+from repro.cts.bufferlib import ISPD09_LARGE_INVERTER, ISPD09_SMALL_INVERTER
+from repro.workloads import (
+    ISPD09_BENCHMARKS,
+    generate_ispd09_benchmark,
+    generate_ti_benchmark,
+)
+
+__all__ = [
+    "bench_scale",
+    "bench_engine",
+    "flow_config",
+    "table1_inverter_rows",
+    "table2_polarity_rows",
+    "table3_stage_rows",
+    "table4_contest_rows",
+    "table5_scalability_rows",
+    "DEFAULT_BENCHMARK_NAMES",
+    "DEFAULT_TI_COUNTS",
+]
+
+DEFAULT_BENCHMARK_NAMES = list(ISPD09_BENCHMARKS)
+DEFAULT_TI_COUNTS = [200, 500, 1000]
+
+
+def bench_scale() -> float:
+    """Sink-count scale factor for the ISPD'09-style suite (env: REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+def bench_engine() -> str:
+    """Timing engine used by the benches (env: REPRO_BENCH_ENGINE)."""
+    return os.environ.get("REPRO_BENCH_ENGINE", "arnoldi")
+
+
+def flow_config(**overrides) -> FlowConfig:
+    """The FlowConfig shared by all benchmark runs."""
+    return FlowConfig(engine=bench_engine(), **overrides)
+
+
+# ----------------------------------------------------------------------
+# Table I -- composite inverter analysis
+# ----------------------------------------------------------------------
+def table1_inverter_rows() -> List[Dict[str, float]]:
+    """Rows of Table I plus the dominance conclusion the paper draws from it."""
+    rows = _table1(ispd09_buffer_library())
+    dominating = smallest_dominating_count(ISPD09_SMALL_INVERTER, ISPD09_LARGE_INVERTER)
+    for row in rows:
+        row["dominates_large"] = (
+            row["type"] != "1X Large"
+            and row["input_cap_fF"] <= ISPD09_LARGE_INVERTER.input_cap
+            and row["output_cap_fF"] <= ISPD09_LARGE_INVERTER.output_cap
+            and row["output_res_ohm"] <= ISPD09_LARGE_INVERTER.output_res
+        )
+    rows.append({"type": "smallest dominating count", "count": dominating})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table II -- inverted sinks vs polarity-correcting inverters
+# ----------------------------------------------------------------------
+def table2_polarity_rows(
+    names: Optional[Sequence[str]] = None, sink_scale: Optional[float] = None
+) -> List[Dict[str, float]]:
+    names = list(names) if names is not None else DEFAULT_BENCHMARK_NAMES
+    scale = sink_scale if sink_scale is not None else bench_scale()
+    config = flow_config()
+    rows = []
+    for name in names:
+        instance = generate_ispd09_benchmark(name, sink_scale=scale)
+        result = ContangoFlow(config).run(instance)
+        rows.append(
+            {
+                "benchmark": name,
+                "sinks": instance.sink_count,
+                "inverted_sinks": result.inverted_sinks,
+                "added_inverters": result.polarity_inverters_added,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table III -- per-stage progress of the flow
+# ----------------------------------------------------------------------
+def table3_stage_rows(
+    names: Optional[Sequence[str]] = None, sink_scale: Optional[float] = None
+) -> List[Dict[str, float]]:
+    names = list(names) if names is not None else DEFAULT_BENCHMARK_NAMES
+    scale = sink_scale if sink_scale is not None else bench_scale()
+    config = flow_config()
+    rows = []
+    for name in names:
+        instance = generate_ispd09_benchmark(name, sink_scale=scale)
+        result = ContangoFlow(config).run(instance)
+        for record in result.stages:
+            rows.append(
+                {
+                    "benchmark": name,
+                    "stage": record.stage,
+                    "clr_ps": round(record.clr_ps, 2),
+                    "skew_ps": round(record.skew_ps, 2),
+                    "cap_pct": round(100.0 * (record.capacitance_utilization or 0.0), 1),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table IV -- Contango versus the baseline flows
+# ----------------------------------------------------------------------
+def table4_contest_rows(
+    names: Optional[Sequence[str]] = None, sink_scale: Optional[float] = None
+) -> List[Dict[str, float]]:
+    names = list(names) if names is not None else DEFAULT_BENCHMARK_NAMES
+    scale = sink_scale if sink_scale is not None else bench_scale()
+    config = flow_config()
+    rows = []
+    for name in names:
+        instance = generate_ispd09_benchmark(name, sink_scale=scale)
+        flows = [("contango", ContangoFlow(config))] + [
+            (baseline.name, baseline) for baseline in all_baselines(config)
+        ]
+        for flow_name, flow in flows:
+            result = flow.run(instance)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "flow": flow_name,
+                    "clr_ps": round(result.clr, 2),
+                    "skew_ps": round(result.skew, 2),
+                    "cap_pct": round(100.0 * (result.capacitance_utilization or 0.0), 1),
+                    "slew_violations": len(result.final_report.slew_violations),
+                    "runtime_s": round(result.runtime_s, 1),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table V -- scalability on TI-style benchmarks
+# ----------------------------------------------------------------------
+def table5_scalability_rows(
+    counts: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    counts = list(counts) if counts is not None else DEFAULT_TI_COUNTS
+    config = flow_config()
+    rows = []
+    for count in counts:
+        instance = generate_ti_benchmark(count)
+        result = ContangoFlow(config).run(instance)
+        report = result.final_report
+        rows.append(
+            {
+                "sinks": count,
+                "clr_ps": round(report.clr, 2),
+                "skew_ps": round(report.skew, 2),
+                "max_latency_ps": round(report.max_latency, 1),
+                "capacitance_pF": round(report.total_capacitance / 1000.0, 1),
+                "evaluations": result.total_evaluations,
+                "runtime_s": round(result.runtime_s, 1),
+            }
+        )
+    return rows

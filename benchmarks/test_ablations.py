@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations, all on the same scaled benchmark:
+
+* composite inverters (8x/16x/24x small) versus large-inverter batches,
+* obstacle-aware construction versus ignoring blockages at buffer time,
+* evaluation engine accuracy: Elmore vs Arnoldi vs the transient solver on
+  the same optimized network.
+"""
+
+import pytest
+
+from harness import bench_scale, flow_config
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.core import ContangoFlow, FlowConfig
+from repro.workloads import generate_ispd09_benchmark
+
+BENCHMARK = "ispd09f22"
+
+
+def _run(config):
+    instance = generate_ispd09_benchmark(BENCHMARK, sink_scale=bench_scale())
+    return instance, ContangoFlow(config).run(instance)
+
+
+def test_ablation_composite_inverters(benchmark):
+    """Composite small inverters versus batches of the large inverter."""
+
+    def run_both():
+        _, with_composites = _run(flow_config(use_composite_inverters=True))
+        _, without = _run(flow_config(use_composite_inverters=False))
+        return with_composites, without
+
+    with_composites, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\nAblation: composite inverters")
+    print(f"  8x-small composites : CLR {with_composites.clr:7.2f} ps  cap "
+          f"{100 * with_composites.capacitance_utilization:5.1f}%")
+    print(f"  large-inverter mode : CLR {without.clr:7.2f} ps  cap "
+          f"{100 * without.capacitance_utilization:5.1f}%")
+    # The composite library never does worse on capacitance at comparable CLR
+    # (Table I dominance carried through the flow).
+    assert with_composites.capacitance_utilization <= without.capacitance_utilization * 1.10
+
+
+def test_ablation_obstacle_avoidance(benchmark):
+    """Disabling obstacle repair must not make the network cleaner."""
+
+    def run_both():
+        _, with_repair = _run(flow_config(enable_obstacle_avoidance=True))
+        _, without_repair = _run(flow_config(enable_obstacle_avoidance=False))
+        return with_repair, without_repair
+
+    with_repair, without_repair = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\nAblation: obstacle avoidance")
+    print(f"  with repair    : slew violations {len(with_repair.final_report.slew_violations):3d}  "
+          f"CLR {with_repair.clr:7.2f} ps")
+    print(f"  without repair : slew violations {len(without_repair.final_report.slew_violations):3d}  "
+          f"CLR {without_repair.clr:7.2f} ps")
+    assert len(with_repair.final_report.slew_violations) <= len(
+        without_repair.final_report.slew_violations
+    )
+
+
+def test_ablation_engine_accuracy(benchmark):
+    """Elmore vs Arnoldi vs transient on the same optimized network."""
+
+    def run_engines():
+        instance, result = _run(flow_config())
+        summaries = {}
+        for engine in ("elmore", "arnoldi", "spice"):
+            evaluator = ClockNetworkEvaluator(
+                EvaluatorConfig(engine=engine, slew_limit=instance.slew_limit),
+                capacitance_limit=instance.capacitance_limit,
+            )
+            summaries[engine] = evaluator.evaluate(result.tree)
+        return summaries
+
+    summaries = benchmark.pedantic(run_engines, rounds=1, iterations=1)
+    print("\nAblation: evaluation engine accuracy (same network)")
+    for engine, report in summaries.items():
+        print(f"  {engine:8s} latency {report.max_latency:7.1f} ps  skew {report.skew:6.2f} ps  "
+              f"worst slew {report.worst_slew:6.1f} ps")
+    # Elmore over-estimates latency; the reduced-order model tracks the
+    # transient solver closely (the paper's argument for replacing SPICE with
+    # Arnoldi-style evaluation).
+    assert summaries["elmore"].max_latency >= summaries["spice"].max_latency
+    assert summaries["arnoldi"].max_latency == pytest.approx(
+        summaries["spice"].max_latency, rel=0.2
+    )

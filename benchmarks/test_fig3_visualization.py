@@ -1,0 +1,44 @@
+"""Figure 3 bench: render the optimized fnb1-style tree with the slack gradient."""
+
+from pathlib import Path
+
+from harness import bench_scale, flow_config
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.core import ContangoFlow, annotate_tree_slacks
+from repro.viz import render_tree_svg
+from repro.workloads import generate_ispd09_benchmark
+
+
+def _render_fnb1():
+    instance = generate_ispd09_benchmark("ispd09fnb1", sink_scale=bench_scale())
+    result = ContangoFlow(flow_config()).run(instance)
+    evaluator = ClockNetworkEvaluator(
+        EvaluatorConfig(engine="arnoldi", slew_limit=instance.slew_limit)
+    )
+    report = evaluator.evaluate(result.tree)
+    annotation = annotate_tree_slacks(result.tree, report)
+    svg = render_tree_svg(
+        result.tree,
+        annotation=annotation,
+        obstacles=instance.obstacles,
+        die=instance.die,
+        title=f"{instance.name}: skew {result.skew:.1f} ps, CLR {result.clr:.1f} ps",
+    )
+    return {"svg": svg, "result": result, "instance": instance}
+
+
+def test_fig3_tree_rendering(benchmark, tmp_path):
+    outcome = benchmark.pedantic(_render_fnb1, rounds=1, iterations=1)
+    svg, result = outcome["svg"], outcome["result"]
+
+    target = Path(tmp_path) / "fnb1_tree.svg"
+    target.write_text(svg, encoding="utf-8")
+    print(f"\nFigure 3 -- rendered {result.tree.sink_count()} sinks, "
+          f"{result.tree.buffer_count()} inverters to {target}")
+
+    # The rendering must contain the elements the paper's figure shows:
+    # sink crosses, buffer rectangles and slack-gradient coloured wires.
+    assert svg.count("<path") == result.tree.sink_count()
+    assert svg.count("#1f5fd0") == result.tree.buffer_count()
+    assert "rgb(" in svg

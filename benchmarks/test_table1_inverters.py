@@ -1,0 +1,22 @@
+"""Table I bench: composite inverter analysis of the ISPD'09 library."""
+
+from harness import table1_inverter_rows
+
+
+def test_table1_composite_inverter_analysis(benchmark):
+    rows = benchmark.pedantic(table1_inverter_rows, rounds=3, iterations=1)
+    by_type = {row["type"]: row for row in rows if "count" not in row}
+
+    # Shape check against the paper's Table I: 8 parallel small inverters
+    # dominate the large inverter, smaller batches do not.
+    assert by_type["8X Small"]["dominates_large"]
+    assert not by_type["4X Small"]["dominates_large"]
+    assert rows[-1]["count"] == 8
+
+    print("\nTable I -- inverter analysis (ISPD'09 library)")
+    for row in rows[:-1]:
+        print(
+            f"  {row['type']:<10s} input {row['input_cap_fF']:6.1f} fF   "
+            f"output {row['output_cap_fF']:6.1f} fF   R {row['output_res_ohm']:6.1f} ohm"
+        )
+    print(f"  smallest small-inverter batch dominating 1X Large: {rows[-1]['count']}")

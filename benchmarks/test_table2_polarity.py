@@ -1,0 +1,22 @@
+"""Table II bench: inverted sinks vs polarity-correcting inverters added."""
+
+from harness import table2_polarity_rows
+
+
+def test_table2_polarity_correction(benchmark):
+    rows = benchmark.pedantic(table2_polarity_rows, rounds=1, iterations=1)
+
+    print("\nTable II -- inverted sinks vs corrective inverters")
+    for row in rows:
+        print(
+            f"  {row['benchmark']:<12s} sinks {row['sinks']:4d}   "
+            f"inverted {row['inverted_sinks']:4d}   added inverters {row['added_inverters']:3d}"
+        )
+
+    # Shape check: the minimal subtree strategy always adds far fewer
+    # inverters than the number of inverted sinks it repairs (Table II shows
+    # 2-16 added for 46-153 inverted).
+    for row in rows:
+        if row["inverted_sinks"] > 4:
+            assert row["added_inverters"] < row["inverted_sinks"]
+    assert any(row["inverted_sinks"] > 0 for row in rows)

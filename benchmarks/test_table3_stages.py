@@ -1,0 +1,32 @@
+"""Table III bench: CLR/skew after each Contango stage on every benchmark."""
+
+from collections import defaultdict
+
+from harness import table3_stage_rows
+
+
+def test_table3_stage_progress(benchmark):
+    rows = benchmark.pedantic(table3_stage_rows, rounds=1, iterations=1)
+
+    by_benchmark = defaultdict(dict)
+    for row in rows:
+        by_benchmark[row["benchmark"]][row["stage"]] = row
+
+    print("\nTable III -- progress of individual Contango steps (CLR / skew, ps)")
+    stages = ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]
+    header = "  benchmark    " + "".join(f"{s:>18s}" for s in stages)
+    print(header)
+    for name, per_stage in by_benchmark.items():
+        cells = "".join(
+            f"{per_stage[s]['clr_ps']:9.1f}/{per_stage[s]['skew_ps']:7.1f}" for s in stages
+        )
+        print(f"  {name:<12s}{cells}")
+
+    # Shape checks mirroring the paper's table: the wire-tuning stages never
+    # increase skew, and the final skew improves on the initial one.
+    for per_stage in by_benchmark.values():
+        assert per_stage["TWSZ"]["skew_ps"] <= per_stage["TBSZ"]["skew_ps"] + 1e-6
+        assert per_stage["TWSN"]["skew_ps"] <= per_stage["TWSZ"]["skew_ps"] + 1e-6
+        assert per_stage["BWSN"]["skew_ps"] <= per_stage["TWSN"]["skew_ps"] + 1e-6
+        assert per_stage["BWSN"]["skew_ps"] <= per_stage["INITIAL"]["skew_ps"] + 1e-6
+        assert per_stage["BWSN"]["clr_ps"] <= per_stage["INITIAL"]["clr_ps"] + 1e-6

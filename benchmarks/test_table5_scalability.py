@@ -1,0 +1,27 @@
+"""Table V bench: scalability of the flow on TI-style sink families."""
+
+from harness import table5_scalability_rows
+
+
+def test_table5_scalability(benchmark):
+    rows = benchmark.pedantic(table5_scalability_rows, rounds=1, iterations=1)
+
+    print("\nTable V -- scalability on TI-style benchmarks")
+    print("  sinks    CLR[ps]   skew[ps]   latency[ps]   cap[pF]   evals   runtime[s]")
+    for row in rows:
+        print(
+            f"  {row['sinks']:6d} {row['clr_ps']:9.2f} {row['skew_ps']:10.2f} "
+            f"{row['max_latency_ps']:13.1f} {row['capacitance_pF']:9.1f} "
+            f"{row['evaluations']:7d} {row['runtime_s']:11.1f}"
+        )
+
+    # Shape checks mirroring the paper's Table V: total capacitance scales
+    # roughly linearly with the sink count, the evaluation ("SPICE run")
+    # count grows only slowly, and skew stays far below latency at any size.
+    first, last = rows[0], rows[-1]
+    sink_growth = last["sinks"] / first["sinks"]
+    cap_growth = last["capacitance_pF"] / first["capacitance_pF"]
+    assert 0.4 * sink_growth <= cap_growth <= 2.5 * sink_growth
+    assert last["evaluations"] <= 4 * first["evaluations"]
+    for row in rows:
+        assert row["skew_ps"] < 0.2 * row["max_latency_ps"]

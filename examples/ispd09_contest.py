@@ -1,0 +1,54 @@
+"""ISPD'09-style contest comparison: Contango versus the baseline flows.
+
+Generates one ISPD'09-style benchmark (scaled down by default so the example
+finishes quickly), synthesizes it with the integrated Contango flow and with
+the three non-integrated baselines, and prints a Table IV-style comparison:
+CLR, nominal skew, capacitance utilization and runtime per flow.
+
+Run with:  python examples/ispd09_contest.py [benchmark] [sink_scale]
+e.g.       python examples/ispd09_contest.py ispd09f22 0.5
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import all_baselines
+from repro.core import ContangoFlow, FlowConfig
+from repro.workloads import generate_ispd09_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "ispd09f22"
+    sink_scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    instance = generate_ispd09_benchmark(benchmark, sink_scale=sink_scale)
+    print(f"benchmark {instance.name}: {instance.sink_count} sinks, "
+          f"{len(instance.obstacles)} obstacles, die "
+          f"{instance.die.width / 1000:.1f}x{instance.die.height / 1000:.1f} mm")
+
+    config = FlowConfig(engine="arnoldi")
+    rows = []
+
+    contango = ContangoFlow(config).run(instance)
+    rows.append(contango.summary())
+
+    for baseline in all_baselines(config):
+        rows.append(baseline.run(instance).summary())
+
+    print("\nflow               CLR[ps]   skew[ps]   cap[%limit]   slew viol   runtime[s]")
+    for row in rows:
+        cap_pct = 100.0 * (row["capacitance_utilization"] or 0.0)
+        print(
+            f"{row['flow']:<18s} {row['clr_ps']:8.2f} {row['skew_ps']:10.2f} "
+            f"{cap_pct:12.1f} {row['slew_violations']:11.0f} {row['runtime_s']:12.1f}"
+        )
+
+    best_baseline_clr = min(row["clr_ps"] for row in rows[1:])
+    if contango.clr > 0:
+        print(f"\nContango CLR advantage over best baseline: "
+              f"{best_baseline_clr / contango.clr:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Scalability study on TI-style benchmarks (Table V of the paper).
+
+Generates the synthetic Texas-Instruments-style sink placements at several
+sizes, runs the Contango flow on each, and prints the Table V columns: CLR,
+skew, maximum latency, total capacitance, evaluation ("SPICE run") count and
+runtime.  Sink counts are kept modest by default so the example finishes in a
+few minutes; pass larger counts on the command line to push further.
+
+Run with:  python examples/scalability_study.py [count ...]
+e.g.       python examples/scalability_study.py 200 500 1000
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import ContangoFlow, FlowConfig
+from repro.workloads import generate_ti_benchmark
+
+
+def main() -> None:
+    counts = [int(arg) for arg in sys.argv[1:]] or [200, 500, 1000]
+    config = FlowConfig(engine="arnoldi")
+
+    print("sinks     CLR[ps]   skew[ps]   latency[ps]   cap[pF]   evals   runtime[s]")
+    for count in counts:
+        instance = generate_ti_benchmark(count)
+        result = ContangoFlow(config).run(instance)
+        report = result.final_report
+        print(
+            f"{count:6d} {report.clr:10.2f} {report.skew:10.2f} "
+            f"{report.max_latency:13.1f} {report.total_capacitance / 1000.0:9.1f} "
+            f"{result.total_evaluations:7d} {result.runtime_s:11.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

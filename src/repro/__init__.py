@@ -1,0 +1,15 @@
+"""Contango: integrated optimization of SoC clock networks (DATE 2010) -- reproduction.
+
+The top-level package re-exports the most commonly used entry points:
+
+* :class:`repro.cts.ClockTree` -- the clock-tree data model,
+* :class:`repro.analysis.ClockNetworkEvaluator` -- the SPICE-substitute evaluator,
+* :class:`repro.core.ContangoFlow` -- the end-to-end synthesis methodology,
+* :mod:`repro.workloads` -- ISPD'09-style and TI-style benchmark generators.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,80 @@
+"""Reduced-order (moment-matching) timing engine for stage networks.
+
+The paper notes that SPICE can be replaced by "Arnoldi approximation, or any
+other available timing analysis tool/model".  This engine computes the first
+two moments of every tap transfer function with two tree traversals -- the
+path-tracing equivalent of one Arnoldi/Krylov step -- and converts them to
+delay and slew with the D2M and lognormal-variance metrics.  It is roughly an
+order of magnitude faster than the transient solver and substantially more
+accurate than Elmore on resistively-shielded nets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.elmore import StageTiming
+from repro.analysis.rcnetwork import StageNetwork
+from repro.analysis.units import LN2, LN9, OHM_FF_TO_PS
+
+__all__ = ["stage_moments", "arnoldi_stage_timing"]
+
+
+def stage_moments(network: StageNetwork) -> Tuple[List[float], List[float]]:
+    """Return (m1, m2) at every network node.
+
+    ``m1`` is the (sign-dropped) first moment -- the Elmore delay -- and
+    ``m2`` the second moment of the impulse response, both in ps and ps^2.
+    The recurrences are the standard RC-tree path formulas:
+
+        m1(i) = sum_{e on path(i)} R_e * C_down(e)
+        m2(i) = sum_{e on path(i)} R_e * M_down(e),  M_down(e) = sum_k C_k m1(k)
+
+    with the driver resistance acting as the topmost path resistance.
+    """
+    downstream_cap = network.downstream_capacitance()
+    m1 = [0.0] * network.size
+    m1[0] = network.driver_resistance * downstream_cap[0] * OHM_FF_TO_PS
+    for idx in range(1, network.size):
+        par = network.parent[idx]
+        m1[idx] = m1[par] + network.resistance[idx] * downstream_cap[idx] * OHM_FF_TO_PS
+
+    # Downstream capacitance-weighted first moments.
+    weighted = [network.capacitance[i] * m1[i] for i in range(network.size)]
+    for idx in range(network.size - 1, 0, -1):
+        weighted[network.parent[idx]] += weighted[idx]
+
+    m2 = [0.0] * network.size
+    m2[0] = network.driver_resistance * weighted[0] * OHM_FF_TO_PS
+    for idx in range(1, network.size):
+        par = network.parent[idx]
+        m2[idx] = m2[par] + network.resistance[idx] * weighted[idx] * OHM_FF_TO_PS
+    return m1, m2
+
+
+def arnoldi_stage_timing(network: StageNetwork, input_slew: float) -> StageTiming:
+    """Delay/slew at every tap from two-moment reduced-order models.
+
+    Delay uses the D2M metric ``ln(2) * m1^2 / sqrt(m2)`` (clamped to the
+    Elmore value from above, since D2M can overshoot on near taps); slew uses
+    the lognormal variance ``sigma^2 = 2*m2 - m1^2`` combined with the input
+    transition by the PERI rule.
+    """
+    m1, m2 = stage_moments(network)
+    delay_map: Dict[int, float] = {}
+    slew_map: Dict[int, float] = {}
+    for tree_id, idx in network.tap_index.items():
+        first, second = m1[idx], m2[idx]
+        if second <= 0.0 or first <= 0.0:
+            delay = LN2 * first
+            sigma = first
+        else:
+            delay = LN2 * first * first / (second**0.5)
+            delay = min(delay, first)
+            variance = max(2.0 * second - first * first, (0.1 * first) ** 2)
+            sigma = variance**0.5
+        wire_slew = LN9 * sigma
+        slew = (wire_slew**2 + input_slew**2) ** 0.5
+        delay_map[tree_id] = delay
+        slew_map[tree_id] = slew
+    return StageTiming(delay=delay_map, slew=slew_map)

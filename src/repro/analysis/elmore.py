@@ -1,0 +1,70 @@
+"""Elmore delay and PERI-style slew estimation on stage networks.
+
+The Elmore delay is the first moment of the impulse response and is the
+classic analytical model used to *construct* clock trees (ZST/DME balances
+Elmore delays).  It systematically overestimates the delay of far taps on
+resistively-shielded nets, which is exactly why Contango switches to more
+accurate engines for the optimization loop; we keep it as the fast engine for
+construction-time balancing and as a reference model in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.rcnetwork import StageNetwork
+from repro.analysis.units import LN9, OHM_FF_TO_PS
+
+__all__ = ["StageTiming", "elmore_stage_delays", "elmore_stage_timing"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Per-tap timing of one stage analysis.
+
+    ``delay`` maps tree node ids (taps) to wire delay in ps measured from the
+    driver switching instant; ``slew`` maps them to the 10-90% output
+    transition time in ps.
+    """
+
+    delay: Dict[int, float]
+    slew: Dict[int, float]
+
+
+def _node_elmore_delays(network: StageNetwork) -> List[float]:
+    """Elmore delay (ps) of every network node, driver resistance included."""
+    downstream = network.downstream_capacitance()
+    delays = [0.0] * network.size
+    total_cap = downstream[0]
+    root_term = network.driver_resistance * total_cap * OHM_FF_TO_PS
+    delays[0] = root_term
+    for idx in range(1, network.size):
+        par = network.parent[idx]
+        delays[idx] = delays[par] + network.resistance[idx] * downstream[idx] * OHM_FF_TO_PS
+    return delays
+
+
+def elmore_stage_delays(network: StageNetwork) -> Dict[int, float]:
+    """Return the Elmore delay in ps at every tap of the stage."""
+    delays = _node_elmore_delays(network)
+    return {tree_id: delays[idx] for tree_id, idx in network.tap_index.items()}
+
+
+def elmore_stage_timing(network: StageNetwork, input_slew: float) -> StageTiming:
+    """Return Elmore delays plus PERI-combined slews at every tap.
+
+    The output slew of a single-pole stage driven by a step is ``ln(9) * tau``
+    where ``tau`` is the Elmore delay; the PERI rule combines that intrinsic
+    wire slew with the (attenuated) input transition in quadrature.
+    """
+    delays = _node_elmore_delays(network)
+    delay_map: Dict[int, float] = {}
+    slew_map: Dict[int, float] = {}
+    for tree_id, idx in network.tap_index.items():
+        tau = delays[idx]
+        wire_slew = LN9 * tau
+        slew = (wire_slew**2 + input_slew**2) ** 0.5
+        delay_map[tree_id] = tau
+        slew_map[tree_id] = slew
+    return StageTiming(delay=delay_map, slew=slew_map)

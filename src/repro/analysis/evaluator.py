@@ -1,0 +1,342 @@
+"""Clock-network evaluation: latency, skew, slew, CLR, capacitance.
+
+This module is the Clock-Network Evaluation (CNE) box of Figure 1 in the
+paper.  It decomposes the buffered tree into stages, analyzes every stage with
+the selected engine (Elmore, Arnoldi/moment-matching, or the transient RC
+solver), propagates arrival times and slews stage by stage for both launch
+transitions, and repeats the analysis at every requested process/voltage
+corner.  The resulting :class:`EvaluationReport` carries everything the
+optimization passes need: per-sink rise/fall latencies, skew, the multi-corner
+Clock Latency Range (CLR), worst slew, slew violations and the capacitance
+(power) total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.arnoldi import arnoldi_stage_timing
+from repro.analysis.corners import Corner, ispd09_corners
+from repro.analysis.elmore import StageTiming, elmore_stage_timing
+from repro.analysis.rcnetwork import Stage, StageNetwork, build_stage_network, extract_stages
+from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
+from repro.cts.tree import ClockTree
+
+__all__ = [
+    "EvaluatorConfig",
+    "CornerTiming",
+    "EvaluationReport",
+    "ClockNetworkEvaluator",
+]
+
+RISE = "rise"
+FALL = "fall"
+_TRANSITIONS = (RISE, FALL)
+
+
+@dataclass(frozen=True)
+class EvaluatorConfig:
+    """Settings of the clock-network evaluator.
+
+    Attributes
+    ----------
+    engine:
+        ``"elmore"``, ``"arnoldi"`` or ``"spice"`` (transient RC solver).
+    max_segment_length:
+        Maximum lumped-RC segment length in um (see
+        :func:`repro.analysis.rcnetwork.build_stage_network`).
+    slew_limit:
+        Maximum allowed 10-90% transition time at any tap, in ps.
+    source_slew:
+        Input transition time of the clock source, in ps.
+    slew_delay_factor:
+        Fraction of the input slew added to a buffer's gate delay (first-order
+        model of slew-dependent gate delay).
+    buffer_slew_regeneration:
+        Fraction of the input transition that survives through a switching
+        inverter and shapes its output ramp.  Inverters regenerate the edge,
+        so the output slew is dominated by the driver's own R*C and only
+        weakly coupled to the input slew; without this attenuation slews would
+        (unphysically) accumulate down the buffer chain.
+    pull_up_factor, pull_down_factor:
+        Asymmetry of the driver resistance for rising and falling outputs.
+    solver:
+        Numerical settings for the transient engine.
+    """
+
+    engine: str = "spice"
+    max_segment_length: float = 100.0
+    slew_limit: float = 100.0
+    source_slew: float = 10.0
+    slew_delay_factor: float = 0.08
+    buffer_slew_regeneration: float = 0.25
+    pull_up_factor: float = 1.08
+    pull_down_factor: float = 0.95
+    solver: TransientSolverConfig = field(default_factory=TransientSolverConfig)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("elmore", "arnoldi", "spice"):
+            raise ValueError(f"unknown timing engine {self.engine!r}")
+        if self.slew_limit <= 0.0:
+            raise ValueError("slew limit must be positive")
+
+
+@dataclass
+class CornerTiming:
+    """Timing of the whole network at one corner.
+
+    ``latency`` and ``slew`` map sink node ids to ``{"rise": ps, "fall": ps}``.
+    ``tap_slew`` additionally includes buffer-input taps, which are subject to
+    the same slew limit as sinks.
+    """
+
+    corner: Corner
+    latency: Dict[int, Dict[str, float]]
+    slew: Dict[int, Dict[str, float]]
+    tap_slew: Dict[int, Dict[str, float]]
+
+    def max_latency(self, transition: Optional[str] = None) -> float:
+        return max(self._latency_values(transition))
+
+    def min_latency(self, transition: Optional[str] = None) -> float:
+        return min(self._latency_values(transition))
+
+    def skew(self, transition: Optional[str] = None) -> float:
+        """Worst skew; with ``transition=None`` the worse of rise and fall skew."""
+        if transition is not None:
+            values = self._latency_values(transition)
+            return max(values) - min(values)
+        return max(self.skew(RISE), self.skew(FALL))
+
+    def worst_slew(self) -> float:
+        return max(
+            value for per_tap in self.tap_slew.values() for value in per_tap.values()
+        )
+
+    def slew_violations(self, limit: float) -> List[int]:
+        """Tap node ids whose rise or fall slew exceeds ``limit``."""
+        return [
+            node_id
+            for node_id, per_tap in self.tap_slew.items()
+            if max(per_tap.values()) > limit
+        ]
+
+    def _latency_values(self, transition: Optional[str]) -> List[float]:
+        if transition is None:
+            return [v for per_sink in self.latency.values() for v in per_sink.values()]
+        return [per_sink[transition] for per_sink in self.latency.values()]
+
+
+@dataclass
+class EvaluationReport:
+    """Result of one Clock-Network Evaluation (CNE) step."""
+
+    corners: Dict[str, CornerTiming]
+    fast_corner: str
+    slow_corner: str
+    engine: str
+    slew_limit: float
+    total_capacitance: float
+    capacitance_limit: Optional[float]
+    wirelength: float
+    evaluation_index: int
+
+    @property
+    def nominal(self) -> CornerTiming:
+        """Timing at the fast (nominal-supply) corner, used for skew optimization."""
+        return self.corners[self.fast_corner]
+
+    @property
+    def skew(self) -> float:
+        """Nominal skew: worse of rise/fall skew at the fast corner."""
+        return self.nominal.skew()
+
+    @property
+    def clr(self) -> float:
+        """Clock Latency Range across the fast and slow corners."""
+        slow = self.corners[self.slow_corner]
+        fast = self.corners[self.fast_corner]
+        return max(
+            slow.max_latency(t) - fast.min_latency(t) for t in _TRANSITIONS
+        )
+
+    @property
+    def max_latency(self) -> float:
+        """Greatest sink latency at the slow corner (the paper's "Latency" column)."""
+        return self.corners[self.slow_corner].max_latency()
+
+    @property
+    def worst_slew(self) -> float:
+        return max(timing.worst_slew() for timing in self.corners.values())
+
+    @property
+    def slew_violations(self) -> List[int]:
+        violations: List[int] = []
+        for timing in self.corners.values():
+            violations.extend(timing.slew_violations(self.slew_limit))
+        return sorted(set(violations))
+
+    @property
+    def has_slew_violation(self) -> bool:
+        return bool(self.slew_violations)
+
+    @property
+    def within_capacitance_limit(self) -> bool:
+        if self.capacitance_limit is None:
+            return True
+        return self.total_capacitance <= self.capacitance_limit
+
+    @property
+    def capacitance_utilization(self) -> Optional[float]:
+        """Total capacitance as a fraction of the limit (None when unlimited)."""
+        if self.capacitance_limit is None:
+            return None
+        return self.total_capacitance / self.capacitance_limit
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary used by flow logs and benchmarks."""
+        return {
+            "skew_ps": self.skew,
+            "clr_ps": self.clr,
+            "max_latency_ps": self.max_latency,
+            "worst_slew_ps": self.worst_slew,
+            "total_capacitance_fF": self.total_capacitance,
+            "wirelength_um": self.wirelength,
+            "slew_violations": float(len(self.slew_violations)),
+        }
+
+
+class ClockNetworkEvaluator:
+    """Evaluate a clock tree with the configured engine at multiple corners.
+
+    The evaluator keeps a running count of invocations (``run_count``), which
+    stands in for the paper's "number of SPICE runs" metric in Table V.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EvaluatorConfig] = None,
+        corners: Optional[Sequence[Corner]] = None,
+        capacitance_limit: Optional[float] = None,
+    ) -> None:
+        self.config = config or EvaluatorConfig()
+        corner_list = list(corners) if corners is not None else ispd09_corners()
+        if not corner_list:
+            raise ValueError("at least one corner is required")
+        self.corners = corner_list
+        self.capacitance_limit = capacitance_limit
+        self.run_count = 0
+        # The fast corner has the highest supply, the slow corner the lowest.
+        self._fast = max(corner_list, key=lambda c: c.vdd).name
+        self._slow = min(corner_list, key=lambda c: c.vdd).name
+
+    # ------------------------------------------------------------------
+    def evaluate(self, tree: ClockTree) -> EvaluationReport:
+        """Run one Clock-Network Evaluation of ``tree`` at every corner."""
+        self.run_count += 1
+        stages = extract_stages(tree)
+        corner_results = {
+            corner.name: self._evaluate_corner(tree, stages, corner)
+            for corner in self.corners
+        }
+        return EvaluationReport(
+            corners=corner_results,
+            fast_corner=self._fast,
+            slow_corner=self._slow,
+            engine=self.config.engine,
+            slew_limit=self.config.slew_limit,
+            total_capacitance=tree.total_capacitance(),
+            capacitance_limit=self.capacitance_limit,
+            wirelength=tree.total_wirelength(),
+            evaluation_index=self.run_count,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_corner(
+        self, tree: ClockTree, stages: List[Stage], corner: Corner
+    ) -> CornerTiming:
+        latency: Dict[int, Dict[str, float]] = {}
+        slew: Dict[int, Dict[str, float]] = {}
+        tap_slew: Dict[int, Dict[str, float]] = {}
+        for launch in _TRANSITIONS:
+            self._propagate_launch(tree, stages, corner, launch, latency, slew, tap_slew)
+        return CornerTiming(corner=corner, latency=latency, slew=slew, tap_slew=tap_slew)
+
+    def _propagate_launch(
+        self,
+        tree: ClockTree,
+        stages: List[Stage],
+        corner: Corner,
+        launch: str,
+        latency: Dict[int, Dict[str, float]],
+        slew: Dict[int, Dict[str, float]],
+        tap_slew: Dict[int, Dict[str, float]],
+    ) -> None:
+        cfg = self.config
+        # Arrival time and input slew at each stage driver's *input*.
+        arrival_at: Dict[int, float] = {tree.root_id: 0.0}
+        slew_at: Dict[int, float] = {tree.root_id: cfg.source_slew}
+        # Transition direction of the signal arriving at each stage driver.
+        direction_at: Dict[int, str] = {tree.root_id: launch}
+
+        for stage in stages:
+            driver_id = stage.driver_id
+            input_arrival = arrival_at[driver_id]
+            input_slew = slew_at[driver_id]
+            input_dir = direction_at[driver_id]
+
+            if stage.driver_buffer is not None and stage.driver_buffer.inverting:
+                output_dir = FALL if input_dir == RISE else RISE
+            else:
+                output_dir = input_dir
+
+            network = build_stage_network(
+                tree,
+                stage,
+                corner=corner,
+                max_segment_length=cfg.max_segment_length,
+                rise=(output_dir == RISE),
+                pull_up_factor=cfg.pull_up_factor,
+                pull_down_factor=cfg.pull_down_factor,
+            )
+            if stage.driver_buffer is None:
+                drive_slew = input_slew
+            else:
+                drive_slew = cfg.buffer_slew_regeneration * input_slew
+            timing = self._analyze_stage(network, drive_slew, corner)
+
+            if stage.driver_buffer is not None:
+                gate_delay = (
+                    stage.driver_buffer.intrinsic_delay * corner.driver_scale
+                    + cfg.slew_delay_factor * input_slew
+                )
+            else:
+                gate_delay = 0.0
+
+            if not stage.taps:
+                continue
+            for tap in stage.taps:
+                tap_arrival = input_arrival + gate_delay + timing.delay[tap]
+                tap_slew_value = timing.slew[tap]
+                node = tree.node(tap)
+                tap_slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                if node.is_sink:
+                    latency.setdefault(tap, {})[output_dir] = tap_arrival
+                    slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                if node.has_buffer:
+                    arrival_at[tap] = tap_arrival
+                    slew_at[tap] = tap_slew_value
+                    direction_at[tap] = output_dir
+
+    def _analyze_stage(
+        self, network: StageNetwork, input_slew: float, corner: Corner
+    ) -> StageTiming:
+        engine = self.config.engine
+        if engine == "elmore":
+            return elmore_stage_timing(network, input_slew)
+        if engine == "arnoldi":
+            return arnoldi_stage_timing(network, input_slew)
+        return transient_stage_timing(
+            network, input_slew, vdd=corner.vdd, config=self.config.solver
+        )

@@ -1,0 +1,260 @@
+"""Stage extraction and RC-network construction from a clock tree.
+
+A buffered clock tree decomposes into *stages*: the sub-network driven by the
+clock source or by one inserted buffer, extending down the tree until the
+next buffer inputs (and sinks) are reached.  Each stage is an RC tree -- wires
+contribute distributed RC (modelled as a chain of lumped segments) and the
+taps (buffer inputs, sinks) contribute load capacitance.
+
+All timing engines (:mod:`repro.analysis.elmore`, :mod:`repro.analysis.arnoldi`
+and the transient solver in :mod:`repro.analysis.spice`) consume the same
+:class:`StageNetwork` representation, so switching engines never changes the
+electrical model, only the solution accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.corners import Corner
+from repro.cts.bufferlib import BufferType
+from repro.cts.tree import ClockTree, TreeNode
+
+__all__ = ["Stage", "StageNetwork", "extract_stages", "build_stage_network"]
+
+# Resistance used for zero-length connections so the nodal matrix stays regular.
+_MIN_RESISTANCE = 1e-3
+
+
+@dataclass
+class Stage:
+    """One buffer stage of the clock tree.
+
+    Attributes
+    ----------
+    driver_id:
+        Tree node where the stage driver sits (the tree root for the source
+        stage, otherwise a node with a buffer).
+    driver_buffer:
+        The driving buffer, or None for the clock source.
+    edges:
+        Tree node ids whose parent edge belongs to this stage.
+    taps:
+        Tree node ids that terminate the stage: sinks and next-stage drivers.
+    """
+
+    driver_id: int
+    driver_buffer: Optional[BufferType]
+    edges: List[int] = field(default_factory=list)
+    taps: List[int] = field(default_factory=list)
+
+
+@dataclass
+class StageNetwork:
+    """A lumped RC tree for one stage, ready for analysis.
+
+    The network nodes are indexed ``0 .. n-1`` with node 0 being the driver
+    output node.  ``parent[i]`` and ``resistance[i]`` describe the unique
+    resistor connecting node ``i`` to its parent (``parent[0]`` is -1).
+    ``capacitance[i]`` is the grounded capacitance at node ``i`` (wire cap
+    plus any tap load).  ``tap_index`` maps tree node ids of taps to network
+    node indices.
+    """
+
+    parent: List[int]
+    resistance: List[float]
+    capacitance: List[float]
+    tap_index: Dict[int, int]
+    driver_resistance: float
+    total_capacitance: float
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def children_lists(self) -> List[List[int]]:
+        """Return the child adjacency derived from the parent array."""
+        children: List[List[int]] = [[] for _ in range(self.size)]
+        for idx, par in enumerate(self.parent):
+            if par >= 0:
+                children[par].append(idx)
+        return children
+
+    def downstream_capacitance(self) -> List[float]:
+        """Total capacitance at or below each network node (O(n))."""
+        downstream = list(self.capacitance)
+        # Children always have larger indices than their parents because the
+        # network is built top-down, so a reverse sweep accumulates correctly.
+        for idx in range(self.size - 1, 0, -1):
+            downstream[self.parent[idx]] += downstream[idx]
+        return downstream
+
+
+def extract_stages(tree: ClockTree) -> List[Stage]:
+    """Decompose the tree into buffer stages, source stage first.
+
+    The returned list is ordered so that every stage appears after the stage
+    that drives it, which lets the evaluator propagate arrival times and slews
+    in a single pass.
+    """
+    stages: List[Stage] = []
+    pending: List[int] = [tree.root_id]
+    while pending:
+        driver_id = pending.pop(0)
+        driver_node = tree.node(driver_id)
+        buffer = driver_node.buffer if driver_id != tree.root_id else driver_node.buffer
+        stage = Stage(
+            driver_id=driver_id,
+            driver_buffer=driver_node.buffer,
+            edges=[],
+            taps=[],
+        )
+        # DFS below the driver, stopping at buffered nodes and sinks.
+        stack = list(tree.node(driver_id).children)
+        while stack:
+            node_id = stack.pop()
+            node = tree.node(node_id)
+            stage.edges.append(node_id)
+            if node.has_buffer:
+                stage.taps.append(node_id)
+                pending.append(node_id)
+                continue
+            if node.is_sink:
+                stage.taps.append(node_id)
+                continue
+            stack.extend(node.children)
+        stages.append(stage)
+    return stages
+
+
+def build_stage_network(
+    tree: ClockTree,
+    stage: Stage,
+    corner: Optional[Corner] = None,
+    max_segment_length: float = 100.0,
+    rise: bool = True,
+    pull_up_factor: float = 1.08,
+    pull_down_factor: float = 0.95,
+) -> StageNetwork:
+    """Build the lumped RC network of a stage at a given corner.
+
+    Wire edges longer than ``max_segment_length`` micrometres are divided into
+    several lumped RC segments so that resistive shielding of long wires is
+    captured (a single lumped segment would overestimate far-end delay and
+    underestimate near-end slew).
+    """
+    wire_r_scale = corner.wire_res_scale if corner is not None else 1.0
+    wire_c_scale = corner.wire_cap_scale if corner is not None else 1.0
+    driver_scale = corner.driver_scale if corner is not None else 1.0
+
+    driver_node = tree.node(stage.driver_id)
+    parent: List[int] = [-1]
+    resistance: List[float] = [0.0]
+    capacitance: List[float] = [0.0]
+    tap_index: Dict[int, int] = {}
+    tree_to_net: Dict[int, int] = {stage.driver_id: 0}
+
+    if stage.driver_buffer is not None:
+        capacitance[0] += stage.driver_buffer.output_cap
+
+    stage_edge_set = set(stage.edges)
+    stage_tap_set = set(stage.taps)
+
+    # Walk the stage edges top-down so parents are created before children.
+    stack = [child for child in driver_node.children if child in stage_edge_set]
+    order: List[int] = []
+    while stack:
+        node_id = stack.pop()
+        order.append(node_id)
+        node = tree.node(node_id)
+        if node_id in stage_tap_set:
+            continue
+        stack.extend(c for c in node.children if c in stage_edge_set)
+
+    for node_id in order:
+        node = tree.node(node_id)
+        parent_net = tree_to_net[node.parent]
+        net_idx = _add_edge_segments(
+            node,
+            parent_net,
+            parent,
+            resistance,
+            capacitance,
+            wire_r_scale,
+            wire_c_scale,
+            max_segment_length,
+        )
+        tree_to_net[node_id] = net_idx
+        load = _tap_load(tree, node, node_id in stage_tap_set)
+        capacitance[net_idx] += load
+
+    if stage.driver_buffer is not None:
+        base_res = stage.driver_buffer.output_res
+    else:
+        base_res = tree.source_resistance
+    asym = pull_up_factor if rise else pull_down_factor
+    driver_resistance = base_res * driver_scale * asym
+
+    for tap in stage.taps:
+        tap_index[tap] = tree_to_net[tap]
+
+    return StageNetwork(
+        parent=parent,
+        resistance=resistance,
+        capacitance=capacitance,
+        tap_index=tap_index,
+        driver_resistance=driver_resistance,
+        total_capacitance=sum(capacitance),
+    )
+
+
+def _tap_load(tree: ClockTree, node: TreeNode, is_tap: bool) -> float:
+    """Load capacitance contributed by a tree node inside a stage."""
+    load = 0.0
+    if node.is_sink and node.sink is not None:
+        load += node.sink.capacitance
+    if is_tap and node.has_buffer:
+        load += node.buffer.input_cap
+    return load
+
+
+def _add_edge_segments(
+    node: TreeNode,
+    parent_net: int,
+    parent: List[int],
+    resistance: List[float],
+    capacitance: List[float],
+    wire_r_scale: float,
+    wire_c_scale: float,
+    max_segment_length: float,
+) -> int:
+    """Append the lumped segments of one tree edge; return the far-end index."""
+    length = node.edge_length()
+    wire = node.wire_type
+    if wire is None or length <= 0.0:
+        parent.append(parent_net)
+        resistance.append(_MIN_RESISTANCE)
+        capacitance.append(0.0)
+        return len(parent) - 1
+
+    n_segments = max(1, int(length // max_segment_length) + (1 if length % max_segment_length else 0))
+    n_segments = min(n_segments, 32)
+    seg_len = length / n_segments
+    seg_res = max(wire.resistance(seg_len) * wire_r_scale, _MIN_RESISTANCE)
+    seg_cap = wire.capacitance(seg_len) * wire_c_scale
+
+    current_parent = parent_net
+    last_index = parent_net
+    for i in range(n_segments):
+        parent.append(current_parent)
+        resistance.append(seg_res)
+        capacitance.append(seg_cap / 2.0)
+        last_index = len(parent) - 1
+        # The far half of the segment cap belongs to the new node; the near
+        # half belongs to its parent.
+        capacitance[current_parent] += seg_cap / 2.0
+        # Re-balance: we added the full cap as half to each side already.
+        capacitance[last_index] += 0.0
+        current_parent = last_index
+    return last_index

@@ -1,0 +1,31 @@
+"""Unit conventions shared by all timing engines.
+
+The library uses the following numerical units everywhere:
+
+=============  ==========================
+quantity        unit
+=============  ==========================
+length          micrometre (um)
+resistance      ohm
+capacitance     femtofarad (fF)
+time            picosecond (ps)
+voltage         volt (V)
+=============  ==========================
+
+With these units an RC product ``R[ohm] * C[fF]`` equals ``R*C`` femtoseconds,
+i.e. ``R*C*1e-3`` picoseconds; :data:`OHM_FF_TO_PS` captures that factor.  In
+the transient solver the nodal equations are scaled consistently by expressing
+conductances as ``1000/R`` (see :mod:`repro.analysis.spice`).
+"""
+
+OHM_FF_TO_PS = 1e-3
+"""Conversion factor: (ohm x fF) -> picoseconds."""
+
+CONDUCTANCE_SCALE = 1000.0
+"""Numerical conductance for a resistor of R ohm when C is in fF and t in ps."""
+
+LN9 = 2.1972245773362196
+"""ln(9); the 10%-90% transition time of a single-pole response is ln(9)*tau."""
+
+LN2 = 0.6931471805599453
+"""ln(2); the 50% crossing of a single-pole response occurs at ln(2)*tau."""

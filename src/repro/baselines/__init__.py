@@ -1,0 +1,17 @@
+"""Baseline (non-integrated) clock-tree synthesis flows for Table IV comparisons."""
+
+from repro.baselines.flows import (
+    BaselineFlow,
+    BoundedSkewBaseline,
+    GreedyBufferedBaseline,
+    UnoptimizedDmeBaseline,
+    all_baselines,
+)
+
+__all__ = [
+    "BaselineFlow",
+    "BoundedSkewBaseline",
+    "GreedyBufferedBaseline",
+    "UnoptimizedDmeBaseline",
+    "all_baselines",
+]

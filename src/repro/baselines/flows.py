@@ -1,0 +1,218 @@
+"""Baseline clock-tree synthesis flows (the comparison points of Table IV).
+
+The paper compares Contango against the top three teams of the ISPD'09
+contest (NTU, NCTU, University of Michigan).  Those binaries are not
+available, so this module provides three simpler flows with deliberately
+different trade-offs that play the same role: they exercise exactly the same
+evaluation machinery and capacitance/slew limits, but stop after initial
+construction and buffering instead of running Contango's integrated
+optimization sequence.
+
+* :class:`GreedyBufferedBaseline` -- greedy nearest-neighbour topology,
+  zero-skew DME embedding, fixed-pitch insertion of large inverters (no
+  composite analysis, no sizing sweep), per-sink polarity patch.
+* :class:`UnoptimizedDmeBaseline` -- the same initial tree Contango starts
+  from (balanced bisection ZST + van Ginneken insertion of a single composite)
+  but with *none* of the post-insertion optimizations.
+* :class:`BoundedSkewBaseline` -- a bounded-skew tree that trades skew for
+  wirelength up front, buffered with the large inverter.
+
+What Table IV measures is the gap between these and the integrated flow on
+CLR at comparable capacitance, which is precisely the paper's point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluatorConfig
+from repro.buffering.vanginneken import VanGinnekenInserter
+from repro.core.config import FlowConfig
+from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
+from repro.core.report import FlowResult, StageRecord
+from repro.cts.bst import build_bounded_skew_tree
+from repro.cts.dme import build_zero_skew_tree
+from repro.cts.obstacle_avoid import repair_obstacle_violations
+from repro.cts.spec import ClockNetworkInstance
+from repro.cts.tree import ClockTree
+
+__all__ = [
+    "BaselineFlow",
+    "GreedyBufferedBaseline",
+    "UnoptimizedDmeBaseline",
+    "BoundedSkewBaseline",
+    "all_baselines",
+]
+
+
+class BaselineFlow:
+    """Common scaffolding for the baseline flows."""
+
+    name = "baseline"
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or FlowConfig()
+
+    # ------------------------------------------------------------------
+    def run(self, instance: ClockNetworkInstance) -> FlowResult:
+        """Synthesize a buffered clock tree for ``instance`` and evaluate it."""
+        instance.validate()
+        start = time.perf_counter()
+        evaluator = ClockNetworkEvaluator(
+            config=EvaluatorConfig(
+                engine=self.config.engine,
+                max_segment_length=self.config.max_segment_length,
+                slew_limit=instance.slew_limit,
+                solver=self.config.solver,
+            ),
+            corners=self.config.corners,
+            capacitance_limit=instance.capacitance_limit,
+        )
+        tree = self._synthesize(instance)
+        inverted = count_inverted_sinks(tree)
+        correction = correct_sink_polarity(
+            tree,
+            instance.buffer_library.smallest,
+            strategy=self._polarity_strategy(),
+            slew_limit=instance.slew_limit,
+            stronger_inverters=[instance.buffer_library.smallest.parallel(k) for k in (2, 4, 8)],
+        )
+        report = evaluator.evaluate(tree)
+        result = FlowResult(
+            instance_name=instance.name,
+            flow_name=self.name,
+            tree=tree,
+            final_report=report,
+            chosen_buffer=self._buffer_name(),
+            inverted_sinks=inverted,
+            polarity_inverters_added=correction.inverters_added,
+            total_evaluations=evaluator.run_count,
+            runtime_s=time.perf_counter() - start,
+        )
+        result.stages.append(
+            StageRecord.from_report("FINAL", tree, report, elapsed_s=result.runtime_s)
+        )
+        return result
+
+    # Subclass hooks -----------------------------------------------------
+    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+        raise NotImplementedError
+
+    def _polarity_strategy(self) -> str:
+        return "per-sink"
+
+    def _buffer_name(self) -> Optional[str]:
+        return None
+
+    # Shared helpers -----------------------------------------------------
+    def _buffer_tree(
+        self, instance: ClockNetworkInstance, tree: ClockTree, buffer, spacing: float
+    ) -> ClockTree:
+        inserter = VanGinnekenInserter(
+            buffer=buffer,
+            slew_limit=instance.slew_limit,
+            slew_margin=0.85,
+            station_spacing=spacing,
+            obstacles=instance.obstacles if len(instance.obstacles) else None,
+            die=instance.die,
+            max_options=16,
+        )
+        inserter.insert(tree, apply=True)
+        return tree
+
+    def _repair(self, instance: ClockNetworkInstance, tree: ClockTree, driver) -> None:
+        if len(instance.obstacles) == 0:
+            return
+        repair_obstacle_violations(
+            tree,
+            instance.obstacles,
+            die=instance.die,
+            driver=driver,
+            slew_limit=instance.slew_limit,
+        )
+
+
+class GreedyBufferedBaseline(BaselineFlow):
+    """Greedy-merge topology + fixed large-inverter buffering, no optimization."""
+
+    name = "greedy_buffered"
+
+    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+        large = instance.buffer_library.strongest
+        tree = build_zero_skew_tree(
+            instance.sinks,
+            instance.source,
+            instance.wire_library.default,
+            source_resistance=instance.source_resistance,
+            topology_method="greedy",
+            obstacles=instance.obstacles,
+        )
+        self._repair(instance, tree, large)
+        return self._buffer_tree(instance, tree, large, spacing=400.0)
+
+    def _buffer_name(self) -> Optional[str]:
+        return "INV_L"
+
+
+class UnoptimizedDmeBaseline(BaselineFlow):
+    """Contango's initial tree and buffering, without any of its optimizations."""
+
+    name = "unoptimized_dme"
+
+    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+        composite = instance.buffer_library.by_name("INV_S").parallel(8)
+        tree = build_zero_skew_tree(
+            instance.sinks,
+            instance.source,
+            instance.wire_library.default,
+            source_resistance=instance.source_resistance,
+            topology_method="bisection",
+            obstacles=instance.obstacles,
+        )
+        self._repair(instance, tree, composite)
+        return self._buffer_tree(instance, tree, composite, spacing=self.config.station_spacing)
+
+    def _polarity_strategy(self) -> str:
+        return "subtree"
+
+    def _buffer_name(self) -> Optional[str]:
+        return "8X INV_S"
+
+
+class BoundedSkewBaseline(BaselineFlow):
+    """Bounded-skew tree (wirelength-lean, skew-heavy) with large-inverter buffering."""
+
+    name = "bounded_skew"
+
+    def __init__(self, config: Optional[FlowConfig] = None, skew_bound: float = 50.0) -> None:
+        super().__init__(config)
+        if skew_bound < 0.0:
+            raise ValueError("skew bound must be non-negative")
+        self.skew_bound = skew_bound
+
+    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+        large = instance.buffer_library.strongest
+        tree = build_bounded_skew_tree(
+            instance.sinks,
+            instance.source,
+            instance.wire_library.default,
+            skew_bound=self.skew_bound,
+            source_resistance=instance.source_resistance,
+            topology_method="bisection",
+            obstacles=instance.obstacles,
+        )
+        self._repair(instance, tree, large)
+        return self._buffer_tree(instance, tree, large, spacing=350.0)
+
+    def _buffer_name(self) -> Optional[str]:
+        return "INV_L"
+
+
+def all_baselines(config: Optional[FlowConfig] = None) -> List[BaselineFlow]:
+    """The three baseline flows compared against Contango in the Table IV bench."""
+    return [
+        GreedyBufferedBaseline(config),
+        UnoptimizedDmeBaseline(config),
+        BoundedSkewBaseline(config),
+    ]

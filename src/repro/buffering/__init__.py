@@ -1,0 +1,31 @@
+"""Buffer (inverter) insertion for clock trees.
+
+* :mod:`repro.buffering.candidates` -- legal buffer-station generation along
+  tree edges and the slew-driven maximum-load model.
+* :mod:`repro.buffering.vanginneken` -- the van Ginneken dynamic program with
+  non-dominated option pruning (the "fast buffer insertion" of the paper).
+* :mod:`repro.buffering.fast_buffering` -- the composite-inverter sweep that
+  re-runs the DP with increasingly strong parallel inverters and keeps the
+  strongest solution within the power budget (Section IV-C).
+"""
+
+from repro.buffering.candidates import (
+    BufferStation,
+    enumerate_stations,
+    max_drivable_capacitance,
+)
+from repro.buffering.vanginneken import BufferInsertionResult, VanGinnekenInserter
+from repro.buffering.fast_buffering import (
+    BufferSizingSweepResult,
+    insert_buffers_with_sizing,
+)
+
+__all__ = [
+    "BufferStation",
+    "enumerate_stations",
+    "max_drivable_capacitance",
+    "BufferInsertionResult",
+    "VanGinnekenInserter",
+    "BufferSizingSweepResult",
+    "insert_buffers_with_sizing",
+]

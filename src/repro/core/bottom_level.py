@@ -1,0 +1,207 @@
+"""Bottom-level fine-tuning (Section IV-G of the paper).
+
+After the two top-down skew-reduction phases the remaining skew is only a few
+picoseconds, which is below the trust region of the coarse top-down moves.
+Bottom-level tuning therefore edits only the wires *directly connected to
+sinks*, where the slack of exactly one sink is affected by each move and the
+impact can be predicted most accurately.  Both bottom-level wiresizing and
+bottom-level wiresnaking are applied in each round, and the pass stops when a
+SPICE-style re-evaluation no longer improves (the typical gain is small in
+absolute terms but a significant fraction of the remaining skew -- and it is
+eventually limited by rise/fall divergence of the corner sinks, which the
+result notes report).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.slack import compute_sink_slacks
+from repro.core.tuning import (
+    PassResult,
+    calibrate_downsize_model,
+    calibrate_snake_model,
+    objective_value,
+    stage_slew_headroom,
+)
+from repro.cts.tree import ClockTree
+from repro.cts.wirelib import WireLibrary
+
+__all__ = ["bottom_level_fine_tuning", "rise_fall_divergence"]
+
+
+def rise_fall_divergence(report: EvaluationReport) -> bool:
+    """True when the slowest/fastest sinks differ between rise and fall.
+
+    The paper observes that once skew drops under ~5 ps the corner sinks of
+    the two transitions usually diverge, at which point slowing a fast rising
+    sink starts hurting falling skew and further improvement stalls.
+    """
+    timing = report.nominal
+    rise = {s: v["rise"] for s, v in timing.latency.items()}
+    fall = {s: v["fall"] for s, v in timing.latency.items()}
+    rise_extremes = (max(rise, key=rise.get), min(rise, key=rise.get))
+    fall_extremes = (max(fall, key=fall.get), min(fall, key=fall.get))
+    return rise_extremes != fall_extremes
+
+
+def bottom_level_fine_tuning(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    wirelib: WireLibrary,
+    baseline: Optional[EvaluationReport] = None,
+    objective: str = "skew",
+    corners: Optional[Sequence[str]] = None,
+    unit_length: float = 5.0,
+    max_rounds: int = 12,
+    safety: float = 0.95,
+    min_slack: float = 0.25,
+) -> PassResult:
+    """Run bottom-level wiresizing + wiresnaking on ``tree`` in place.
+
+    ``min_slack`` (ps) is the smallest per-sink slow-down slack worth spending;
+    anything below it is within evaluation noise.
+    """
+    evals_before = evaluator.run_count
+    report = baseline if baseline is not None else evaluator.evaluate(tree)
+    initial_summary = report.summary()
+    result = PassResult(
+        name="bottom_level_fine_tuning",
+        improved=False,
+        rounds=0,
+        edges_changed=0,
+        initial=initial_summary,
+        final=initial_summary,
+        evaluations_used=0,
+    )
+
+    sink_edges = [s.node_id for s in tree.sinks()]
+    probe_edges = _independent_probe_edges(tree, sink_edges, count=5)
+    snake_model = calibrate_snake_model(
+        tree, evaluator, report, unit_length, edge_ids=probe_edges
+    )
+    downsize_model = calibrate_downsize_model(
+        tree, evaluator, wirelib, report, edge_ids=probe_edges
+    )
+    if snake_model is None:
+        result.notes.append("bottom-level snake impact model could not be calibrated")
+        result.evaluations_used = evaluator.run_count - evals_before
+        return result
+
+    best_objective = objective_value(report, objective)
+    rejections = 0
+    for _ in range(max_rounds):
+        slacks = compute_sink_slacks(report, corners=corners)
+        headroom = stage_slew_headroom(tree, report)
+        snake_model.refresh(tree)
+        if downsize_model is not None:
+            downsize_model.refresh(tree)
+        snapshot = tree.clone()
+        changed = _tune_sink_edges(
+            tree,
+            wirelib,
+            slacks.slow,
+            headroom,
+            snake_model,
+            downsize_model,
+            unit_length,
+            safety,
+            min_slack,
+        )
+        if changed == 0:
+            result.notes.append("no sink edge had usable slack left")
+            break
+        candidate_report = evaluator.evaluate(tree)
+        candidate_objective = objective_value(candidate_report, objective)
+        rejected_reason = None
+        if candidate_report.has_slew_violation:
+            rejected_reason = "slew violation"
+        elif not candidate_report.within_capacitance_limit:
+            rejected_reason = "capacitance limit exceeded"
+        elif candidate_objective >= best_objective:
+            rejected_reason = "no improvement"
+        if rejected_reason is not None:
+            # Roll back and retry with a smaller move budget: a rejected batch
+            # usually means the linear model overreached, not that no
+            # improving move exists (the paper simply moves on; retrying at
+            # lower aggressiveness recovers part of the head-room instead).
+            tree.copy_state_from(snapshot)
+            result.notes.append("round rejected: " + rejected_reason)
+            rejections += 1
+            safety *= 0.5
+            if rejections >= 3:
+                break
+            continue
+        rejections = 0
+        report = candidate_report
+        best_objective = candidate_objective
+        result.rounds += 1
+        result.edges_changed += changed
+        result.improved = True
+
+    if rise_fall_divergence(report):
+        result.notes.append("rise/fall corner sinks diverged; further gains limited")
+    result.final = report.summary()
+    result.evaluations_used = evaluator.run_count - evals_before
+    return result
+
+
+def _independent_probe_edges(tree: ClockTree, sink_edges, count: int):
+    """A few sink edges with distinct parents, used for sensitivity calibration."""
+    chosen = []
+    seen_parents = set()
+    for node_id in sorted(sink_edges, key=lambda n: -tree.node(n).edge_length()):
+        parent = tree.node(node_id).parent
+        if parent in seen_parents:
+            continue
+        seen_parents.add(parent)
+        chosen.append(node_id)
+        if len(chosen) >= count:
+            break
+    return chosen
+
+
+def _tune_sink_edges(
+    tree: ClockTree,
+    wirelib: WireLibrary,
+    slow_slack,
+    slew_headroom,
+    snake_model,
+    downsize_model,
+    unit_length: float,
+    safety: float,
+    min_slack: float,
+) -> int:
+    """Apply one round of per-sink slow-down moves; returns edges touched."""
+    changed = 0
+    for sink in tree.sinks():
+        node_id = sink.node_id
+        slack = slow_slack.get(node_id, 0.0)
+        if slack < min_slack:
+            continue
+        budget = min(safety * slack, slew_headroom.max_delay(node_id))
+        node = tree.node(node_id)
+        # Prefer downsizing when the whole-edge impact fits in the budget;
+        # otherwise (or additionally) spend the remainder on snaking units.
+        if (
+            downsize_model is not None
+            and node.wire_type is not None
+            and wirelib.can_downsize(node.wire_type)
+            and node.edge_length() > 0.0
+        ):
+            predicted = downsize_model.predicted_delay(tree, wirelib, node_id)
+            if 0.0 < predicted <= budget:
+                tree.set_wire_type(node_id, wirelib.narrower(node.wire_type))
+                slew_headroom.consume_delay(node_id, predicted)
+                budget -= predicted
+                changed += 1
+        max_length = snake_model.length_for_delay(tree, node_id, budget)
+        units = int(max_length // unit_length)
+        if units > 0:
+            extra = units * unit_length
+            predicted = snake_model.delay_for_length(tree, node_id, extra)
+            tree.add_snake(node_id, extra)
+            slew_headroom.consume_delay(node_id, predicted)
+            changed += 1
+    return changed

@@ -1,0 +1,192 @@
+"""Iterative buffer sizing with capacitance borrowing (Section IV-I of the paper).
+
+Stronger buffers reduce insertion delay and, with it, the network's exposure
+to supply-voltage variation (the CLR objective) -- but every upsizing costs
+input/output capacitance against the power limit and risks slew violations on
+the upstream stage.  Contango therefore sizes buffers in a carefully bounded
+loop:
+
+* at iteration ``i`` the selected buffers grow by at most
+  ``p_i = 100 / (i + 3)`` percent (25%, 20%, 16.7%, ...),
+* the trunk chain is sized first (it affects all sinks equally, so skew is
+  preserved), then the first few levels of branches below the trunk,
+* capacitance spent above is *borrowed back* by downsizing the bottom-level
+  buffers (those driving only sinks), keeping the total within the limit,
+* every iteration is accepted only if the objective improves without slew
+  violations and within the capacitance budget, otherwise the pass rolls the
+  tree back and stops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.buffer_sliding import find_trunk_chain
+from repro.core.tuning import PassResult, objective_value
+from repro.cts.tree import ClockTree
+
+__all__ = [
+    "buffer_depths",
+    "bottom_level_buffers",
+    "iterative_buffer_sizing",
+]
+
+
+def buffer_depths(tree: ClockTree) -> Dict[int, int]:
+    """Number of buffered ancestors (inclusive of the node itself) per buffered node."""
+    depths: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for node in tree.preorder():
+        inherited = 0 if node.parent is None else counts[node.parent]
+        own = inherited + (1 if node.has_buffer else 0)
+        counts[node.node_id] = own
+        if node.has_buffer:
+            depths[node.node_id] = own
+    return depths
+
+
+def bottom_level_buffers(tree: ClockTree) -> List[int]:
+    """Buffered nodes with no buffered descendants (they drive only sinks/wire)."""
+    has_buffered_descendant: Dict[int, bool] = {}
+    for node in tree.postorder():
+        flag = False
+        for child in node.children:
+            child_node = tree.node(child)
+            if child_node.has_buffer or has_buffered_descendant[child]:
+                flag = True
+        has_buffered_descendant[node.node_id] = flag
+    return [
+        node.node_id
+        for node in tree.nodes()
+        if node.has_buffer and not has_buffered_descendant[node.node_id]
+    ]
+
+
+def iterative_buffer_sizing(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    capacitance_limit: Optional[float] = None,
+    baseline: Optional[EvaluationReport] = None,
+    objective: str = "clr",
+    levels_after_branch: int = 4,
+    max_iterations: int = 8,
+    min_bottom_scale: float = 0.6,
+) -> PassResult:
+    """Iteratively upsize trunk (and upper-branch) buffers on ``tree`` in place."""
+    evals_before = evaluator.run_count
+    report = baseline if baseline is not None else evaluator.evaluate(tree)
+    initial_summary = report.summary()
+    result = PassResult(
+        name="iterative_buffer_sizing",
+        improved=False,
+        rounds=0,
+        edges_changed=0,
+        initial=initial_summary,
+        final=initial_summary,
+        evaluations_used=0,
+    )
+    if not tree.buffers():
+        result.notes.append("tree has no buffers to size")
+        result.evaluations_used = evaluator.run_count - evals_before
+        return result
+
+    best_objective = objective_value(report, objective)
+    for iteration in range(1, max_iterations + 1):
+        growth = 1.0 + 1.0 / (iteration + 3)
+        snapshot = tree.clone()
+        touched = _apply_sizing_step(
+            tree,
+            growth,
+            levels_after_branch,
+            capacitance_limit,
+            min_bottom_scale,
+        )
+        if touched == 0:
+            result.notes.append("no buffer eligible for upsizing")
+            break
+        candidate_report = evaluator.evaluate(tree)
+        candidate_objective = objective_value(candidate_report, objective)
+        cap_ok = (
+            capacitance_limit is None
+            or candidate_report.total_capacitance <= capacitance_limit
+        )
+        if (
+            candidate_report.has_slew_violation
+            or not cap_ok
+            or candidate_objective >= best_objective
+        ):
+            tree.copy_state_from(snapshot)
+            if candidate_report.has_slew_violation:
+                result.notes.append(f"iteration {iteration} rejected: slew violation")
+            elif not cap_ok:
+                result.notes.append(f"iteration {iteration} rejected: over capacitance limit")
+            else:
+                result.notes.append(f"iteration {iteration} rejected: no improvement")
+            break
+        report = candidate_report
+        best_objective = candidate_objective
+        result.rounds += 1
+        result.edges_changed += touched
+        result.improved = True
+
+    result.final = report.summary()
+    result.evaluations_used = evaluator.run_count - evals_before
+    return result
+
+
+# ----------------------------------------------------------------------
+def _apply_sizing_step(
+    tree: ClockTree,
+    growth: float,
+    levels_after_branch: int,
+    capacitance_limit: Optional[float],
+    min_bottom_scale: float,
+) -> int:
+    """Upsize trunk + upper-branch buffers by ``growth``; borrow capacitance if needed."""
+    trunk_nodes: Set[int] = {
+        node_id for node_id in find_trunk_chain(tree) if tree.node(node_id).has_buffer
+    }
+    depths = buffer_depths(tree)
+    trunk_depth = max((depths[n] for n in trunk_nodes), default=0)
+    upper_branch = {
+        node_id
+        for node_id, depth in depths.items()
+        if node_id not in trunk_nodes and depth <= trunk_depth + levels_after_branch
+    }
+    bottom = set(bottom_level_buffers(tree)) - trunk_nodes - upper_branch
+
+    cap_before = tree.total_capacitance()
+    touched = 0
+    for node_id in trunk_nodes | upper_branch:
+        node = tree.node(node_id)
+        tree.place_buffer(node_id, node.buffer.scaled(growth))
+        touched += 1
+    if touched == 0:
+        return 0
+
+    if capacitance_limit is not None:
+        cap_after = tree.total_capacitance()
+        overshoot = cap_after - capacitance_limit
+        if overshoot > 0.0 and bottom:
+            _borrow_capacitance(tree, bottom, overshoot, min_bottom_scale)
+    else:
+        cap_after = tree.total_capacitance()
+    del cap_before
+    return touched
+
+
+def _borrow_capacitance(
+    tree: ClockTree, bottom: Set[int], overshoot: float, min_scale: float
+) -> None:
+    """Downsize bottom-level buffers to recover ``overshoot`` fF of capacitance."""
+    bottom_caps = {node_id: tree.node(node_id).buffer.total_cap for node_id in bottom}
+    total_bottom = sum(bottom_caps.values())
+    if total_bottom <= 0.0:
+        return
+    scale = max(1.0 - overshoot / total_bottom, min_scale)
+    if scale >= 1.0:
+        return
+    for node_id in bottom:
+        node = tree.node(node_id)
+        tree.place_buffer(node_id, node.buffer.scaled(scale))

@@ -1,0 +1,67 @@
+"""Configuration of the Contango synthesis flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.corners import Corner, ispd09_corners
+from repro.analysis.spice import TransientSolverConfig
+
+__all__ = ["FlowConfig"]
+
+
+@dataclass
+class FlowConfig:
+    """All knobs of :class:`repro.core.flow.ContangoFlow`.
+
+    The defaults reproduce the paper's methodology: transient (SPICE-style)
+    evaluation at the two ISPD'09 supply corners, composite small inverters
+    chosen by dominance analysis, a 10% capacitance reserve at initial buffer
+    insertion, and the full optimization sequence INITIAL -> TBSZ -> TWSZ ->
+    TWSN -> BWSN.  The ``enable_*`` switches exist for the ablation benches.
+    """
+
+    # Evaluation
+    engine: str = "spice"
+    corners: List[Corner] = field(default_factory=ispd09_corners)
+    max_segment_length: float = 100.0
+    solver: TransientSolverConfig = field(default_factory=TransientSolverConfig)
+
+    # Initial tree construction
+    topology_method: str = "bisection"
+    skew_bound: float = 0.0
+
+    # Buffer insertion
+    station_spacing: float = 250.0
+    power_reserve: float = 0.10
+    buffering_slew_margin: float = 0.70
+    composite_max_parallel: int = 8
+    composite_ladder_steps: int = 4
+    use_composite_inverters: bool = True
+    max_dp_options: int = 32
+
+    # Polarity correction
+    polarity_strategy: str = "subtree"
+
+    # Optimization passes
+    enable_obstacle_avoidance: bool = True
+    enable_buffer_sizing: bool = True
+    enable_wiresizing: bool = True
+    enable_wiresnaking: bool = True
+    enable_bottom_level: bool = True
+    multicorner_slacks: bool = False
+
+    wiresizing_max_rounds: int = 15
+    wiresnaking_unit_length: float = 20.0
+    wiresnaking_max_rounds: int = 15
+    bottom_unit_length: float = 5.0
+    bottom_max_rounds: int = 10
+    sizing_levels_after_branch: int = 4
+    sizing_max_iterations: int = 8
+
+    def corner_names_for_slacks(self) -> Optional[List[str]]:
+        """Corners used for slack computation (None = nominal corner only)."""
+        if self.multicorner_slacks:
+            return [corner.name for corner in self.corners]
+        return None

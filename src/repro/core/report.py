@@ -1,0 +1,122 @@
+"""Flow result records (stage snapshots, Table III/IV/V style summaries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.evaluator import EvaluationReport
+from repro.core.tuning import PassResult
+from repro.cts.tree import ClockTree
+
+__all__ = ["StageRecord", "FlowResult"]
+
+
+@dataclass
+class StageRecord:
+    """Metrics captured right after one flow stage (one row of Table III)."""
+
+    stage: str
+    skew_ps: float
+    clr_ps: float
+    max_latency_ps: float
+    worst_slew_ps: float
+    total_capacitance_fF: float
+    capacitance_utilization: Optional[float]
+    wirelength_um: float
+    buffer_count: int
+    evaluations: int
+    elapsed_s: float
+
+    @classmethod
+    def from_report(
+        cls,
+        stage: str,
+        tree: ClockTree,
+        report: EvaluationReport,
+        elapsed_s: float,
+    ) -> "StageRecord":
+        return cls(
+            stage=stage,
+            skew_ps=report.skew,
+            clr_ps=report.clr,
+            max_latency_ps=report.max_latency,
+            worst_slew_ps=report.worst_slew,
+            total_capacitance_fF=report.total_capacitance,
+            capacitance_utilization=report.capacitance_utilization,
+            wirelength_um=report.wirelength,
+            buffer_count=tree.buffer_count(),
+            evaluations=report.evaluation_index,
+            elapsed_s=elapsed_s,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "stage": self.stage,
+            "skew_ps": self.skew_ps,
+            "clr_ps": self.clr_ps,
+            "max_latency_ps": self.max_latency_ps,
+            "worst_slew_ps": self.worst_slew_ps,
+            "total_capacitance_fF": self.total_capacitance_fF,
+            "capacitance_utilization": self.capacitance_utilization,
+            "wirelength_um": self.wirelength_um,
+            "buffer_count": self.buffer_count,
+            "evaluations": self.evaluations,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class FlowResult:
+    """Complete outcome of one Contango (or baseline) synthesis run."""
+
+    instance_name: str
+    flow_name: str
+    tree: ClockTree
+    final_report: EvaluationReport
+    stages: List[StageRecord] = field(default_factory=list)
+    pass_results: Dict[str, PassResult] = field(default_factory=dict)
+    chosen_buffer: Optional[str] = None
+    inverted_sinks: int = 0
+    polarity_inverters_added: int = 0
+    obstacle_detours: int = 0
+    total_evaluations: int = 0
+    runtime_s: float = 0.0
+
+    @property
+    def skew(self) -> float:
+        return self.final_report.skew
+
+    @property
+    def clr(self) -> float:
+        return self.final_report.clr
+
+    @property
+    def capacitance_utilization(self) -> Optional[float]:
+        return self.final_report.capacitance_utilization
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.stage == name:
+                return record
+        raise KeyError(f"no stage named {name!r} in flow result")
+
+    def stage_table(self) -> List[Dict[str, float]]:
+        """Per-stage rows in Table III format."""
+        return [record.as_dict() for record in self.stages]
+
+    def summary(self) -> Dict[str, float]:
+        """Single-row summary in Table IV format."""
+        return {
+            "instance": self.instance_name,
+            "flow": self.flow_name,
+            "clr_ps": self.clr,
+            "skew_ps": self.skew,
+            "max_latency_ps": self.final_report.max_latency,
+            "capacitance_utilization": self.capacitance_utilization,
+            "total_capacitance_fF": self.final_report.total_capacitance,
+            "wirelength_um": self.final_report.wirelength,
+            "slew_violations": len(self.final_report.slew_violations),
+            "evaluations": self.total_evaluations,
+            "runtime_s": self.runtime_s,
+        }

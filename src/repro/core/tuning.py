@@ -1,0 +1,397 @@
+"""Shared machinery for the SPICE-driven tuning passes.
+
+Every Contango optimization pass follows the same Improvement- &
+Violation-Checking (IVC) discipline from Figure 1 of the paper:
+
+1. snapshot the current solution,
+2. apply a batch of tuning moves sized by the slack budgets,
+3. re-evaluate the network (one CNE = one "SPICE run"),
+4. keep the change only if the objective improved and no slew violation
+   appeared; otherwise roll back and stop.
+
+This module holds the pieces those passes share:
+
+* :class:`PassResult` -- the per-pass outcome record,
+* :func:`objective_value` -- the scalar objectives (skew / CLR / combined),
+* :class:`SlewBudget` -- per-stage slew headroom bookkeeping, so that a batch
+  of slow-down moves cannot jointly push a stage past the slew limit,
+* the calibrated wire-delay models of Sections IV-E/IV-F: the impact of
+  downsizing or snaking an edge is predicted analytically from the edge's
+  stage-local downstream capacitance and then scaled by a correction factor
+  measured with a single evaluation of a few independently perturbed mid-tree
+  edges (the paper's ``Tws`` / ``Twn`` calibration runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.analysis.units import OHM_FF_TO_PS
+from repro.cts.tree import ClockTree
+from repro.cts.wirelib import WireLibrary
+
+__all__ = [
+    "PassResult",
+    "SlewBudget",
+    "DownsizeModel",
+    "SnakeModel",
+    "objective_value",
+    "select_independent_middle_edges",
+    "stage_local_downstream_capacitance",
+    "stage_slew_headroom",
+    "calibrate_downsize_model",
+    "calibrate_snake_model",
+]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one optimization pass."""
+
+    name: str
+    improved: bool
+    rounds: int
+    edges_changed: int
+    initial: Dict[str, float]
+    final: Dict[str, float]
+    evaluations_used: int
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def skew_reduction(self) -> float:
+        return self.initial.get("skew_ps", 0.0) - self.final.get("skew_ps", 0.0)
+
+    @property
+    def clr_reduction(self) -> float:
+        return self.initial.get("clr_ps", 0.0) - self.final.get("clr_ps", 0.0)
+
+
+def objective_value(report: EvaluationReport, objective: str) -> float:
+    """Scalar objective extracted from an evaluation report.
+
+    ``"skew"`` and ``"clr"`` select the respective metric; ``"combined"``
+    weighs CLR with the nominal skew, which is useful for acceptance tests of
+    passes that should improve one without wrecking the other.
+    """
+    if objective == "skew":
+        return report.skew
+    if objective == "clr":
+        return report.clr
+    if objective == "combined":
+        return report.clr + report.skew
+    raise ValueError(f"unknown objective {objective!r}")
+
+
+# ----------------------------------------------------------------------
+# Stage-local capacitance and slew headroom
+# ----------------------------------------------------------------------
+def stage_local_downstream_capacitance(tree: ClockTree) -> Dict[int, float]:
+    """Capacitance seen by extra resistance inserted into each edge.
+
+    For the edge above node ``v`` this is half of the edge's own wire
+    capacitance plus everything hanging below ``v`` *within the same buffer
+    stage*: downstream wire, sink pins, and the input pins of the next-stage
+    buffers.  Buffers isolate their subtrees, so capacitance beyond them does
+    not load the edge.
+    """
+    caps: Dict[int, float] = {}
+    for node in tree.postorder():
+        local = tree.node_load_capacitance(node.node_id)
+        local += 0.5 * tree.edge_capacitance(node.node_id)
+        if not node.has_buffer:
+            for child in node.children:
+                local += caps[child] + 0.5 * tree.edge_capacitance(child)
+        caps[node.node_id] = local
+    return caps
+
+
+class SlewBudget:
+    """Per-stage slew headroom bookkeeping for slow-down tuning moves.
+
+    Slowing an edge down (narrower wire, snaking) degrades the transition at
+    every tap of the *stage* containing that edge, so a tuning move is only
+    safe while the stage's worst tap slew stays comfortably below the limit.
+    The budget starts at ``slew_limit - worst tap slew of the stage`` (worst
+    over corners and transitions) and every accepted move consumes an estimate
+    of its slew impact, so several edges of the same stage cannot jointly blow
+    the limit even though each one individually would fit.
+    """
+
+    #: conversion from added stage delay (ps) to added tap slew (ps); a
+    #: single-pole stage has slew = ln(9) * tau, so the ratio is ~2.2.
+    DELAY_TO_SLEW = 2.2
+
+    def __init__(self, edge_to_stage: Dict[int, int], headroom: Dict[int, float]) -> None:
+        self._edge_to_stage = edge_to_stage
+        self._headroom = headroom
+
+    def available(self, edge_id: int) -> float:
+        """Remaining slew headroom (ps) of the stage containing ``edge_id``."""
+        stage = self._edge_to_stage.get(edge_id)
+        if stage is None:
+            return float("inf")
+        return self._headroom[stage]
+
+    def allows_delay(self, edge_id: int, added_delay: float, guard: float = 1.6) -> bool:
+        """True when slowing ``edge_id`` by ``added_delay`` ps keeps its stage safe."""
+        return self.available(edge_id) >= guard * self.DELAY_TO_SLEW * added_delay
+
+    def consume_delay(self, edge_id: int, added_delay: float) -> None:
+        """Charge the stage of ``edge_id`` for a move adding ``added_delay`` ps."""
+        stage = self._edge_to_stage.get(edge_id)
+        if stage is None:
+            return
+        self._headroom[stage] -= self.DELAY_TO_SLEW * added_delay
+
+    def max_delay(self, edge_id: int, guard: float = 1.6) -> float:
+        """Largest added delay (ps) the stage of ``edge_id`` can still absorb."""
+        available = self.available(edge_id)
+        if available == float("inf"):
+            return float("inf")
+        return max(available / (guard * self.DELAY_TO_SLEW), 0.0)
+
+
+def stage_slew_headroom(tree: ClockTree, report: EvaluationReport) -> SlewBudget:
+    """Build the :class:`SlewBudget` of ``tree`` from an evaluation report."""
+    from repro.analysis.rcnetwork import extract_stages  # local import to avoid cycles
+
+    edge_to_stage: Dict[int, int] = {}
+    headroom: Dict[int, float] = {}
+    for stage_index, stage in enumerate(extract_stages(tree)):
+        worst = 0.0
+        for timing in report.corners.values():
+            for tap in stage.taps:
+                per_tap = timing.tap_slew.get(tap)
+                if per_tap:
+                    worst = max(worst, max(per_tap.values()))
+        headroom[stage_index] = report.slew_limit - worst
+        for edge in stage.edges:
+            edge_to_stage[edge] = stage_index
+    return SlewBudget(edge_to_stage, headroom)
+
+
+# ----------------------------------------------------------------------
+# Calibrated wire-delay models (Tws / Twn)
+# ----------------------------------------------------------------------
+@dataclass
+class DownsizeModel:
+    """Predicts the latency impact of switching one edge to a narrower wire."""
+
+    calibration: float
+    stage_cap: Dict[int, float]
+
+    def refresh(self, tree: ClockTree) -> None:
+        """Recompute the stage-local loads after the tree has been edited."""
+        self.stage_cap = stage_local_downstream_capacitance(tree)
+
+    def predicted_delay(self, tree: ClockTree, wirelib: WireLibrary, node_id: int) -> float:
+        """Estimated worst-sink latency increase (ps) of downsizing the edge."""
+        node = tree.node(node_id)
+        if node.wire_type is None or not wirelib.can_downsize(node.wire_type):
+            return 0.0
+        narrower = wirelib.narrower(node.wire_type)
+        delta_res = (narrower.unit_resistance - node.wire_type.unit_resistance) * node.edge_length()
+        load = self.stage_cap.get(node_id, 0.0)
+        return self.calibration * delta_res * load * OHM_FF_TO_PS
+
+
+@dataclass
+class SnakeModel:
+    """Predicts the latency impact of adding snaking wirelength to an edge."""
+
+    calibration: float
+    stage_cap: Dict[int, float]
+
+    def refresh(self, tree: ClockTree) -> None:
+        self.stage_cap = stage_local_downstream_capacitance(tree)
+
+    def delay_for_length(self, tree: ClockTree, node_id: int, extra_length: float) -> float:
+        """Estimated latency increase (ps) of snaking the edge by ``extra_length`` um."""
+        wire = tree.node(node_id).wire_type
+        if wire is None or extra_length <= 0.0:
+            return 0.0
+        load = self.stage_cap.get(node_id, 0.0)
+        raw = wire.unit_resistance * extra_length * (
+            wire.unit_capacitance * extra_length / 2.0 + load
+        ) * OHM_FF_TO_PS
+        return self.calibration * raw
+
+    def length_for_delay(self, tree: ClockTree, node_id: int, delay_budget: float) -> float:
+        """Largest snake length (um) whose predicted delay fits in ``delay_budget`` ps."""
+        wire = tree.node(node_id).wire_type
+        if wire is None or delay_budget <= 0.0 or self.calibration <= 0.0:
+            return 0.0
+        load = self.stage_cap.get(node_id, 0.0)
+        a = self.calibration * wire.unit_resistance * wire.unit_capacitance / 2.0 * OHM_FF_TO_PS
+        b = self.calibration * wire.unit_resistance * load * OHM_FF_TO_PS
+        if a <= 0.0:
+            return delay_budget / b if b > 0.0 else 0.0
+        disc = b * b + 4.0 * a * delay_budget
+        return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+def select_independent_middle_edges(tree: ClockTree, count: int = 5) -> List[int]:
+    """Pick up to ``count`` long, mutually independent edges mid-way down the tree.
+
+    "Independent" means no selected edge lies in the subtree of another, so a
+    single evaluation of the tree with all of them perturbed measures each
+    perturbation's effect on disjoint sink sets.  Mid-depth edges are chosen
+    because the paper calibrates its linear model on "several independent wire
+    segments in the middle of the tree".
+    """
+    depths: Dict[int, int] = {tree.root_id: 0}
+    max_depth = 0
+    for node in tree.preorder():
+        if node.parent is not None:
+            depths[node.node_id] = depths[node.parent] + 1
+            max_depth = max(max_depth, depths[node.node_id])
+    if max_depth == 0:
+        return []
+    target_depth = max(1, max_depth // 2)
+
+    candidates = [
+        node
+        for node in tree.nodes()
+        if node.parent is not None
+        and abs(depths[node.node_id] - target_depth) <= 1
+        and node.edge_length() > 0.0
+    ]
+    candidates.sort(key=lambda n: -n.edge_length())
+
+    chosen: List[int] = []
+    blocked: set = set()
+    for node in candidates:
+        if node.node_id in blocked:
+            continue
+        chosen.append(node.node_id)
+        blocked.update(tree.subtree_node_ids(node.node_id))
+        # Ancestors of a chosen edge are also excluded to preserve independence.
+        current = node.parent
+        while current is not None:
+            blocked.add(current)
+            current = tree.node(current).parent
+        if len(chosen) >= count:
+            break
+    return chosen
+
+
+def _max_latency_increase(
+    baseline: EvaluationReport,
+    perturbed: EvaluationReport,
+    sink_ids: Sequence[int],
+    corner: Optional[str] = None,
+) -> float:
+    """Largest per-sink latency increase (over rise and fall) among ``sink_ids``."""
+    corner_name = corner or baseline.fast_corner
+    base = baseline.corners[corner_name].latency
+    new = perturbed.corners[corner_name].latency
+    worst = 0.0
+    for sink_id in sink_ids:
+        for transition in ("rise", "fall"):
+            worst = max(worst, new[sink_id][transition] - base[sink_id][transition])
+    return worst
+
+
+def _calibration_factor(ratios: List[float]) -> float:
+    """Aggregate measured/analytic ratios into one conservative factor.
+
+    The maximum ratio is used (a conservative model slows fewer edges per
+    round, which the IVC loop then extends over more rounds), clamped to a
+    sane band so a single noisy probe cannot freeze or explode the model.
+    """
+    if not ratios:
+        return 1.0
+    return min(max(max(ratios), 0.25), 3.0)
+
+
+def calibrate_downsize_model(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    wirelib: WireLibrary,
+    baseline: EvaluationReport,
+    sample_edges: int = 5,
+    edge_ids: Optional[Sequence[int]] = None,
+) -> Optional[DownsizeModel]:
+    """Calibrate the wiresizing impact model with one probe evaluation.
+
+    Up to ``sample_edges`` independent mid-tree edges (or the explicitly
+    supplied ``edge_ids``) are downsized on a clone of the tree; a single
+    evaluation then measures each edge's worst downstream latency increase,
+    and the ratio to the analytic prediction becomes the model's calibration
+    factor.  Returns None when no probe edge can be downsized.
+    """
+    stage_cap = stage_local_downstream_capacitance(tree)
+    model = DownsizeModel(calibration=1.0, stage_cap=stage_cap)
+    probe_ids = (
+        list(edge_ids)
+        if edge_ids is not None
+        else select_independent_middle_edges(tree, count=sample_edges)
+    )
+    edges = [
+        node_id
+        for node_id in probe_ids
+        if tree.node(node_id).wire_type is not None
+        and wirelib.can_downsize(tree.node(node_id).wire_type)
+        and tree.node(node_id).edge_length() > 0.0
+    ]
+    if not edges:
+        return None
+    probe = tree.clone()
+    for node_id in edges:
+        probe.set_wire_type(node_id, wirelib.narrower(probe.node(node_id).wire_type))
+    perturbed = evaluator.evaluate(probe)
+    downstream = tree.downstream_sinks_map()
+    ratios: List[float] = []
+    for node_id in edges:
+        analytic = model.predicted_delay(tree, wirelib, node_id)
+        if analytic <= 0.0:
+            continue
+        measured = _max_latency_increase(baseline, perturbed, downstream[node_id])
+        ratios.append(measured / analytic)
+    model.calibration = _calibration_factor(ratios)
+    return model
+
+
+def calibrate_snake_model(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    baseline: EvaluationReport,
+    unit_length: float,
+    sample_edges: int = 5,
+    edge_ids: Optional[Sequence[int]] = None,
+) -> Optional[SnakeModel]:
+    """Calibrate the wiresnaking impact model with one probe evaluation.
+
+    Analogous to :func:`calibrate_downsize_model`: the probe edges receive one
+    snaking unit of ``unit_length`` micrometres each and the measured latency
+    increases calibrate the analytic model.
+    """
+    if unit_length <= 0.0:
+        raise ValueError("unit_length must be positive")
+    stage_cap = stage_local_downstream_capacitance(tree)
+    model = SnakeModel(calibration=1.0, stage_cap=stage_cap)
+    edges = (
+        list(edge_ids)
+        if edge_ids is not None
+        else select_independent_middle_edges(tree, count=sample_edges)
+    )
+    edges = [e for e in edges if tree.node(e).wire_type is not None]
+    if not edges:
+        return None
+    probe = tree.clone()
+    for node_id in edges:
+        probe.add_snake(node_id, unit_length)
+    perturbed = evaluator.evaluate(probe)
+    downstream = tree.downstream_sinks_map()
+    ratios: List[float] = []
+    for node_id in edges:
+        analytic = model.delay_for_length(tree, node_id, unit_length)
+        if analytic <= 0.0:
+            continue
+        measured = _max_latency_increase(baseline, perturbed, downstream[node_id])
+        ratios.append(measured / analytic)
+    model.calibration = _calibration_factor(ratios)
+    return model

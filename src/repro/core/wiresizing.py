@@ -1,0 +1,176 @@
+"""Iterative top-down wiresizing (Section IV-E, Algorithm 1 of the paper).
+
+Wiresizing reduces skew by *slowing down* the fast parts of the tree: an edge
+whose downstream sinks all have slow-down slack can be switched to a narrower
+(higher-resistance) wire without increasing skew.  The pass works top-down so
+that a single edit high in the tree retires the slack of a whole cluster of
+fast sinks with the smallest possible number of modifications; the running
+``RSlack`` budget carried down each path guarantees that slack is never spent
+twice on the same root-to-sink path (Algorithm 1).
+
+The effect of downsizing is predicted with the calibrated linear model
+``delta_delay ~= Tws * length`` (one evaluation measures ``Tws``), and every
+round ends with a full re-evaluation that either accepts or rolls back the
+batch (the IVC step).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.slack import annotate_tree_slacks
+from repro.core.tuning import (
+    PassResult,
+    calibrate_downsize_model,
+    objective_value,
+    stage_slew_headroom,
+)
+from repro.cts.tree import ClockTree
+from repro.cts.wirelib import WireLibrary
+
+__all__ = ["top_down_wiresizing"]
+
+
+def top_down_wiresizing(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    wirelib: WireLibrary,
+    baseline: Optional[EvaluationReport] = None,
+    objective: str = "skew",
+    corners: Optional[Sequence[str]] = None,
+    max_rounds: int = 20,
+    safety: float = 0.9,
+    min_edge_length: float = 10.0,
+) -> PassResult:
+    """Run iterative top-down wiresizing on ``tree`` in place.
+
+    Parameters
+    ----------
+    baseline:
+        Evaluation of the incoming tree; re-evaluated here when omitted.
+    objective:
+        ``"skew"`` (default), ``"clr"`` or ``"combined"`` -- the metric that
+        must improve for a round to be accepted.
+    corners:
+        Corner names used for slack computation; default is the nominal
+        (fast) corner only, matching the paper's nominal-skew phase.
+    safety:
+        Fraction of the available slack the linear model is allowed to spend,
+        guarding against model error.
+    """
+    evals_before = evaluator.run_count
+    report = baseline if baseline is not None else evaluator.evaluate(tree)
+    initial_summary = report.summary()
+    result = PassResult(
+        name="top_down_wiresizing",
+        improved=False,
+        rounds=0,
+        edges_changed=0,
+        initial=initial_summary,
+        final=initial_summary,
+        evaluations_used=0,
+    )
+
+    model = calibrate_downsize_model(tree, evaluator, wirelib, report)
+    if model is None:
+        result.notes.append("no downsizable edges to calibrate the impact model on")
+        result.evaluations_used = evaluator.run_count - evals_before
+        return result
+
+    best_objective = objective_value(report, objective)
+    rejections = 0
+    for _ in range(max_rounds):
+        annotation = annotate_tree_slacks(tree, report, corners=corners)
+        headroom = stage_slew_headroom(tree, report)
+        model.refresh(tree)
+        snapshot = tree.clone()
+        changed = _downsize_round(
+            tree,
+            wirelib,
+            annotation.edge_slow,
+            headroom,
+            model,
+            safety,
+            min_edge_length,
+        )
+        if changed == 0:
+            result.notes.append("no edge had enough slack to absorb a downsizing")
+            break
+        candidate_report = evaluator.evaluate(tree)
+        candidate_objective = objective_value(candidate_report, objective)
+        rejected_reason = None
+        if candidate_report.has_slew_violation:
+            rejected_reason = "slew violation"
+        elif not candidate_report.within_capacitance_limit:
+            rejected_reason = "capacitance limit exceeded"
+        elif candidate_objective >= best_objective:
+            rejected_reason = "no improvement"
+        if rejected_reason is not None:
+            # Roll back and retry with a smaller move budget: a rejected batch
+            # usually means the linear model overreached, not that no
+            # improving move exists (the paper simply moves on; retrying at
+            # lower aggressiveness recovers part of the head-room instead).
+            tree.copy_state_from(snapshot)
+            result.notes.append("round rejected: " + rejected_reason)
+            rejections += 1
+            safety *= 0.5
+            if rejections >= 3:
+                break
+            continue
+        rejections = 0
+        report = candidate_report
+        best_objective = candidate_objective
+        result.rounds += 1
+        result.edges_changed += changed
+        result.improved = True
+
+    result.final = report.summary()
+    result.evaluations_used = evaluator.run_count - evals_before
+    return result
+
+
+def _downsize_round(
+    tree: ClockTree,
+    wirelib: WireLibrary,
+    edge_slow_slack,
+    slew_headroom,
+    model,
+    safety: float,
+    min_edge_length: float,
+) -> int:
+    """One top-down sweep of Algorithm 1; returns the number of edges downsized.
+
+    An edge is only downsized when (a) its slow-down slack minus the slack
+    already consumed on the path covers the predicted delay increase, and
+    (b) the stage containing the edge still has slew headroom for the slower
+    transition.  The headroom is *consumed* per accepted move, so several
+    edges of the same stage cannot jointly push a tap past the slew limit.
+    """
+    changed = 0
+    queue = deque((child, 0.0) for child in tree.root.children)
+    while queue:
+        node_id, consumed = queue.popleft()
+        node = tree.node(node_id)
+        slack = edge_slow_slack.get(node_id)
+        length = node.edge_length()
+        if (
+            slack is not None
+            and length >= min_edge_length
+            and node.wire_type is not None
+            and wirelib.can_downsize(node.wire_type)
+        ):
+            predicted = model.predicted_delay(tree, wirelib, node_id)
+            if (
+                predicted > 0.0
+                and safety * slack - consumed > predicted
+                and slew_headroom.allows_delay(node_id, predicted)
+            ):
+                tree.set_wire_type(node_id, wirelib.narrower(node.wire_type))
+                slew_headroom.consume_delay(node_id, predicted)
+                consumed += predicted
+                changed += 1
+        for child in node.children:
+            queue.append((child, consumed))
+    return changed

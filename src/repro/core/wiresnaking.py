@@ -1,0 +1,155 @@
+"""Iterative top-down wiresnaking (Section IV-F of the paper).
+
+Wiresnaking adds serpentine wirelength to edges whose downstream sinks have
+slow-down slack.  It is finer-grained than wiresizing -- any amount of extra
+delay can be dialled in by choosing the snake length -- and is therefore run
+*after* wiresizing, when the remaining skew is small.  The snake length is
+quantized to multiples of the calibration unit ``lwn``; the worst-case delay
+of one unit (``Twn``) is measured with a single evaluation, and smaller units
+give a more accurate (but slower-converging) pass, exactly as discussed in
+the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.slack import annotate_tree_slacks
+from repro.core.tuning import (
+    PassResult,
+    calibrate_snake_model,
+    objective_value,
+    stage_slew_headroom,
+)
+from repro.cts.tree import ClockTree
+
+__all__ = ["top_down_wiresnaking"]
+
+
+def top_down_wiresnaking(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    baseline: Optional[EvaluationReport] = None,
+    objective: str = "skew",
+    corners: Optional[Sequence[str]] = None,
+    unit_length: float = 20.0,
+    max_units_per_edge: int = 50,
+    max_rounds: int = 20,
+    safety: float = 0.9,
+) -> PassResult:
+    """Run iterative top-down wiresnaking on ``tree`` in place.
+
+    ``unit_length`` is the paper's ``lwn`` parameter (um of snake per unit);
+    ``max_units_per_edge`` caps how much snake a single edge may receive per
+    round, which keeps each round inside the linear-model trust region.
+    """
+    if unit_length <= 0.0:
+        raise ValueError("unit_length must be positive")
+    evals_before = evaluator.run_count
+    report = baseline if baseline is not None else evaluator.evaluate(tree)
+    initial_summary = report.summary()
+    result = PassResult(
+        name="top_down_wiresnaking",
+        improved=False,
+        rounds=0,
+        edges_changed=0,
+        initial=initial_summary,
+        final=initial_summary,
+        evaluations_used=0,
+    )
+
+    model = calibrate_snake_model(tree, evaluator, report, unit_length)
+    if model is None:
+        result.notes.append("snake impact model could not be calibrated")
+        result.evaluations_used = evaluator.run_count - evals_before
+        return result
+
+    best_objective = objective_value(report, objective)
+    rejections = 0
+    for _ in range(max_rounds):
+        annotation = annotate_tree_slacks(tree, report, corners=corners)
+        headroom = stage_slew_headroom(tree, report)
+        model.refresh(tree)
+        snapshot = tree.clone()
+        changed = _snake_round(
+            tree,
+            annotation.edge_slow,
+            headroom,
+            model,
+            unit_length,
+            max_units_per_edge,
+            safety,
+        )
+        if changed == 0:
+            result.notes.append("no edge had a full snaking unit of slack left")
+            break
+        candidate_report = evaluator.evaluate(tree)
+        candidate_objective = objective_value(candidate_report, objective)
+        rejected_reason = None
+        if candidate_report.has_slew_violation:
+            rejected_reason = "slew violation"
+        elif not candidate_report.within_capacitance_limit:
+            rejected_reason = "capacitance limit exceeded"
+        elif candidate_objective >= best_objective:
+            rejected_reason = "no improvement"
+        if rejected_reason is not None:
+            # Roll back and retry with a smaller move budget: a rejected batch
+            # usually means the linear model overreached, not that no
+            # improving move exists (the paper simply moves on; retrying at
+            # lower aggressiveness recovers part of the head-room instead).
+            tree.copy_state_from(snapshot)
+            result.notes.append("round rejected: " + rejected_reason)
+            rejections += 1
+            safety *= 0.5
+            if rejections >= 3:
+                break
+            continue
+        rejections = 0
+        report = candidate_report
+        best_objective = candidate_objective
+        result.rounds += 1
+        result.edges_changed += changed
+        result.improved = True
+
+    result.final = report.summary()
+    result.evaluations_used = evaluator.run_count - evals_before
+    return result
+
+
+def _snake_round(
+    tree: ClockTree,
+    edge_slow_slack,
+    slew_headroom,
+    model,
+    unit_length: float,
+    max_units_per_edge: int,
+    safety: float,
+) -> int:
+    """One top-down snaking sweep; returns the number of edges snaked.
+
+    The snake on each edge is bounded both by the remaining slow-down slack on
+    the path (skew safety) and by the slew headroom of the edge's stage (a
+    snaked wire transitions more slowly at its taps).
+    """
+    changed = 0
+    queue = deque((child, 0.0) for child in tree.root.children)
+    while queue:
+        node_id, consumed = queue.popleft()
+        node = tree.node(node_id)
+        slack = edge_slow_slack.get(node_id)
+        if slack is not None and node.parent is not None:
+            budget = min(safety * slack - consumed, slew_headroom.max_delay(node_id))
+            max_length = model.length_for_delay(tree, node_id, budget)
+            units = min(int(max_length // unit_length), max_units_per_edge)
+            if units > 0:
+                extra = units * unit_length
+                predicted = model.delay_for_length(tree, node_id, extra)
+                tree.add_snake(node_id, extra)
+                slew_headroom.consume_delay(node_id, predicted)
+                consumed += predicted
+                changed += 1
+        for child in node.children:
+            queue.append((child, consumed))
+    return changed

@@ -1,0 +1,38 @@
+"""Clock-tree construction substrate: data model, libraries, topology, DME.
+
+This package contains everything needed to go from a list of sinks and
+obstacles to an initial routed (but not yet optimized) clock tree:
+
+* :mod:`repro.cts.tree` -- the mutable :class:`ClockTree` data model,
+* :mod:`repro.cts.wirelib` / :mod:`repro.cts.bufferlib` -- technology data,
+* :mod:`repro.cts.topology` -- sink-pairing topology generation,
+* :mod:`repro.cts.dme` -- zero-skew deferred-merge embedding,
+* :mod:`repro.cts.bst` -- the bounded-skew generalization,
+* :mod:`repro.cts.obstacle_avoid` -- obstacle-violation repair and detouring.
+"""
+
+from repro.cts.tree import ClockTree, NodeKind, Sink, TreeNode, TreeValidationError
+from repro.cts.wirelib import WireLibrary, WireType, ispd09_wire_library
+from repro.cts.bufferlib import (
+    BufferLibrary,
+    BufferType,
+    ISPD09_LARGE_INVERTER,
+    ISPD09_SMALL_INVERTER,
+    ispd09_buffer_library,
+)
+
+__all__ = [
+    "ClockTree",
+    "NodeKind",
+    "Sink",
+    "TreeNode",
+    "TreeValidationError",
+    "WireLibrary",
+    "WireType",
+    "ispd09_wire_library",
+    "BufferLibrary",
+    "BufferType",
+    "ISPD09_LARGE_INVERTER",
+    "ISPD09_SMALL_INVERTER",
+    "ispd09_buffer_library",
+]

@@ -1,0 +1,537 @@
+"""The clock-tree data model shared by construction, optimization and analysis.
+
+A :class:`ClockTree` is a rooted tree.  Every node has a planar position; the
+edge between a node and its parent carries a rectilinear route, a wire type,
+and an optional *snake length* (extra wirelength added by wiresnaking or by
+obstacle detours).  A node may additionally hold a buffer/inverter that drives
+its entire downstream subtree, and leaf nodes hold sink loads.
+
+The structure is deliberately mutable: Contango's optimization passes edit
+wire types, snake lengths and buffers in place, snapshot the tree with
+:meth:`ClockTree.clone` before risky changes, and roll back when a SPICE-style
+evaluation reports a regression or a slew violation.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cts.bufferlib import BufferType
+from repro.cts.wirelib import WireType
+from repro.geometry.point import Point
+
+__all__ = ["NodeKind", "Sink", "TreeNode", "ClockTree", "TreeValidationError"]
+
+
+class TreeValidationError(RuntimeError):
+    """Raised by :meth:`ClockTree.validate` when a structural invariant is broken."""
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the clock tree."""
+
+    SOURCE = "source"
+    INTERNAL = "internal"
+    SINK = "sink"
+
+
+@dataclass(frozen=True)
+class Sink:
+    """A clock sink (flip-flop clock pin or pre-designed block clock port)."""
+
+    name: str
+    capacitance: float
+    required_polarity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError(f"sink {self.name}: capacitance must be positive")
+        if self.required_polarity not in (0, 1):
+            raise ValueError(f"sink {self.name}: polarity must be 0 or 1")
+
+
+@dataclass
+class TreeNode:
+    """A single clock-tree node together with the edge from its parent.
+
+    Edge attributes (``route``, ``wire_type``, ``snake_length``) describe the
+    wire from ``parent`` to this node and are meaningless for the root.
+    """
+
+    node_id: int
+    position: Point
+    kind: NodeKind
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    sink: Optional[Sink] = None
+    buffer: Optional[BufferType] = None
+    route: List[Point] = field(default_factory=list)
+    wire_type: Optional[WireType] = None
+    snake_length: float = 0.0
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind is NodeKind.SINK
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is NodeKind.SOURCE
+
+    @property
+    def has_buffer(self) -> bool:
+        return self.buffer is not None
+
+    def route_length(self) -> float:
+        """Manhattan length of the routed wire from the parent (without snaking)."""
+        if len(self.route) < 2:
+            return 0.0
+        return sum(a.manhattan_to(b) for a, b in zip(self.route, self.route[1:]))
+
+    def edge_length(self) -> float:
+        """Total electrical wirelength of the parent edge including snaking."""
+        return self.route_length() + self.snake_length
+
+
+class ClockTree:
+    """A buffered, routed clock tree.
+
+    Parameters
+    ----------
+    source_position:
+        Location of the clock entry point (usually on the die boundary).
+    source_resistance:
+        Output resistance of the clock source driver, in ohm.
+    default_wire:
+        Wire type assigned to edges created without an explicit type.
+    """
+
+    def __init__(
+        self,
+        source_position: Point,
+        source_resistance: float = 100.0,
+        default_wire: Optional[WireType] = None,
+    ) -> None:
+        if source_resistance <= 0.0:
+            raise ValueError("source resistance must be positive")
+        self._nodes: Dict[int, TreeNode] = {}
+        self._next_id = 0
+        self._default_wire = default_wire
+        self.source_resistance = source_resistance
+        self.root_id = self._new_node(source_position, NodeKind.SOURCE, parent=None)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new_node(
+        self, position: Point, kind: NodeKind, parent: Optional[int]
+    ) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = TreeNode(node_id=node_id, position=position, kind=kind, parent=parent)
+        return node_id
+
+    def add_internal(
+        self,
+        parent_id: int,
+        position: Point,
+        route: Optional[Sequence[Point]] = None,
+        wire_type: Optional[WireType] = None,
+    ) -> int:
+        """Add an internal (branch/steiner/buffer-site) node under ``parent_id``."""
+        return self._add_child(parent_id, position, NodeKind.INTERNAL, None, route, wire_type)
+
+    def add_sink(
+        self,
+        parent_id: int,
+        position: Point,
+        sink: Sink,
+        route: Optional[Sequence[Point]] = None,
+        wire_type: Optional[WireType] = None,
+    ) -> int:
+        """Add a sink leaf under ``parent_id``."""
+        return self._add_child(parent_id, position, NodeKind.SINK, sink, route, wire_type)
+
+    def _add_child(
+        self,
+        parent_id: int,
+        position: Point,
+        kind: NodeKind,
+        sink: Optional[Sink],
+        route: Optional[Sequence[Point]],
+        wire_type: Optional[WireType],
+    ) -> int:
+        parent = self.node(parent_id)
+        if parent.is_sink:
+            raise ValueError(f"cannot attach children to sink node {parent_id}")
+        node_id = self._new_node(position, kind, parent=parent_id)
+        node = self._nodes[node_id]
+        node.sink = sink
+        node.wire_type = wire_type if wire_type is not None else self._default_wire
+        node.route = list(route) if route else [parent.position, position]
+        self._check_route(node)
+        parent.children.append(node_id)
+        return node_id
+
+    def _check_route(self, node: TreeNode) -> None:
+        parent = self.node(node.parent) if node.parent is not None else None
+        if parent is None:
+            return
+        if len(node.route) < 2:
+            node.route = [parent.position, node.position]
+        if not node.route[0].is_close(parent.position, tol=1e-6):
+            raise ValueError(
+                f"edge route of node {node.node_id} must start at the parent position"
+            )
+        if not node.route[-1].is_close(node.position, tol=1e-6):
+            raise ValueError(
+                f"edge route of node {node.node_id} must end at the node position"
+            )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> TreeNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    @property
+    def root(self) -> TreeNode:
+        return self._nodes[self.root_id]
+
+    @property
+    def default_wire(self) -> Optional[WireType]:
+        return self._default_wire
+
+    def nodes(self) -> Iterator[TreeNode]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes.keys())
+
+    def sinks(self) -> List[TreeNode]:
+        """All sink nodes, in insertion order."""
+        return [n for n in self._nodes.values() if n.is_sink]
+
+    def buffers(self) -> List[TreeNode]:
+        """All nodes carrying a buffer/inverter."""
+        return [n for n in self._nodes.values() if n.has_buffer]
+
+    def children_of(self, node_id: int) -> List[TreeNode]:
+        return [self._nodes[c] for c in self.node(node_id).children]
+
+    def parent_of(self, node_id: int) -> Optional[TreeNode]:
+        parent = self.node(node_id).parent
+        return None if parent is None else self._nodes[parent]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def preorder(self, start: Optional[int] = None) -> Iterator[TreeNode]:
+        """Yield nodes top-down (parent before children)."""
+        stack = [self.root_id if start is None else start]
+        while stack:
+            node_id = stack.pop()
+            node = self._nodes[node_id]
+            yield node
+            stack.extend(reversed(node.children))
+
+    def postorder(self, start: Optional[int] = None) -> Iterator[TreeNode]:
+        """Yield nodes bottom-up (children before parent)."""
+        order: List[int] = []
+        stack = [self.root_id if start is None else start]
+        while stack:
+            node_id = stack.pop()
+            order.append(node_id)
+            stack.extend(self._nodes[node_id].children)
+        for node_id in reversed(order):
+            yield self._nodes[node_id]
+
+    def path_to_root(self, node_id: int) -> List[TreeNode]:
+        """Return the node list from ``node_id`` up to and including the root."""
+        path = []
+        current: Optional[int] = node_id
+        while current is not None:
+            node = self.node(current)
+            path.append(node)
+            current = node.parent
+        return path
+
+    def depth_of(self, node_id: int) -> int:
+        return len(self.path_to_root(node_id)) - 1
+
+    def subtree_node_ids(self, node_id: int) -> List[int]:
+        return [n.node_id for n in self.preorder(node_id)]
+
+    def subtree_sinks(self, node_id: int) -> List[TreeNode]:
+        return [n for n in self.preorder(node_id) if n.is_sink]
+
+    def downstream_sinks_map(self) -> Dict[int, List[int]]:
+        """Map every node id to the ids of its downstream sinks (O(n) total via postorder)."""
+        result: Dict[int, List[int]] = {}
+        for node in self.postorder():
+            if node.is_sink:
+                result[node.node_id] = [node.node_id]
+            else:
+                collected: List[int] = []
+                for child in node.children:
+                    collected.extend(result[child])
+                result[node.node_id] = collected
+        return result
+
+    # ------------------------------------------------------------------
+    # Electrical aggregates
+    # ------------------------------------------------------------------
+    def edge_capacitance(self, node_id: int) -> float:
+        """Capacitance (fF) of the wire on the edge from the parent to ``node_id``."""
+        node = self.node(node_id)
+        if node.parent is None or node.wire_type is None:
+            return 0.0
+        return node.wire_type.capacitance(node.edge_length())
+
+    def edge_resistance(self, node_id: int) -> float:
+        """Resistance (ohm) of the wire on the edge from the parent to ``node_id``."""
+        node = self.node(node_id)
+        if node.parent is None or node.wire_type is None:
+            return 0.0
+        return node.wire_type.resistance(node.edge_length())
+
+    def node_load_capacitance(self, node_id: int) -> float:
+        """Local load at a node: sink cap plus buffer input cap, if any."""
+        node = self.node(node_id)
+        cap = 0.0
+        if node.sink is not None:
+            cap += node.sink.capacitance
+        if node.buffer is not None:
+            cap += node.buffer.input_cap
+        return cap
+
+    def total_wirelength(self) -> float:
+        """Total electrical wirelength (including snaking) in micrometres."""
+        return sum(n.edge_length() for n in self._nodes.values() if n.parent is not None)
+
+    def total_wire_capacitance(self) -> float:
+        return sum(self.edge_capacitance(n.node_id) for n in self._nodes.values())
+
+    def total_buffer_capacitance(self) -> float:
+        """Sum of input+output capacitance over all inserted buffers."""
+        return sum(n.buffer.total_cap for n in self._nodes.values() if n.buffer is not None)
+
+    def total_sink_capacitance(self) -> float:
+        return sum(n.sink.capacitance for n in self.sinks())
+
+    def total_capacitance(self) -> float:
+        """Total switched capacitance: wires + buffers + sinks (the power proxy)."""
+        return (
+            self.total_wire_capacitance()
+            + self.total_buffer_capacitance()
+            + self.total_sink_capacitance()
+        )
+
+    def buffer_count(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.buffer is not None)
+
+    def sink_count(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.is_sink)
+
+    # ------------------------------------------------------------------
+    # Polarity
+    # ------------------------------------------------------------------
+    def node_polarity(self, node_id: int) -> int:
+        """Signal polarity at a node: number of inverting buffers above it, mod 2.
+
+        A buffer placed *at* a node inverts the signal seen by the node's
+        subtree but not by the node's own sink pin, because the buffer drives
+        the downstream wire.  We adopt the convention that a buffer at a node
+        affects everything strictly below that node.
+        """
+        inversions = 0
+        for ancestor in self.path_to_root(node_id)[1:]:
+            if ancestor.buffer is not None and ancestor.buffer.inverting:
+                inversions += 1
+        node = self.node(node_id)
+        # A buffer co-located with the node itself drives the subtree below;
+        # the node's own pin (e.g. a sink) sits at the buffer *input*, so it
+        # is not inverted by it.
+        del node
+        return inversions % 2
+
+    def sink_polarities(self) -> Dict[int, int]:
+        """Polarity of every sink, computed in a single O(n) preorder pass.
+
+        A node's pin sees the polarity arriving from its parent; a buffer
+        placed at the node only inverts the signal leaving toward children.
+        """
+        result: Dict[int, int] = {}
+        post: Dict[int, int] = {}
+        for node in self.preorder():
+            incoming = 0 if node.parent is None else post[node.parent]
+            if node.is_sink:
+                result[node.node_id] = incoming
+            outgoing = incoming
+            if node.buffer is not None and node.buffer.inverting:
+                outgoing = (incoming + 1) % 2
+            post[node.node_id] = outgoing
+        return result
+
+    def wrong_polarity_sinks(self) -> List[TreeNode]:
+        """Sinks whose delivered polarity differs from their required polarity."""
+        polarities = self.sink_polarities()
+        return [
+            n
+            for n in self.sinks()
+            if polarities[n.node_id] != (n.sink.required_polarity if n.sink else 0)
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation helpers for optimization passes
+    # ------------------------------------------------------------------
+    def place_buffer(self, node_id: int, buffer: BufferType) -> None:
+        """Place (or replace) a buffer at a node."""
+        self.node(node_id).buffer = buffer
+
+    def remove_buffer(self, node_id: int) -> None:
+        self.node(node_id).buffer = None
+
+    def set_wire_type(self, node_id: int, wire: WireType) -> None:
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("the root has no parent edge to re-type")
+        node.wire_type = wire
+
+    def add_snake(self, node_id: int, extra_length: float) -> None:
+        """Add snaking wirelength to the edge above ``node_id``."""
+        if extra_length < 0.0:
+            raise ValueError("snake length increment must be non-negative")
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("the root has no parent edge to snake")
+        node.snake_length += extra_length
+
+    def split_edge(self, node_id: int, fraction: float) -> int:
+        """Insert an internal node on the edge above ``node_id``.
+
+        ``fraction`` is measured along the routed wire from the parent
+        (0 < fraction < 1).  The new node becomes the parent of ``node_id``;
+        route, wire type and snaking are divided proportionally.  Returns the
+        new node's id.  This is the primitive used by buffer insertion and by
+        buffer sliding.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be strictly between 0 and 1, got {fraction}")
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("cannot split above the root")
+        parent = self.node(node.parent)
+
+        split_point, upper_route, lower_route = _split_route(node.route, fraction)
+        new_id = self._new_node(split_point, NodeKind.INTERNAL, parent=parent.node_id)
+        new_node = self._nodes[new_id]
+        new_node.wire_type = node.wire_type
+        new_node.route = upper_route
+        new_node.snake_length = node.snake_length * fraction
+        new_node.children = [node_id]
+
+        parent.children[parent.children.index(node_id)] = new_id
+        node.parent = new_id
+        node.route = lower_route
+        node.snake_length = node.snake_length * (1.0 - fraction)
+        return new_id
+
+    def clone(self) -> "ClockTree":
+        """Deep-copy the tree (used to snapshot solutions before risky edits)."""
+        return copy.deepcopy(self)
+
+    def copy_state_from(self, other: "ClockTree") -> None:
+        """Restore this tree's state from a snapshot produced by :meth:`clone`.
+
+        Optimization passes mutate the tree in place and call this to roll
+        back when an evaluation shows a regression or a slew violation, so
+        that callers holding a reference to the tree keep seeing the accepted
+        solution.
+        """
+        self._nodes = copy.deepcopy(other._nodes)
+        self._next_id = other._next_id
+        self._default_wire = other._default_wire
+        self.source_resistance = other.source_resistance
+        self.root_id = other.root_id
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TreeValidationError` on failure."""
+        seen = set()
+        for node in self.preorder():
+            if node.node_id in seen:
+                raise TreeValidationError(f"node {node.node_id} reachable twice (cycle)")
+            seen.add(node.node_id)
+        if seen != set(self._nodes.keys()):
+            orphans = set(self._nodes.keys()) - seen
+            raise TreeValidationError(f"orphan nodes not reachable from root: {sorted(orphans)}")
+        for node in self._nodes.values():
+            if node.parent is None:
+                if node.node_id != self.root_id:
+                    raise TreeValidationError(f"non-root node {node.node_id} has no parent")
+                continue
+            parent = self._nodes.get(node.parent)
+            if parent is None or node.node_id not in parent.children:
+                raise TreeValidationError(
+                    f"parent/child link broken between {node.parent} and {node.node_id}"
+                )
+            if node.wire_type is None:
+                raise TreeValidationError(f"edge above node {node.node_id} has no wire type")
+            if node.snake_length < 0.0:
+                raise TreeValidationError(f"negative snake length at node {node.node_id}")
+            self._check_route(node)
+            if node.is_sink and node.sink is None:
+                raise TreeValidationError(f"sink node {node.node_id} has no sink record")
+            if node.is_sink and node.children:
+                raise TreeValidationError(f"sink node {node.node_id} has children")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Small numeric summary used by reports and logs."""
+        return {
+            "nodes": float(len(self._nodes)),
+            "sinks": float(self.sink_count()),
+            "buffers": float(self.buffer_count()),
+            "wirelength_um": self.total_wirelength(),
+            "total_capacitance_fF": self.total_capacitance(),
+        }
+
+
+def _split_route(
+    route: Sequence[Point], fraction: float
+) -> Tuple[Point, List[Point], List[Point]]:
+    """Split a polyline route at a fractional position along its length."""
+    points = list(route)
+    total = sum(a.manhattan_to(b) for a, b in zip(points, points[1:]))
+    if total <= 0.0:
+        # Degenerate (zero-length) edge: split at the shared point.
+        return points[0], [points[0], points[0]], [points[0], points[-1]]
+    target = total * fraction
+    walked = 0.0
+    for i, (a, b) in enumerate(zip(points, points[1:])):
+        seg_len = a.manhattan_to(b)
+        if walked + seg_len >= target - 1e-12 and seg_len > 0.0:
+            t = (target - walked) / seg_len
+            split = Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+            upper = points[: i + 1] + [split]
+            lower = [split] + points[i + 1 :]
+            return split, upper, lower
+        walked += seg_len
+    split = points[-1]
+    return split, list(points), [split, points[-1]]

@@ -1,0 +1,53 @@
+"""L-shape (one-bend) route enumeration and obstacle-overlap scoring.
+
+Step 1 of Contango's detouring algorithm replaces each point-to-point
+connection that conflicts with an obstacle by the L-shape configuration that
+minimizes overlap with the obstacle.  There are exactly two L-shapes between
+two points that are not axis-aligned (bend at ``(bx, ay)`` or at ``(ax, by)``);
+for axis-aligned points the straight segment is the only "L-shape".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry.obstacles import ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import LShape
+
+__all__ = ["lshape_routes", "best_lshape", "lshape_obstacle_overlap"]
+
+
+def lshape_routes(start: Point, end: Point) -> List[LShape]:
+    """Return the (one or two) L-shape routes between two points."""
+    if start.x == end.x or start.y == end.y:
+        return [LShape(start, start, end)]
+    return [
+        LShape(start, Point(end.x, start.y), end),
+        LShape(start, Point(start.x, end.y), end),
+    ]
+
+
+def lshape_obstacle_overlap(route: LShape, obstacles: Sequence[Rect]) -> float:
+    """Total route length lying strictly inside any of the given rectangles."""
+    return sum(route.overlap_length_with(rect) for rect in obstacles)
+
+
+def best_lshape(
+    start: Point,
+    end: Point,
+    obstacles: Optional[ObstacleSet] = None,
+) -> LShape:
+    """Return the L-shape between ``start`` and ``end`` with least obstacle overlap.
+
+    Ties (including the obstacle-free case) are broken toward the
+    horizontal-first configuration for determinism.
+    """
+    routes = lshape_routes(start, end)
+    if obstacles is None or len(obstacles) == 0 or len(routes) == 1:
+        return routes[0]
+    rects = [o.rect for o in obstacles]
+    scored = [(lshape_obstacle_overlap(r, rects), i, r) for i, r in enumerate(routes)]
+    scored.sort(key=lambda item: (item[0], item[1]))
+    return scored[0][2]

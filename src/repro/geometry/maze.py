@@ -1,0 +1,156 @@
+"""Grid maze router for obstacle-avoiding point-to-point connections.
+
+Contango's detouring step performs "shortest-path maze routing around the
+obstacles" for point-to-point connections that conflict with blockages.  This
+module provides a light-weight router on an adaptive Hanan-style grid: grid
+lines are placed at the route endpoints and at (slightly expanded) obstacle
+boundaries, which keeps the graph tiny even for large dies while still
+containing a shortest rectilinear obstacle-avoiding path whenever one exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.obstacles import ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+__all__ = ["MazeRouter", "MazeRouteError"]
+
+
+class MazeRouteError(RuntimeError):
+    """Raised when no obstacle-avoiding route exists between two points."""
+
+
+class MazeRouter:
+    """Shortest rectilinear path router avoiding obstacle interiors."""
+
+    def __init__(
+        self,
+        obstacles: ObstacleSet,
+        die: Optional[Rect] = None,
+        clearance: float = 0.0,
+    ) -> None:
+        self._obstacles = obstacles
+        self._die = die
+        self._clearance = clearance
+
+    # ------------------------------------------------------------------
+    def route(self, start: Point, end: Point) -> List[Point]:
+        """Return the corner points of a shortest obstacle-avoiding route.
+
+        The returned list starts with ``start`` and ends with ``end``; between
+        consecutive points the route is a straight rectilinear segment that
+        does not cross any obstacle interior.  Raises :class:`MazeRouteError`
+        when the endpoints are separated by blockages on every candidate grid
+        path (e.g. an endpoint strictly enclosed by obstacles).
+        """
+        direct = Segment(start, end)
+        if direct.is_rectilinear and not self._obstacles.crossing_obstacles(direct):
+            return [start, end]
+
+        xs, ys = self._grid_coordinates(start, end)
+        nodes = [(x, y) for x in xs for y in ys]
+        index: Dict[Tuple[float, float], int] = {n: i for i, n in enumerate(nodes)}
+
+        start_key = (start.x, start.y)
+        end_key = (end.x, end.y)
+        if start_key not in index or end_key not in index:
+            raise MazeRouteError("route endpoints missing from routing grid")
+
+        dist = {i: float("inf") for i in range(len(nodes))}
+        prev: Dict[int, int] = {}
+        src = index[start_key]
+        dst = index[end_key]
+        dist[src] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist[node] + 1e-12:
+                continue
+            if node == dst:
+                break
+            x, y = nodes[node]
+            for nx, ny in self._neighbors(x, y, xs, ys):
+                nbr = index[(nx, ny)]
+                seg = Segment(Point(x, y), Point(nx, ny))
+                if self._segment_blocked(seg):
+                    continue
+                nd = d + seg.length
+                if nd < dist[nbr] - 1e-12:
+                    dist[nbr] = nd
+                    prev[nbr] = node
+                    heapq.heappush(heap, (nd, nbr))
+
+        if dist[dst] == float("inf"):
+            raise MazeRouteError(f"no obstacle-avoiding route from {start} to {end}")
+
+        path_idx = [dst]
+        while path_idx[-1] != src:
+            path_idx.append(prev[path_idx[-1]])
+        path_idx.reverse()
+        points = [Point(*nodes[i]) for i in path_idx]
+        return _simplify_collinear(points)
+
+    def route_length(self, start: Point, end: Point) -> float:
+        """Return the length of the shortest obstacle-avoiding route."""
+        points = self.route(start, end)
+        return sum(a.manhattan_to(b) for a, b in zip(points, points[1:]))
+
+    # ------------------------------------------------------------------
+    def _grid_coordinates(self, start: Point, end: Point) -> Tuple[List[float], List[float]]:
+        eps = max(self._clearance, 1e-6)
+        xs = {start.x, end.x}
+        ys = {start.y, end.y}
+        for obs in self._obstacles:
+            xs.update((obs.rect.xlo - eps, obs.rect.xhi + eps))
+            ys.update((obs.rect.ylo - eps, obs.rect.yhi + eps))
+        if self._die is not None:
+            xs = {min(max(x, self._die.xlo), self._die.xhi) for x in xs}
+            ys = {min(max(y, self._die.ylo), self._die.yhi) for y in ys}
+            xs.update((start.x, end.x))
+            ys.update((start.y, end.y))
+        return sorted(xs), sorted(ys)
+
+    @staticmethod
+    def _neighbors(
+        x: float, y: float, xs: Sequence[float], ys: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        xi = xs.index(x)
+        yi = ys.index(y)
+        out = []
+        if xi > 0:
+            out.append((xs[xi - 1], y))
+        if xi < len(xs) - 1:
+            out.append((xs[xi + 1], y))
+        if yi > 0:
+            out.append((x, ys[yi - 1]))
+        if yi < len(ys) - 1:
+            out.append((x, ys[yi + 1]))
+        return out
+
+    def _segment_blocked(self, seg: Segment) -> bool:
+        if self._obstacles.crossing_obstacles(seg):
+            return True
+        if self._die is not None and not (
+            self._die.contains_point(seg.a) and self._die.contains_point(seg.b)
+        ):
+            return True
+        return False
+
+
+def _simplify_collinear(points: List[Point]) -> List[Point]:
+    """Remove intermediate points on straight runs of a rectilinear path."""
+    if len(points) <= 2:
+        return points
+    out = [points[0]]
+    for prev, cur, nxt in zip(points, points[1:], points[2:]):
+        same_x = prev.x == cur.x == nxt.x
+        same_y = prev.y == cur.y == nxt.y
+        if not (same_x or same_y):
+            out.append(cur)
+    out.append(points[-1])
+    return out

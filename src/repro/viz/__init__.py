@@ -1,0 +1,5 @@
+"""Visualization helpers (SVG clock-tree rendering, Figure 3)."""
+
+from repro.viz.svg import render_tree_svg, save_tree_svg
+
+__all__ = ["render_tree_svg", "save_tree_svg"]

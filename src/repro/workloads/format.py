@@ -1,0 +1,159 @@
+"""Plain-text reader/writer for clock-network instances.
+
+The format is a line-oriented dialect of the ISPD'09 CNS input decks so that
+generated instances can be inspected, stored and reloaded:
+
+.. code-block:: text
+
+    # comment
+    name ispd09f11
+    die 0 0 11000 11000
+    source 5500 0 80
+    slew_limit 100
+    cap_limit 123456.7
+    wire W_NARROW 0.30 0.16
+    wire W_WIDE 0.10 0.20
+    buffer INV_L 35 80 61.2 12.0 1
+    sink sink_0 123.4 567.8 25.0 0
+    obstacle blk0 100 200 1100 900
+
+Unknown keywords raise an error rather than being silently skipped, so format
+drift is caught early.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.cts.bufferlib import BufferLibrary, BufferType
+from repro.cts.spec import ClockNetworkInstance
+from repro.cts.topology import SinkInstance
+from repro.cts.wirelib import WireLibrary, WireType
+from repro.geometry.obstacles import Obstacle, ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = ["write_instance", "read_instance"]
+
+
+def write_instance(instance: ClockNetworkInstance, path: Union[str, Path]) -> None:
+    """Serialize ``instance`` to the text format described in the module docstring."""
+    lines: List[str] = [
+        "# clock-network instance (ISPD'09 CNS-style dialect)",
+        f"name {instance.name}",
+        f"die {instance.die.xlo} {instance.die.ylo} {instance.die.xhi} {instance.die.yhi}",
+        f"source {instance.source.x} {instance.source.y} {instance.source_resistance}",
+        f"slew_limit {instance.slew_limit}",
+    ]
+    if instance.capacitance_limit is not None:
+        lines.append(f"cap_limit {instance.capacitance_limit}")
+    for wire in instance.wire_library:
+        lines.append(
+            f"wire {wire.name} {wire.unit_resistance} {wire.unit_capacitance}"
+        )
+    for buffer in instance.buffer_library:
+        lines.append(
+            "buffer "
+            f"{buffer.name.replace(' ', '_')} {buffer.input_cap} {buffer.output_cap} "
+            f"{buffer.output_res} {buffer.intrinsic_delay} {1 if buffer.inverting else 0}"
+        )
+    for sink in instance.sinks:
+        lines.append(
+            f"sink {sink.name} {sink.position.x} {sink.position.y} "
+            f"{sink.capacitance} {sink.required_polarity}"
+        )
+    for obstacle in instance.obstacles:
+        rect = obstacle.rect
+        lines.append(
+            f"obstacle {obstacle.name or 'blk'} {rect.xlo} {rect.ylo} {rect.xhi} {rect.yhi}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_instance(path: Union[str, Path]) -> ClockNetworkInstance:
+    """Parse an instance previously produced by :func:`write_instance`."""
+    name = "unnamed"
+    die: Optional[Rect] = None
+    source: Optional[Point] = None
+    source_resistance = 100.0
+    slew_limit = 100.0
+    cap_limit: Optional[float] = None
+    wires: List[WireType] = []
+    buffers: List[BufferType] = []
+    sinks: List[SinkInstance] = []
+    obstacles = ObstacleSet()
+
+    for line_number, raw in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        keyword, args = fields[0], fields[1:]
+        try:
+            if keyword == "name":
+                name = args[0]
+            elif keyword == "die":
+                die = Rect(*map(float, args[:4]))
+            elif keyword == "source":
+                source = Point(float(args[0]), float(args[1]))
+                source_resistance = float(args[2])
+            elif keyword == "slew_limit":
+                slew_limit = float(args[0])
+            elif keyword == "cap_limit":
+                cap_limit = float(args[0])
+            elif keyword == "wire":
+                wires.append(
+                    WireType(
+                        name=args[0],
+                        unit_resistance=float(args[1]),
+                        unit_capacitance=float(args[2]),
+                    )
+                )
+            elif keyword == "buffer":
+                buffers.append(
+                    BufferType(
+                        name=args[0].replace("_", " "),
+                        input_cap=float(args[1]),
+                        output_cap=float(args[2]),
+                        output_res=float(args[3]),
+                        intrinsic_delay=float(args[4]),
+                        inverting=bool(int(args[5])),
+                    )
+                )
+            elif keyword == "sink":
+                sinks.append(
+                    SinkInstance(
+                        name=args[0],
+                        position=Point(float(args[1]), float(args[2])),
+                        capacitance=float(args[3]),
+                        required_polarity=int(args[4]) if len(args) > 4 else 0,
+                    )
+                )
+            elif keyword == "obstacle":
+                obstacles.add(
+                    Obstacle(rect=Rect(*map(float, args[1:5])), name=args[0])
+                )
+            else:
+                raise ValueError(f"unknown keyword {keyword!r}")
+        except (IndexError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{line_number}: cannot parse {raw!r}: {exc}") from exc
+
+    if die is None or source is None:
+        raise ValueError(f"{path}: missing 'die' or 'source' record")
+    instance = ClockNetworkInstance(
+        name=name,
+        die=die,
+        source=source,
+        sinks=sinks,
+        obstacles=obstacles,
+        wire_library=WireLibrary(wires) if wires else WireLibrary([WireType("W", 0.1, 0.2)]),
+        buffer_library=BufferLibrary(buffers) if buffers else BufferLibrary(
+            [BufferType("INV", 10.0, 10.0, 100.0)]
+        ),
+        source_resistance=source_resistance,
+        capacitance_limit=cap_limit,
+        slew_limit=slew_limit,
+    )
+    instance.validate()
+    return instance

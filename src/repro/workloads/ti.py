@@ -1,0 +1,104 @@
+"""Texas Instruments-style scalability benchmarks (Table V of the paper).
+
+The paper's scalability study starts from a 4.2 mm x 3.0 mm TI chip with
+135 K identified sink locations and randomly samples families of 200 to
+50 000 sinks.  The real placement is proprietary, so this generator builds a
+synthetic stand-in with the same structure: flip-flops arranged in dense
+placement rows grouped into register clusters across a 4.2 x 3.0 mm die, from
+which the requested number of sinks is sampled uniformly at random.  Only the
+sink count and spatial distribution matter for the scaling trends reported in
+Table V (capacitance linear in sink count, skew staying in single-digit
+picoseconds, slowly growing evaluation counts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cts.bufferlib import ispd09_buffer_library
+from repro.cts.spec import ClockNetworkInstance
+from repro.cts.topology import SinkInstance
+from repro.cts.wirelib import ispd09_wire_library
+from repro.geometry.obstacles import ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = ["TIBenchmarkSpec", "TI_SINK_COUNTS", "generate_ti_benchmark"]
+
+
+TI_SINK_COUNTS = [200, 500, 1000, 2000, 5000, 10000, 20000, 50000]
+"""The sink-count family reported in Table V."""
+
+
+@dataclass(frozen=True)
+class TIBenchmarkSpec:
+    """Generation parameters of a TI-style scalability benchmark."""
+
+    sink_count: int
+    seed: int = 7
+    die_width: float = 4200.0
+    die_height: float = 3000.0
+    row_pitch: float = 10.0
+    cluster_count: int = 60
+    sink_cap_range: tuple = (4.0, 15.0)
+    slew_limit: float = 100.0
+    source_resistance: float = 60.0
+    capacitance_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sink_count < 1:
+            raise ValueError("sink_count must be positive")
+
+
+def generate_ti_benchmark(
+    sink_count: int, seed: int = 7, spec: Optional[TIBenchmarkSpec] = None
+) -> ClockNetworkInstance:
+    """Generate a TI-style instance with ``sink_count`` sampled sinks."""
+    spec = spec or TIBenchmarkSpec(sink_count=sink_count, seed=seed)
+    rng = random.Random(spec.seed * 100003 + spec.sink_count)
+    die = Rect(0.0, 0.0, spec.die_width, spec.die_height)
+
+    # Register clusters: each cluster is a small block of placement rows.
+    clusters = []
+    for _ in range(spec.cluster_count):
+        cx = rng.uniform(0.05 * spec.die_width, 0.95 * spec.die_width)
+        cy = rng.uniform(0.05 * spec.die_height, 0.95 * spec.die_height)
+        width = rng.uniform(0.03, 0.12) * spec.die_width
+        height = rng.uniform(0.03, 0.12) * spec.die_height
+        clusters.append((cx, cy, width, height))
+
+    sinks: List[SinkInstance] = []
+    for index in range(spec.sink_count):
+        if rng.random() < 0.75:
+            cx, cy, width, height = rng.choice(clusters)
+            x = min(max(cx + rng.uniform(-width, width) / 2.0, die.xlo), die.xhi)
+            raw_y = cy + rng.uniform(-height, height) / 2.0
+        else:
+            x = rng.uniform(die.xlo, die.xhi)
+            raw_y = rng.uniform(die.ylo, die.yhi)
+        # Snap to the placement-row grid, like standard-cell flip-flops.
+        y = min(max(round(raw_y / spec.row_pitch) * spec.row_pitch, die.ylo), die.yhi)
+        sinks.append(
+            SinkInstance(
+                name=f"ff_{index}",
+                position=Point(x, y),
+                capacitance=rng.uniform(*spec.sink_cap_range),
+            )
+        )
+
+    instance = ClockNetworkInstance(
+        name=f"ti_{spec.sink_count}",
+        die=die,
+        source=Point(0.0, spec.die_height / 2.0),
+        sinks=sinks,
+        obstacles=ObstacleSet(),
+        wire_library=ispd09_wire_library(),
+        buffer_library=ispd09_buffer_library(),
+        source_resistance=spec.source_resistance,
+        capacitance_limit=spec.capacitance_limit,
+        slew_limit=spec.slew_limit,
+    )
+    instance.validate()
+    return instance

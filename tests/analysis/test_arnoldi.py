@@ -1,0 +1,75 @@
+"""Tests for the moment-matching (Arnoldi-style) engine."""
+
+import pytest
+
+from repro.analysis.arnoldi import arnoldi_stage_timing, stage_moments
+from repro.analysis.elmore import elmore_stage_delays
+from repro.analysis.rcnetwork import StageNetwork
+from repro.analysis.units import LN2
+
+
+def single_pole(resistance=100.0, capacitance=500.0):
+    """One R, one C: the transfer function is exactly a single pole."""
+    return StageNetwork(
+        parent=[-1],
+        resistance=[0.0],
+        capacitance=[capacitance],
+        tap_index={7: 0},
+        driver_resistance=resistance,
+        total_capacitance=capacitance,
+    )
+
+
+def ladder():
+    return StageNetwork(
+        parent=[-1, 0, 1],
+        resistance=[0.0, 80.0, 120.0],
+        capacitance=[50.0, 150.0, 250.0],
+        tap_index={42: 2},
+        driver_resistance=60.0,
+        total_capacitance=450.0,
+    )
+
+
+class TestMoments:
+    def test_first_moment_equals_elmore(self):
+        network = ladder()
+        m1, _ = stage_moments(network)
+        elmore = elmore_stage_delays(network)
+        assert m1[2] == pytest.approx(elmore[42])
+
+    def test_single_pole_second_moment(self):
+        # For a single pole, m2 = m1^2.
+        network = single_pole()
+        m1, m2 = stage_moments(network)
+        assert m2[0] == pytest.approx(m1[0] ** 2)
+
+    def test_moments_increase_downstream(self):
+        m1, m2 = stage_moments(ladder())
+        assert m1[0] < m1[1] < m1[2]
+        assert m2[0] < m2[1] < m2[2]
+
+
+class TestD2MDelay:
+    def test_single_pole_delay_is_ln2_tau(self):
+        network = single_pole()
+        timing = arnoldi_stage_timing(network, input_slew=0.0)
+        tau = 100.0 * 500.0 / 1000.0
+        assert timing.delay[7] == pytest.approx(LN2 * tau, rel=1e-6)
+
+    def test_delay_never_exceeds_elmore(self):
+        network = ladder()
+        timing = arnoldi_stage_timing(network, input_slew=0.0)
+        assert timing.delay[42] <= elmore_stage_delays(network)[42] + 1e-9
+
+    def test_resistive_shielding_reduces_delay_estimate(self):
+        # On a shielded ladder D2M is strictly below Elmore.
+        network = ladder()
+        timing = arnoldi_stage_timing(network, input_slew=0.0)
+        assert timing.delay[42] < elmore_stage_delays(network)[42]
+
+    def test_slew_combines_input_transition(self):
+        network = ladder()
+        fast_in = arnoldi_stage_timing(network, input_slew=0.0).slew[42]
+        slow_in = arnoldi_stage_timing(network, input_slew=80.0).slew[42]
+        assert slow_in > fast_in

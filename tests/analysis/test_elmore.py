@@ -1,0 +1,70 @@
+"""Tests for the Elmore engine against hand-computed RC ladders."""
+
+import pytest
+
+from repro.analysis.elmore import elmore_stage_delays, elmore_stage_timing
+from repro.analysis.rcnetwork import StageNetwork
+from repro.analysis.units import LN9
+
+
+def ladder(driver_resistance=100.0, stages=((50.0, 100.0), (50.0, 200.0))):
+    """Hand-built RC ladder: driver -> R1 -> node1(C1) -> R2 -> node2(C2)."""
+    parent = [-1]
+    resistance = [0.0]
+    capacitance = [0.0]
+    for i, (res, cap) in enumerate(stages):
+        parent.append(i)
+        resistance.append(res)
+        capacitance.append(cap)
+    taps = {100 + len(stages) - 1: len(stages)}
+    return StageNetwork(
+        parent=parent,
+        resistance=resistance,
+        capacitance=capacitance,
+        tap_index=taps,
+        driver_resistance=driver_resistance,
+        total_capacitance=sum(capacitance),
+    )
+
+
+class TestElmoreDelay:
+    def test_two_stage_ladder_matches_hand_calculation(self):
+        # Elmore at far node = Rdrv*(C1+C2) + R1*(C1+C2) + R2*C2  (in ohm*fF -> /1000 ps)
+        network = ladder()
+        expected = (100.0 * 300.0 + 50.0 * 300.0 + 50.0 * 200.0) / 1000.0
+        delays = elmore_stage_delays(network)
+        assert delays[101] == pytest.approx(expected)
+
+    def test_driver_resistance_contribution(self):
+        base = elmore_stage_delays(ladder(driver_resistance=100.0))[101]
+        stronger = elmore_stage_delays(ladder(driver_resistance=50.0))[101]
+        assert stronger == pytest.approx(base - 50.0 * 300.0 / 1000.0)
+
+    def test_far_node_slower_than_near_node(self):
+        network = ladder()
+        network.tap_index = {1: 1, 2: 2}
+        delays = elmore_stage_delays(network)
+        assert delays[2] > delays[1]
+
+    def test_more_capacitance_means_more_delay(self):
+        light = elmore_stage_delays(ladder(stages=((50.0, 100.0), (50.0, 100.0))))[101]
+        heavy = elmore_stage_delays(ladder(stages=((50.0, 100.0), (50.0, 400.0))))[101]
+        assert heavy > light
+
+
+class TestElmoreSlew:
+    def test_step_input_slew_is_ln9_tau(self):
+        network = ladder()
+        timing = elmore_stage_timing(network, input_slew=0.0)
+        assert timing.slew[101] == pytest.approx(LN9 * timing.delay[101])
+
+    def test_peri_combination_with_input_slew(self):
+        network = ladder()
+        step = elmore_stage_timing(network, input_slew=0.0).slew[101]
+        combined = elmore_stage_timing(network, input_slew=40.0).slew[101]
+        assert combined == pytest.approx((step**2 + 40.0**2) ** 0.5)
+
+    def test_slew_monotone_in_input_slew(self):
+        network = ladder()
+        slews = [elmore_stage_timing(network, s).slew[101] for s in (0.0, 20.0, 60.0)]
+        assert slews[0] < slews[1] < slews[2]

@@ -1,0 +1,101 @@
+"""Tests for the transient RC solver against analytic single-pole responses."""
+
+import math
+
+import pytest
+
+from repro.analysis.rcnetwork import StageNetwork
+from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
+from repro.analysis.units import LN2, LN9
+
+
+def single_pole(resistance=200.0, capacitance=400.0):
+    return StageNetwork(
+        parent=[-1],
+        resistance=[0.0],
+        capacitance=[capacitance],
+        tap_index={1: 0},
+        driver_resistance=resistance,
+        total_capacitance=capacitance,
+    )
+
+
+def ladder():
+    return StageNetwork(
+        parent=[-1, 0, 1],
+        resistance=[0.0, 100.0, 100.0],
+        capacitance=[100.0, 200.0, 300.0],
+        tap_index={5: 2},
+        driver_resistance=80.0,
+        total_capacitance=600.0,
+    )
+
+
+class TestSolverConfig:
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            TransientSolverConfig(steps=5)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            TransientSolverConfig(horizon_factor=0.5)
+
+
+class TestSinglePoleAccuracy:
+    def test_delay_matches_ln2_tau_for_fast_ramp(self):
+        network = single_pole()
+        tau = 200.0 * 400.0 / 1000.0  # 80 ps
+        timing = transient_stage_timing(network, input_slew=1.0)
+        assert timing.delay[1] == pytest.approx(LN2 * tau, rel=0.05)
+
+    def test_slew_matches_ln9_tau_for_fast_ramp(self):
+        network = single_pole()
+        tau = 80.0
+        timing = transient_stage_timing(network, input_slew=1.0)
+        assert timing.slew[1] == pytest.approx(LN9 * tau, rel=0.08)
+
+    def test_slower_input_ramp_increases_delay_and_slew(self):
+        network = single_pole()
+        fast = transient_stage_timing(network, input_slew=1.0)
+        slow = transient_stage_timing(network, input_slew=100.0)
+        assert slow.delay[1] > fast.delay[1]
+        assert slow.slew[1] > fast.slew[1]
+
+    def test_vdd_does_not_change_relative_timing(self):
+        network = single_pole()
+        low = transient_stage_timing(network, input_slew=10.0, vdd=1.0)
+        high = transient_stage_timing(network, input_slew=10.0, vdd=1.2)
+        assert low.delay[1] == pytest.approx(high.delay[1], rel=1e-3)
+
+
+class TestLadderBehaviour:
+    def test_transient_delay_below_elmore(self):
+        from repro.analysis.elmore import elmore_stage_delays
+
+        network = ladder()
+        timing = transient_stage_timing(network, input_slew=5.0)
+        assert timing.delay[5] < elmore_stage_delays(network)[5]
+
+    def test_finer_time_step_converges(self):
+        network = ladder()
+        coarse = transient_stage_timing(
+            network, input_slew=5.0, config=TransientSolverConfig(steps=150)
+        )
+        fine = transient_stage_timing(
+            network, input_slew=5.0, config=TransientSolverConfig(steps=1200)
+        )
+        assert coarse.delay[5] == pytest.approx(fine.delay[5], rel=0.02)
+
+    def test_stronger_driver_is_faster(self):
+        weak = transient_stage_timing(ladder(), input_slew=5.0)
+        strong_net = ladder()
+        strong_net.driver_resistance = 20.0
+        strong = transient_stage_timing(strong_net, input_slew=5.0)
+        assert strong.delay[5] < weak.delay[5]
+
+    def test_all_taps_reported(self):
+        network = ladder()
+        network.tap_index = {5: 2, 6: 1}
+        timing = transient_stage_timing(network, input_slew=5.0)
+        assert set(timing.delay) == {5, 6}
+        assert timing.delay[6] < timing.delay[5]

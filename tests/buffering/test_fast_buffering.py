@@ -1,0 +1,52 @@
+"""Tests for the composite-inverter insertion sweep."""
+
+import pytest
+
+from repro.buffering.fast_buffering import insert_buffers_with_sizing
+from repro.cts import ispd09_buffer_library
+
+from conftest import make_zst_tree
+
+BUFS = ispd09_buffer_library()
+LADDER = [BUFS.by_name("INV_S").parallel(k) for k in (8, 16, 24)]
+
+
+class TestSweep:
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            insert_buffers_with_sizing(make_zst_tree(8), [])
+
+    def test_invalid_power_reserve(self):
+        with pytest.raises(ValueError):
+            insert_buffers_with_sizing(make_zst_tree(8), LADDER, power_reserve=1.0)
+
+    def test_input_tree_is_not_mutated(self):
+        tree = make_zst_tree(sink_count=20)
+        insert_buffers_with_sizing(tree, LADDER, capacitance_limit=1e6)
+        assert tree.buffer_count() == 0
+
+    def test_one_outcome_per_candidate(self):
+        result = insert_buffers_with_sizing(make_zst_tree(20), LADDER, capacitance_limit=1e6)
+        assert len(result.outcomes) == len(LADDER)
+
+    def test_strongest_feasible_candidate_chosen(self):
+        result = insert_buffers_with_sizing(make_zst_tree(20), LADDER, capacitance_limit=1e6)
+        feasible = [o for o in result.outcomes if o.slew_feasible and o.within_power_budget]
+        assert result.chosen is not None
+        assert result.chosen.buffer.output_res == min(o.buffer.output_res for o in feasible)
+
+    def test_power_budget_constrains_choice(self):
+        generous = insert_buffers_with_sizing(make_zst_tree(20), LADDER, capacitance_limit=1e6)
+        # A tight limit leaves only the smallest composites within 90% of budget.
+        tight_limit = generous.outcomes[0].total_capacitance * 1.02
+        tight = insert_buffers_with_sizing(make_zst_tree(20), LADDER, capacitance_limit=tight_limit)
+        assert tight.chosen.buffer.parallel_count <= generous.chosen.buffer.parallel_count
+
+    def test_returned_tree_is_buffered(self):
+        result = insert_buffers_with_sizing(make_zst_tree(20), LADDER, capacitance_limit=1e6)
+        assert result.tree.buffer_count() == result.chosen.buffer_count
+        result.tree.validate()
+
+    def test_chosen_buffer_property(self):
+        result = insert_buffers_with_sizing(make_zst_tree(12), LADDER, capacitance_limit=1e6)
+        assert result.chosen_buffer is result.chosen.buffer

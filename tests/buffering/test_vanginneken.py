@@ -1,0 +1,112 @@
+"""Tests for the van Ginneken buffer-insertion DP."""
+
+import pytest
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.buffering.vanginneken import Option, VanGinnekenInserter
+from repro.cts import ispd09_buffer_library, ispd09_wire_library
+from repro.geometry import Obstacle, ObstacleSet, Point, Rect
+
+from conftest import make_zst_tree
+
+WIRES = ispd09_wire_library()
+BUFS = ispd09_buffer_library()
+COMPOSITE = BUFS.by_name("INV_S").parallel(8)
+
+
+class TestOptionDominance:
+    def test_dominates_all_axes(self):
+        better = Option(cap=10.0, req=-5.0, tau=1.0)
+        worse = Option(cap=20.0, req=-9.0, tau=2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_incomparable_options(self):
+        low_cap = Option(cap=10.0, req=-20.0, tau=1.0)
+        fast = Option(cap=50.0, req=-5.0, tau=1.0)
+        assert not low_cap.dominates(fast)
+        assert not fast.dominates(low_cap)
+
+    def test_equal_options_do_not_dominate(self):
+        a = Option(cap=10.0, req=-5.0, tau=1.0)
+        b = Option(cap=10.0, req=-5.0, tau=1.0)
+        assert not a.dominates(b)
+
+
+class TestPruning:
+    def test_dominated_options_removed(self):
+        inserter = VanGinnekenInserter(COMPOSITE)
+        options = [
+            Option(cap=10.0, req=-5.0, tau=1.0),
+            Option(cap=20.0, req=-9.0, tau=2.0),
+            Option(cap=50.0, req=-2.0, tau=1.0),
+        ]
+        kept = inserter._prune(options)
+        assert len(kept) == 2
+
+    def test_overflow_keeps_frontier_extremes(self):
+        inserter = VanGinnekenInserter(COMPOSITE, max_options=4)
+        options = [Option(cap=10.0 * i, req=-100.0 + i, tau=0.0) for i in range(1, 40)]
+        kept = inserter._prune(options)
+        assert len(kept) == 4
+        caps = [o.cap for o in kept]
+        assert min(caps) == 10.0 and max(caps) == 390.0
+
+    def test_max_options_validation(self):
+        with pytest.raises(ValueError):
+            VanGinnekenInserter(COMPOSITE, max_options=2)
+
+
+class TestInsertion:
+    def test_buffers_are_inserted_and_tree_stays_valid(self):
+        tree = make_zst_tree(sink_count=24)
+        result = VanGinnekenInserter(COMPOSITE).insert(tree)
+        tree.validate()
+        assert result.buffer_count > 0
+        assert tree.buffer_count() == result.buffer_count
+
+    def test_insertion_eliminates_slew_violations(self):
+        tree = make_zst_tree(sink_count=24)
+        evaluator = ClockNetworkEvaluator(EvaluatorConfig(engine="arnoldi", slew_limit=100.0))
+        assert evaluator.evaluate(tree).has_slew_violation
+        VanGinnekenInserter(COMPOSITE, slew_limit=100.0).insert(tree)
+        assert not evaluator.evaluate(tree).has_slew_violation
+
+    def test_insertion_reduces_worst_latency(self):
+        tree = make_zst_tree(sink_count=24)
+        evaluator = ClockNetworkEvaluator(EvaluatorConfig(engine="arnoldi"))
+        before = evaluator.evaluate(tree).max_latency
+        VanGinnekenInserter(COMPOSITE).insert(tree)
+        after = evaluator.evaluate(tree).max_latency
+        assert after < before
+
+    def test_apply_false_leaves_tree_unmodified(self):
+        tree = make_zst_tree(sink_count=16)
+        result = VanGinnekenInserter(COMPOSITE).insert(tree, apply=False)
+        assert result.buffer_count > 0
+        assert tree.buffer_count() == 0
+
+    def test_no_buffer_placed_inside_obstacles(self):
+        tree = make_zst_tree(sink_count=24, die_size=3000.0)
+        obstacles = ObstacleSet([Obstacle(Rect(800, 800, 2000, 2000), name="blk")])
+        inserter = VanGinnekenInserter(COMPOSITE, obstacles=obstacles)
+        inserter.insert(tree)
+        for node in tree.buffers():
+            assert not obstacles.blocks_point(node.position)
+
+    def test_stronger_buffer_gives_smaller_delay_estimate(self):
+        tree = make_zst_tree(sink_count=24)
+        weak = VanGinnekenInserter(BUFS.by_name("INV_S").parallel(4)).insert(tree.clone(), apply=False)
+        strong = VanGinnekenInserter(BUFS.by_name("INV_S").parallel(16)).insert(tree.clone(), apply=False)
+        assert strong.worst_delay_estimate < weak.worst_delay_estimate
+
+    def test_denser_stations_do_not_hurt(self):
+        tree = make_zst_tree(sink_count=20)
+        sparse = VanGinnekenInserter(COMPOSITE, station_spacing=600.0).insert(tree.clone(), apply=False)
+        dense = VanGinnekenInserter(COMPOSITE, station_spacing=150.0).insert(tree.clone(), apply=False)
+        assert dense.worst_delay_estimate <= sparse.worst_delay_estimate * 1.05
+
+    def test_result_slew_feasible_on_open_die(self):
+        tree = make_zst_tree(sink_count=24)
+        result = VanGinnekenInserter(COMPOSITE).insert(tree)
+        assert result.slew_feasible

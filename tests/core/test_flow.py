@@ -1,0 +1,103 @@
+"""Tests for the end-to-end Contango flow (Figure 1)."""
+
+import pytest
+
+from repro.core import ContangoFlow, FlowConfig
+from repro.core.report import FlowResult
+
+from conftest import make_small_instance
+
+
+@pytest.fixture(scope="module")
+def flow_result() -> FlowResult:
+    instance = make_small_instance(sink_count=24)
+    return ContangoFlow(FlowConfig(engine="arnoldi")).run(instance)
+
+
+class TestFlowStructure:
+    def test_stage_order_matches_figure_1(self, flow_result):
+        assert [s.stage for s in flow_result.stages] == [
+            "INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN",
+        ]
+
+    def test_all_optimizations_were_attempted(self, flow_result):
+        assert {
+            "trunk_sliding", "buffer_sizing", "wiresizing", "wiresnaking", "bottom_level",
+        } <= set(flow_result.pass_results)
+
+    def test_final_tree_is_valid_and_buffered(self, flow_result):
+        flow_result.tree.validate()
+        assert flow_result.tree.buffer_count() > 0
+
+    def test_composite_inverter_was_chosen(self, flow_result):
+        assert flow_result.chosen_buffer is not None
+        assert "INV_S" in flow_result.chosen_buffer
+
+    def test_stage_lookup(self, flow_result):
+        assert flow_result.stage("INITIAL").stage == "INITIAL"
+        with pytest.raises(KeyError):
+            flow_result.stage("FINAL")
+
+
+class TestFlowQuality:
+    def test_skew_improves_from_initial_to_final(self, flow_result):
+        assert flow_result.stage("BWSN").skew_ps <= flow_result.stage("INITIAL").skew_ps
+
+    def test_wire_stages_never_increase_skew(self, flow_result):
+        skews = {s.stage: s.skew_ps for s in flow_result.stages}
+        assert skews["TWSZ"] <= skews["TBSZ"] + 1e-6
+        assert skews["TWSN"] <= skews["TWSZ"] + 1e-6
+        assert skews["BWSN"] <= skews["TWSN"] + 1e-6
+
+    def test_final_network_is_slew_clean(self, flow_result):
+        assert not flow_result.final_report.has_slew_violation
+
+    def test_final_network_within_capacitance_limit(self, flow_result):
+        assert flow_result.final_report.within_capacitance_limit
+
+    def test_polarity_is_correct_at_the_end(self, flow_result):
+        assert len(flow_result.tree.wrong_polarity_sinks()) == 0
+
+    def test_clr_exceeds_skew(self, flow_result):
+        assert flow_result.clr >= flow_result.skew
+
+    def test_evaluations_counted(self, flow_result):
+        assert flow_result.total_evaluations >= 5
+        assert flow_result.runtime_s > 0.0
+
+    def test_summary_and_stage_table(self, flow_result):
+        summary = flow_result.summary()
+        assert summary["flow"] == "contango"
+        assert len(flow_result.stage_table()) == 5
+
+
+class TestFlowConfigurations:
+    def test_ablation_switches_disable_passes(self):
+        instance = make_small_instance(sink_count=16, with_obstacles=False)
+        config = FlowConfig(
+            engine="elmore",
+            enable_wiresizing=False,
+            enable_wiresnaking=False,
+            enable_bottom_level=False,
+            enable_buffer_sizing=False,
+        )
+        result = ContangoFlow(config).run(instance)
+        assert result.pass_results == {}
+        assert [s.stage for s in result.stages] == ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]
+
+    def test_large_inverter_ablation(self):
+        instance = make_small_instance(sink_count=16, with_obstacles=False)
+        config = FlowConfig(engine="elmore", use_composite_inverters=False)
+        result = ContangoFlow(config).run(instance)
+        assert "INV_L" in result.chosen_buffer
+
+    def test_bounded_skew_initial_tree(self):
+        instance = make_small_instance(sink_count=16, with_obstacles=False)
+        config = FlowConfig(engine="elmore", skew_bound=20.0)
+        result = ContangoFlow(config).run(instance)
+        result.tree.validate()
+
+    def test_corner_names_for_slacks(self):
+        config = FlowConfig(multicorner_slacks=True)
+        assert len(config.corner_names_for_slacks()) == 2
+        assert FlowConfig(multicorner_slacks=False).corner_names_for_slacks() is None

@@ -1,0 +1,126 @@
+"""Tests for sink-polarity correction (Proposition 2, Table II)."""
+
+import pytest
+
+from repro.buffering.fast_buffering import insert_buffers_with_sizing
+from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
+from repro.cts import ClockTree, Sink, ispd09_buffer_library, ispd09_wire_library
+from repro.geometry import Point
+
+from conftest import make_zst_tree
+
+WIRES = ispd09_wire_library()
+BUFS = ispd09_buffer_library()
+SMALL = BUFS.by_name("INV_S")
+STRONGER = [SMALL.parallel(k) for k in (2, 4, 8, 16)]
+
+
+def buffered_random_tree(sink_count=24, seed=9):
+    tree = make_zst_tree(sink_count=sink_count, seed=seed)
+    result = insert_buffers_with_sizing(
+        tree, [SMALL.parallel(8), SMALL.parallel(16)], capacitance_limit=1e9
+    )
+    return result.tree
+
+
+def hand_tree_with_inverted_cluster():
+    """One inverter drives a 3-sink cluster (wrong polarity) plus one direct sink."""
+    tree = ClockTree(Point(0, 0), default_wire=WIRES.widest)
+    hub = tree.add_internal(tree.root_id, Point(200, 0))
+    tree.place_buffer(hub, SMALL.parallel(8))
+    cluster = tree.add_internal(hub, Point(400, 0))
+    for i, dy in enumerate((-50, 0, 50)):
+        tree.add_sink(cluster, Point(500, dy), Sink(f"c{i}", 15.0))
+    tree.add_sink(tree.root_id, Point(50, 80), Sink("direct", 10.0))
+    return tree
+
+
+class TestCounting:
+    def test_clean_tree_has_no_inverted_sinks(self):
+        tree = make_zst_tree(sink_count=8)
+        assert count_inverted_sinks(tree) == 0
+
+    def test_inverted_cluster_is_counted(self):
+        tree = hand_tree_with_inverted_cluster()
+        assert count_inverted_sinks(tree) == 3
+
+
+class TestSubtreeStrategy:
+    def test_all_sinks_corrected(self):
+        tree = buffered_random_tree()
+        result = correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        assert result.inverted_sinks_after == 0
+        assert count_inverted_sinks(tree) == 0
+        tree.validate()
+
+    def test_cluster_fixed_with_single_inverter(self):
+        tree = hand_tree_with_inverted_cluster()
+        result = correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        assert result.inverters_added == 1
+        assert count_inverted_sinks(tree) == 0
+
+    def test_fewer_inverters_than_inverted_sinks(self):
+        tree = buffered_random_tree(sink_count=32)
+        inverted = count_inverted_sinks(tree)
+        if inverted < 2:
+            pytest.skip("buffering happened to produce uniform polarity")
+        result = correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        assert result.inverters_added <= inverted
+
+    def test_at_most_one_corrective_inverter_per_path(self):
+        tree = buffered_random_tree(sink_count=32)
+        before_ids = set(tree.node_ids())
+        correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        added_buffers = {
+            n.node_id
+            for n in tree.buffers()
+            if n.node_id not in before_ids or (n.node_id in before_ids and n.buffer is not None and n.buffer.base_name == "INV_S" and n.buffer.parallel_count <= 16)
+        }
+        for sink in tree.sinks():
+            path_ids = {n.node_id for n in tree.path_to_root(sink.node_id)}
+            # Count only inverters that the corrector could have added (new nodes).
+            new_on_path = [nid for nid in path_ids if nid not in before_ids and tree.node(nid).has_buffer]
+            assert len(new_on_path) <= 1
+
+    def test_noop_when_polarity_already_correct(self):
+        tree = make_zst_tree(sink_count=10)
+        result = correct_sink_polarity(tree, SMALL)
+        assert result.inverters_added == 0
+
+    def test_minimality_on_hand_tree(self):
+        """The minimal antichain cover of the inverted cluster is exactly one node."""
+        tree = hand_tree_with_inverted_cluster()
+        per_sink_tree = hand_tree_with_inverted_cluster()
+        minimal = correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        naive = correct_sink_polarity(per_sink_tree, SMALL, strategy="per-sink")
+        assert minimal.inverters_added == 1
+        assert naive.inverters_added == 3
+
+
+class TestPerSinkStrategy:
+    def test_adds_one_inverter_per_inverted_sink(self):
+        tree = hand_tree_with_inverted_cluster()
+        result = correct_sink_polarity(tree, SMALL, strategy="per-sink")
+        assert result.inverters_added == 3
+        assert count_inverted_sinks(tree) == 0
+
+    def test_unknown_strategy_rejected(self):
+        tree = hand_tree_with_inverted_cluster()
+        with pytest.raises(ValueError):
+            correct_sink_polarity(tree, SMALL, strategy="random")
+
+    def test_non_inverting_buffer_rejected(self):
+        from dataclasses import replace
+
+        tree = hand_tree_with_inverted_cluster()
+        with pytest.raises(ValueError):
+            correct_sink_polarity(tree, replace(SMALL, inverting=False), strategy="per-sink")
+
+
+class TestRequiredPolarity:
+    def test_sink_requiring_inverted_clock(self):
+        tree = ClockTree(Point(0, 0), default_wire=WIRES.widest)
+        sink = tree.add_sink(tree.root_id, Point(100, 0), Sink("inv", 10.0, required_polarity=1))
+        assert count_inverted_sinks(tree) == 1
+        correct_sink_polarity(tree, SMALL, strategy="subtree", stronger_inverters=STRONGER)
+        assert count_inverted_sinks(tree) == 0

@@ -1,0 +1,59 @@
+"""Tests for the bounded-skew tree builder."""
+
+import random
+
+import pytest
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.cts import ispd09_wire_library
+from repro.cts.bst import BoundedSkewTreeBuilder, build_bounded_skew_tree
+from repro.cts.dme import build_zero_skew_tree
+from repro.cts.topology import SinkInstance
+from repro.geometry import Point
+
+WIRES = ispd09_wire_library()
+
+
+def random_sinks(count, seed=5):
+    rng = random.Random(seed)
+    return [
+        SinkInstance(f"s{i}", Point(rng.uniform(0, 4000), rng.uniform(0, 4000)), rng.uniform(10, 40))
+        for i in range(count)
+    ]
+
+
+def elmore_skew(tree):
+    return ClockNetworkEvaluator(EvaluatorConfig(engine="elmore")).evaluate(tree).skew
+
+
+class TestBoundedSkew:
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedSkewTreeBuilder(WIRES.widest, skew_bound=-1.0)
+
+    def test_zero_bound_matches_zero_skew_tree(self):
+        sinks = random_sinks(30)
+        zst = build_zero_skew_tree(sinks, Point(0, 0), WIRES.widest)
+        bst = build_bounded_skew_tree(sinks, Point(0, 0), WIRES.widest, skew_bound=0.0)
+        assert bst.total_wirelength() == pytest.approx(zst.total_wirelength(), rel=1e-6)
+        assert elmore_skew(bst) < 0.1
+
+    @pytest.mark.parametrize("bound", [2.0, 10.0, 40.0])
+    def test_skew_stays_within_bound(self, bound):
+        sinks = random_sinks(35)
+        tree = build_bounded_skew_tree(sinks, Point(0, 0), WIRES.widest, skew_bound=bound)
+        tree.validate()
+        assert elmore_skew(tree) <= bound + 0.5
+
+    def test_wirelength_monotone_in_bound(self):
+        sinks = random_sinks(35)
+        lengths = []
+        for bound in (0.0, 10.0, 50.0):
+            tree = build_bounded_skew_tree(sinks, Point(0, 0), WIRES.widest, skew_bound=bound)
+            lengths.append(tree.total_wirelength())
+        assert lengths[0] >= lengths[1] >= lengths[2] - 1e-6
+
+    def test_all_sinks_connected(self):
+        sinks = random_sinks(20)
+        tree = build_bounded_skew_tree(sinks, Point(0, 0), WIRES.widest, skew_bound=15.0)
+        assert tree.sink_count() == 20

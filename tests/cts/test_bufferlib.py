@@ -1,0 +1,87 @@
+"""Tests for the buffer/inverter library (Table I primitives)."""
+
+import pytest
+
+from repro.cts.bufferlib import (
+    BufferLibrary,
+    BufferType,
+    ISPD09_LARGE_INVERTER,
+    ISPD09_SMALL_INVERTER,
+    ispd09_buffer_library,
+)
+
+
+class TestBufferType:
+    def test_table1_primitive_values(self):
+        assert ISPD09_LARGE_INVERTER.input_cap == 35.0
+        assert ISPD09_LARGE_INVERTER.output_cap == 80.0
+        assert ISPD09_LARGE_INVERTER.output_res == 61.2
+        assert ISPD09_SMALL_INVERTER.input_cap == 4.2
+        assert ISPD09_SMALL_INVERTER.output_cap == 6.1
+        assert ISPD09_SMALL_INVERTER.output_res == 440.0
+
+    def test_parallel_composition_scales_parasitics(self):
+        composite = ISPD09_SMALL_INVERTER.parallel(8)
+        assert composite.input_cap == pytest.approx(33.6)
+        assert composite.output_cap == pytest.approx(48.8)
+        assert composite.output_res == pytest.approx(55.0)
+        assert composite.parallel_count == 8
+        assert composite.base_name == "INV_S"
+
+    def test_parallel_one_returns_self(self):
+        assert ISPD09_SMALL_INVERTER.parallel(1) is ISPD09_SMALL_INVERTER
+
+    def test_parallel_composes_multiplicatively(self):
+        assert ISPD09_SMALL_INVERTER.parallel(2).parallel(4).parallel_count == 8
+
+    def test_parallel_invalid_count(self):
+        with pytest.raises(ValueError):
+            ISPD09_SMALL_INVERTER.parallel(0)
+
+    def test_scaled(self):
+        scaled = ISPD09_LARGE_INVERTER.scaled(1.25)
+        assert scaled.input_cap == pytest.approx(35.0 * 1.25)
+        assert scaled.output_res == pytest.approx(61.2 / 1.25)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ISPD09_LARGE_INVERTER.scaled(0.0)
+
+    def test_eight_small_dominate_one_large(self):
+        # The observation of Table I that motivates composite inverters.
+        assert ISPD09_SMALL_INVERTER.parallel(8).dominates(ISPD09_LARGE_INVERTER)
+        assert not ISPD09_SMALL_INVERTER.parallel(7).dominates(ISPD09_LARGE_INVERTER)
+
+    def test_dominates_requires_strict_improvement(self):
+        assert not ISPD09_LARGE_INVERTER.dominates(ISPD09_LARGE_INVERTER)
+
+    def test_total_cap(self):
+        assert ISPD09_LARGE_INVERTER.total_cap == pytest.approx(115.0)
+
+    def test_invalid_parasitics(self):
+        with pytest.raises(ValueError):
+            BufferType("bad", -1.0, 1.0, 1.0)
+
+
+class TestBufferLibrary:
+    def test_ispd09_library_contents(self):
+        lib = ispd09_buffer_library()
+        assert len(lib) == 2
+        assert lib.by_name("INV_L") == ISPD09_LARGE_INVERTER
+
+    def test_smallest_and_strongest(self):
+        lib = ispd09_buffer_library()
+        assert lib.smallest == ISPD09_SMALL_INVERTER
+        assert lib.strongest == ISPD09_LARGE_INVERTER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            ispd09_buffer_library().by_name("INV_X")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([ISPD09_LARGE_INVERTER, ISPD09_LARGE_INVERTER])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([])

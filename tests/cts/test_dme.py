@@ -1,0 +1,106 @@
+"""Tests for zero-skew DME construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.cts import ispd09_wire_library
+from repro.cts.dme import ZeroSkewTreeBuilder, build_zero_skew_tree
+from repro.cts.topology import SinkInstance
+from repro.geometry import Point
+
+WIRES = ispd09_wire_library()
+
+
+def random_sinks(count, seed=11, span=4000.0):
+    rng = random.Random(seed)
+    return [
+        SinkInstance(f"s{i}", Point(rng.uniform(0, span), rng.uniform(0, span)), rng.uniform(10, 50))
+        for i in range(count)
+    ]
+
+
+def elmore_skew(tree):
+    evaluator = ClockNetworkEvaluator(EvaluatorConfig(engine="elmore"))
+    return evaluator.evaluate(tree).skew
+
+
+class TestZeroSkewConstruction:
+    def test_structure_is_valid(self):
+        tree = build_zero_skew_tree(random_sinks(30), Point(0, 0), WIRES.widest)
+        tree.validate()
+        assert tree.sink_count() == 30
+
+    def test_elmore_skew_is_negligible(self):
+        tree = build_zero_skew_tree(random_sinks(40), Point(0, 0), WIRES.widest)
+        assert elmore_skew(tree) < 0.05
+
+    def test_all_sinks_present_with_positions(self):
+        sinks = random_sinks(12)
+        tree = build_zero_skew_tree(sinks, Point(0, 0), WIRES.widest)
+        by_name = {n.sink.name: n for n in tree.sinks()}
+        for sink in sinks:
+            assert by_name[sink.name].position.is_close(sink.position)
+
+    def test_snakes_are_non_negative(self):
+        tree = build_zero_skew_tree(random_sinks(25), Point(0, 0), WIRES.widest)
+        assert all(n.snake_length >= 0.0 for n in tree.nodes())
+
+    def test_wirelength_at_least_spanning_lower_bound(self):
+        sinks = random_sinks(20)
+        tree = build_zero_skew_tree(sinks, Point(2000, 2000), WIRES.widest)
+        # Any tree connecting the sinks is at least as long as the distance
+        # from the source to the farthest sink.
+        lower_bound = max(Point(2000, 2000).manhattan_to(s.position) for s in sinks)
+        assert tree.total_wirelength() >= lower_bound
+
+    def test_single_sink_tree(self):
+        sinks = [SinkInstance("only", Point(500, 700), 25.0)]
+        tree = build_zero_skew_tree(sinks, Point(0, 0), WIRES.widest)
+        tree.validate()
+        assert tree.sink_count() == 1
+        assert tree.total_wirelength() >= 1200.0 - 1e-6
+
+    def test_two_identical_positions(self):
+        sinks = [
+            SinkInstance("a", Point(100, 100), 10.0),
+            SinkInstance("b", Point(100, 100), 30.0),
+        ]
+        tree = build_zero_skew_tree(sinks, Point(0, 0), WIRES.widest)
+        tree.validate()
+        assert elmore_skew(tree) < 0.05
+
+    def test_asymmetric_loads_still_balanced(self):
+        sinks = [
+            SinkInstance("light", Point(1000, 0), 5.0),
+            SinkInstance("heavy", Point(-1000, 0), 300.0),
+        ]
+        tree = build_zero_skew_tree(sinks, Point(0, 500), WIRES.widest)
+        assert elmore_skew(tree) < 0.05
+
+    def test_greedy_topology_also_zero_skew(self):
+        tree = build_zero_skew_tree(
+            random_sinks(18), Point(0, 0), WIRES.widest, topology_method="greedy"
+        )
+        assert elmore_skew(tree) < 0.05
+
+    def test_source_resistance_is_recorded(self):
+        tree = build_zero_skew_tree(random_sinks(5), Point(0, 0), WIRES.widest, source_resistance=123.0)
+        assert tree.source_resistance == 123.0
+
+    def test_builder_rejects_empty_sinks(self):
+        with pytest.raises(ValueError):
+            ZeroSkewTreeBuilder(WIRES.widest).build([], Point(0, 0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_zero_skew_property_holds_for_random_instances(count, seed):
+    """Property: the DME tree is Elmore-balanced for any sink set."""
+    tree = build_zero_skew_tree(random_sinks(count, seed=seed), Point(0, 0), WIRES.widest)
+    assert elmore_skew(tree) < 0.1

@@ -1,0 +1,39 @@
+"""Tests for one-bend route enumeration and obstacle-aware selection."""
+
+import pytest
+
+from repro.geometry.lshape import best_lshape, lshape_obstacle_overlap, lshape_routes
+from repro.geometry.obstacles import Obstacle, ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestLShapeRoutes:
+    def test_two_routes_for_general_points(self):
+        routes = lshape_routes(Point(0, 0), Point(10, 5))
+        assert len(routes) == 2
+        assert {r.bend for r in routes} == {Point(10, 0), Point(0, 5)}
+
+    def test_single_route_for_aligned_points(self):
+        assert len(lshape_routes(Point(0, 0), Point(10, 0))) == 1
+
+    def test_routes_have_equal_length(self):
+        a, b = lshape_routes(Point(0, 0), Point(10, 5))
+        assert a.length == b.length == 15.0
+
+
+class TestBestLShape:
+    def test_avoids_obstacle_when_possible(self):
+        # An obstacle blocking the horizontal-first bend leg.
+        obstacles = ObstacleSet([Obstacle(Rect(4, -1, 6, 2))])
+        chosen = best_lshape(Point(0, 0), Point(10, 5), obstacles)
+        assert chosen.overlap_length_with(Rect(4, -1, 6, 2)) == 0.0
+
+    def test_defaults_to_horizontal_first_without_obstacles(self):
+        chosen = best_lshape(Point(0, 0), Point(10, 5))
+        assert chosen.bend == Point(10, 0)
+
+    def test_overlap_helper_sums_over_rects(self):
+        route = lshape_routes(Point(0, 0), Point(10, 0))[0]
+        rects = [Rect(2, -1, 4, 1), Rect(6, -1, 7, 1)]
+        assert lshape_obstacle_overlap(route, rects) == pytest.approx(3.0)

@@ -1,0 +1,69 @@
+"""Tests for the obstacle-avoiding maze router."""
+
+import pytest
+
+from repro.geometry.maze import MazeRouteError, MazeRouter
+from repro.geometry.obstacles import Obstacle, ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+def _router(*rects, die=None):
+    return MazeRouter(ObstacleSet([Obstacle(r) for r in rects]), die=die)
+
+
+def _route_is_clear(points, obstacles):
+    for a, b in zip(points, points[1:]):
+        if obstacles.crossing_obstacles(Segment(a, b)):
+            return False
+    return True
+
+
+class TestMazeRouter:
+    def test_direct_route_when_clear(self):
+        router = _router(Rect(100, 100, 200, 200))
+        assert router.route(Point(0, 0), Point(50, 0)) == [Point(0, 0), Point(50, 0)]
+
+    def test_detour_around_obstacle(self):
+        obstacles = ObstacleSet([Obstacle(Rect(40, -50, 60, 50))])
+        router = MazeRouter(obstacles)
+        route = router.route(Point(0, 0), Point(100, 0))
+        assert route[0] == Point(0, 0) and route[-1] == Point(100, 0)
+        assert _route_is_clear(route, obstacles)
+
+    def test_detour_length_exceeds_manhattan(self):
+        router = _router(Rect(40, -50, 60, 50))
+        length = router.route_length(Point(0, 0), Point(100, 0))
+        assert length > 100.0
+
+    def test_route_length_at_least_manhattan(self):
+        router = _router(Rect(30, 30, 70, 70))
+        start, end = Point(0, 0), Point(100, 100)
+        assert router.route_length(start, end) >= start.manhattan_to(end) - 1e-9
+
+    def test_route_is_rectilinear(self):
+        router = _router(Rect(40, -50, 60, 50))
+        route = router.route(Point(0, 0), Point(100, 0))
+        for a, b in zip(route, route[1:]):
+            assert a.x == b.x or a.y == b.y
+
+    def test_route_respects_die_boundary(self):
+        die = Rect(-10, -100, 110, 100)
+        obstacles = ObstacleSet([Obstacle(Rect(40, -100, 60, 90))])
+        router = MazeRouter(obstacles, die=die)
+        route = router.route(Point(0, 0), Point(100, 0))
+        assert all(die.contains_point(p) for p in route)
+        assert _route_is_clear(route, obstacles)
+
+    def test_unreachable_endpoint_raises(self):
+        # The target is strictly inside a blockage, so every final segment
+        # would cross the obstacle interior.
+        router = _router(Rect(40, 40, 60, 60))
+        with pytest.raises(MazeRouteError):
+            router.route(Point(0, 0), Point(50, 50))
+
+    def test_collinear_points_are_simplified(self):
+        router = _router(Rect(200, 200, 300, 300))
+        route = router.route(Point(0, 0), Point(100, 0))
+        assert len(route) == 2

@@ -1,0 +1,79 @@
+"""Integration tests: whole-flow behaviour that crosses module boundaries."""
+
+import pytest
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.baselines import all_baselines
+from repro.core import ContangoFlow, FlowConfig
+from repro.workloads import generate_ispd09_benchmark, generate_ti_benchmark
+
+from conftest import make_small_instance
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FlowConfig(engine="arnoldi")
+
+
+@pytest.fixture(scope="module")
+def optimized(config):
+    instance = make_small_instance(sink_count=28, seed=19)
+    result = ContangoFlow(config).run(instance)
+    return instance, result
+
+
+class TestContangoVersusBaselines:
+    def test_contango_beats_every_baseline_on_clr(self, config, optimized):
+        """The Table IV shape: the integrated flow wins on CLR against all baselines."""
+        instance, contango = optimized
+        for baseline in all_baselines(config):
+            baseline_result = baseline.run(instance)
+            assert contango.clr <= baseline_result.clr * 1.05
+
+    def test_contango_beats_every_baseline_on_skew(self, config, optimized):
+        instance, contango = optimized
+        for baseline in all_baselines(config):
+            baseline_result = baseline.run(instance)
+            assert contango.skew <= baseline_result.skew + 1e-6
+
+    def test_contango_respects_limits_baselines_may_not(self, optimized):
+        _, contango = optimized
+        assert contango.final_report.within_capacitance_limit
+        assert not contango.final_report.has_slew_violation
+
+
+class TestStageProgress:
+    def test_table3_shape_monotone_skew_through_wire_stages(self, optimized):
+        _, result = optimized
+        skews = {s.stage: s.skew_ps for s in result.stages}
+        assert skews["BWSN"] <= skews["TWSN"] <= skews["TWSZ"] <= skews["TBSZ"] + 1e-6
+
+    def test_final_skew_is_small_fraction_of_latency(self, optimized):
+        _, result = optimized
+        assert result.skew < 0.15 * result.final_report.max_latency
+
+
+class TestCrossEngineConsistency:
+    def test_optimized_tree_ranks_the_same_under_spice(self, optimized):
+        """A tree optimized with the Arnoldi engine stays clean under the transient engine."""
+        instance, result = optimized
+        spice = ClockNetworkEvaluator(
+            EvaluatorConfig(engine="spice", slew_limit=instance.slew_limit),
+            capacitance_limit=instance.capacitance_limit,
+        ).evaluate(result.tree)
+        assert spice.skew == pytest.approx(result.skew, rel=0.5, abs=5.0)
+        assert not spice.has_slew_violation
+
+
+class TestGeneratedBenchmarks:
+    def test_scaled_ispd09_benchmark_flows_end_to_end(self, config):
+        instance = generate_ispd09_benchmark("ispd09fnb1", sink_scale=0.15)
+        result = ContangoFlow(config).run(instance)
+        assert result.stage("BWSN").skew_ps <= result.stage("INITIAL").skew_ps
+        assert result.final_report.within_capacitance_limit
+
+    def test_small_ti_benchmark_flows_end_to_end(self, config):
+        instance = generate_ti_benchmark(120)
+        result = ContangoFlow(config).run(instance)
+        assert result.tree.sink_count() == 120
+        assert not result.final_report.has_slew_violation

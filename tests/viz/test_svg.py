@@ -1,0 +1,49 @@
+"""Tests for SVG clock-tree rendering."""
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.core.slack import annotate_tree_slacks
+from repro.geometry import Obstacle, ObstacleSet, Rect
+from repro.viz import render_tree_svg, save_tree_svg
+
+from conftest import make_manual_tree, make_zst_tree
+
+
+class TestRendering:
+    def test_svg_document_structure(self, manual_tree):
+        svg = render_tree_svg(manual_tree)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_sinks_drawn_as_crosses(self, manual_tree):
+        svg = render_tree_svg(manual_tree)
+        assert svg.count("<path") == manual_tree.sink_count()
+
+    def test_buffers_drawn_as_blue_rectangles(self, manual_tree):
+        svg = render_tree_svg(manual_tree)
+        assert svg.count("#1f5fd0") == manual_tree.buffer_count()
+
+    def test_every_edge_drawn(self, manual_tree):
+        svg = render_tree_svg(manual_tree)
+        edges = sum(1 for n in manual_tree.nodes() if n.parent is not None)
+        assert svg.count("<line") == edges
+
+    def test_slack_gradient_colors_edges(self):
+        tree = make_zst_tree(sink_count=12)
+        report = ClockNetworkEvaluator(EvaluatorConfig(engine="elmore")).evaluate(tree)
+        annotation = annotate_tree_slacks(tree, report)
+        svg = render_tree_svg(tree, annotation=annotation)
+        assert "rgb(" in svg
+
+    def test_obstacles_and_die_drawn(self, manual_tree):
+        obstacles = ObstacleSet([Obstacle(Rect(100, 100, 200, 200))])
+        svg = render_tree_svg(manual_tree, obstacles=obstacles, die=Rect(0, -300, 900, 300))
+        assert "#dddddd" in svg
+
+    def test_title_rendered(self, manual_tree):
+        svg = render_tree_svg(manual_tree, title="hello tree")
+        assert "hello tree" in svg
+
+    def test_save_writes_file(self, manual_tree, tmp_path):
+        target = save_tree_svg(manual_tree, tmp_path / "tree.svg")
+        assert target.exists()
+        assert target.read_text().startswith("<svg")

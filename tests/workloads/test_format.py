@@ -1,0 +1,68 @@
+"""Tests for the benchmark file format reader/writer."""
+
+import pytest
+
+from repro.workloads import generate_ispd09_benchmark, read_instance, write_instance
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_instance(self, tmp_path):
+        original = generate_ispd09_benchmark("ispd09f22", sink_scale=0.3)
+        path = tmp_path / "f22.cns"
+        write_instance(original, path)
+        loaded = read_instance(path)
+
+        assert loaded.name == original.name
+        assert loaded.die == original.die
+        assert loaded.source == original.source
+        assert loaded.source_resistance == original.source_resistance
+        assert loaded.slew_limit == original.slew_limit
+        assert loaded.capacitance_limit == pytest.approx(original.capacitance_limit)
+        assert loaded.sink_count == original.sink_count
+        assert len(loaded.obstacles) == len(original.obstacles)
+        assert [w.name for w in loaded.wire_library] == [w.name for w in original.wire_library]
+        assert len(loaded.buffer_library) == len(original.buffer_library)
+
+    def test_roundtrip_preserves_sink_data(self, tmp_path):
+        original = generate_ispd09_benchmark("ispd09f11", sink_scale=0.2)
+        path = tmp_path / "f11.cns"
+        write_instance(original, path)
+        loaded = read_instance(path)
+        for a, b in zip(original.sinks, loaded.sinks):
+            assert a.name == b.name
+            assert a.position.is_close(b.position, tol=1e-6)
+            assert a.capacitance == pytest.approx(b.capacitance)
+
+    def test_loaded_instance_validates(self, tmp_path):
+        original = generate_ispd09_benchmark("ispd09f32", sink_scale=0.2)
+        path = tmp_path / "f32.cns"
+        write_instance(original, path)
+        read_instance(path).validate()
+
+
+class TestErrorHandling:
+    def test_unknown_keyword_rejected(self, tmp_path):
+        path = tmp_path / "bad.cns"
+        path.write_text("name x\ndie 0 0 10 10\nsource 5 0 50\nfrobnicate 1 2 3\n")
+        with pytest.raises(ValueError, match="frobnicate"):
+            read_instance(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.cns"
+        path.write_text("name x\ndie 0 0 10\n")
+        with pytest.raises(ValueError, match="bad.cns:2"):
+            read_instance(path)
+
+    def test_missing_die_rejected(self, tmp_path):
+        path = tmp_path / "bad.cns"
+        path.write_text("name x\nsource 5 0 50\nsink a 1 1 5 0\n")
+        with pytest.raises(ValueError, match="die"):
+            read_instance(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        original = generate_ispd09_benchmark("ispd09f22", sink_scale=0.2)
+        path = tmp_path / "ok.cns"
+        write_instance(original, path)
+        content = "# leading comment\n\n" + path.read_text()
+        path.write_text(content)
+        assert read_instance(path).sink_count == original.sink_count
