@@ -1,6 +1,8 @@
-"""Benchmark-suite configuration: make the shared harness importable."""
+"""Benchmark-suite configuration.
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+No ``sys.path`` manipulation is needed here: pytest's default ``prepend``
+import mode already puts this directory on ``sys.path`` while collecting the
+benchmark modules, which is what makes ``from harness import ...`` work, and
+the shared fixture builders are imported by package path from
+:mod:`repro.testing`.
+"""

@@ -9,24 +9,61 @@ corner.  The resulting :class:`EvaluationReport` carries everything the
 optimization passes need: per-sink rise/fall latencies, skew, the multi-corner
 Clock Latency Range (CLR), worst slew, slew violations and the capacitance
 (power) total.
+
+Incremental evaluation
+----------------------
+Contango's optimization passes call the evaluator after every candidate move,
+but a move touches a handful of edges while the tree has hundreds of stages.
+The evaluator therefore keeps a :class:`StageCache`: stage analysis results
+are stored under **content keys** derived from the mutation journal of
+:class:`~repro.cts.tree.ClockTree` (per-node revisions plus the structure
+revision), so re-evaluating a tree re-extracts and re-analyzes only the
+stages whose RC content actually changed since any previous evaluation --
+including evaluations of clones, probes and rolled-back snapshots, which
+share revisions with the tree they were copied from.  Arrival/slew
+propagation over the cached per-stage results is cheap dictionary arithmetic
+and is re-run in full, so downstream effects of a dirty stage (changed input
+slews at later stages) are always reflected exactly: an incremental
+evaluation returns bit-identical results to a cold one.
+
+For the analytical engines (``elmore``/``arnoldi``) each stage is reduced
+once per content revision to a few base vectors
+(:func:`repro.analysis.arnoldi.base_tap_moments`, built with numpy prefix
+sums over all segments at once) from which delays and slews at *every* corner
+and transition are produced in one batched array operation -- no per-corner
+network rebuilds.  The transient (``spice``) engine caches the per-corner
+stage networks and per-input-slew waveform analyses instead.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.arnoldi import arnoldi_stage_timing
+from repro.analysis.arnoldi import (
+    base_tap_moments,
+    batched_delay_sigma,
+    batched_tap_moments,
+)
 from repro.analysis.corners import Corner, ispd09_corners
-from repro.analysis.elmore import StageTiming, elmore_stage_timing
-from repro.analysis.rcnetwork import Stage, StageNetwork, build_stage_network, extract_stages
+from repro.analysis.elmore import StageTiming
+from repro.analysis.rcnetwork import (
+    Stage,
+    StageNetwork,
+    build_base_stage_network,
+    build_stage_network,
+    extract_stages,
+)
 from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
+from repro.analysis.units import LN9
 from repro.cts.tree import ClockTree
 
 __all__ = [
     "EvaluatorConfig",
     "CornerTiming",
     "EvaluationReport",
+    "StageCache",
     "ClockNetworkEvaluator",
 ]
 
@@ -63,6 +100,11 @@ class EvaluatorConfig:
         Asymmetry of the driver resistance for rising and falling outputs.
     solver:
         Numerical settings for the transient engine.
+    incremental:
+        Enable the :class:`StageCache` so that repeated evaluations only
+        re-analyze stages whose RC content changed.  Results are identical to
+        cold evaluation; disable only for debugging or memory-constrained
+        runs.
     """
 
     engine: str = "spice"
@@ -74,6 +116,7 @@ class EvaluatorConfig:
     pull_up_factor: float = 1.08
     pull_down_factor: float = 0.95
     solver: TransientSolverConfig = field(default_factory=TransientSolverConfig)
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ("elmore", "arnoldi", "spice"):
@@ -207,11 +250,121 @@ class EvaluationReport:
         }
 
 
+# Content key of one stage: (driver head, ((edge id, edge revision), ...)).
+_StageKey = Tuple[tuple, tuple]
+
+
+class StageCache:
+    """Content-addressed cache of per-stage analysis results.
+
+    Entries are keyed by stage content keys built from the
+    :class:`~repro.cts.tree.ClockTree` mutation journal, so they remain valid
+    across snapshots, clones and rollbacks: two stages with equal keys have
+    identical RC content, no matter which tree object they live in.  The
+    cache stores
+
+    * ``stage lists`` per tree structure revision (the stage decomposition),
+    * ``tap models`` per stage content (batched delay/sigma for every corner
+      and transition; analytical engines),
+    * ``networks`` per (stage content, corner, transition) and ``timings``
+      per (stage content, corner, transition, input slew) for the transient
+      engine.
+
+    When the total entry count exceeds ``max_entries`` the cache is cleared
+    wholesale -- the next evaluation repopulates it with only the live keys,
+    which keeps memory bounded without LRU bookkeeping on the hot path.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self.max_entries = max_entries
+        self._stage_lists: "OrderedDict[int, List[Stage]]" = OrderedDict()
+        self._tap_models: Dict[_StageKey, Dict] = {}
+        self._networks: Dict[tuple, StageNetwork] = {}
+        self._timings: Dict[tuple, StageTiming] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- stage decomposition ------------------------------------------------
+    def stage_list(self, tree: ClockTree) -> List[Stage]:
+        """The tree's stage decomposition, cached by structure revision."""
+        revision = tree.structure_revision
+        stages = self._stage_lists.get(revision)
+        if stages is None:
+            stages = extract_stages(tree)
+            if len(self._stage_lists) >= 16:
+                self._stage_lists.popitem(last=False)
+            self._stage_lists[revision] = stages
+        else:
+            self._stage_lists.move_to_end(revision)
+        return stages
+
+    # -- analytical-engine models ------------------------------------------
+    def tap_model(self, key: _StageKey):
+        model = self._tap_models.get(key)
+        if model is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return model
+
+    def store_tap_model(self, key: _StageKey, model) -> None:
+        self._bound()
+        self._tap_models[key] = model
+
+    # -- transient-engine entries ------------------------------------------
+    def network(self, key: tuple) -> Optional[StageNetwork]:
+        return self._networks.get(key)
+
+    def store_network(self, key: tuple, network: StageNetwork) -> None:
+        self._bound()
+        self._networks[key] = network
+
+    def timing(self, key: tuple) -> Optional[StageTiming]:
+        timing = self._timings.get(key)
+        if timing is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return timing
+
+    def store_timing(self, key: tuple, timing: StageTiming) -> None:
+        self._bound()
+        self._timings[key] = timing
+
+    # -- maintenance --------------------------------------------------------
+    def _bound(self) -> None:
+        if len(self._tap_models) + len(self._networks) + len(self._timings) >= self.max_entries:
+            self.clear()
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached entry (stats are kept)."""
+        self._stage_lists.clear()
+        self._tap_models.clear()
+        self._networks.clear()
+        self._timings.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "tap_models": len(self._tap_models),
+            "networks": len(self._networks),
+            "timings": len(self._timings),
+            "stage_lists": len(self._stage_lists),
+        }
+
+
 class ClockNetworkEvaluator:
     """Evaluate a clock tree with the configured engine at multiple corners.
 
     The evaluator keeps a running count of invocations (``run_count``), which
-    stands in for the paper's "number of SPICE runs" metric in Table V.
+    stands in for the paper's "number of SPICE runs" metric in Table V, and a
+    :class:`StageCache` making repeated evaluations incremental: only stages
+    whose RC content changed since *any* earlier evaluation (of this tree or
+    of a snapshot sharing its revisions) are re-analyzed.
     """
 
     def __init__(
@@ -230,16 +383,66 @@ class ClockNetworkEvaluator:
         # The fast corner has the highest supply, the slow corner the lowest.
         self._fast = max(corner_list, key=lambda c: c.vdd).name
         self._slow = min(corner_list, key=lambda c: c.vdd).name
+        self.cache = StageCache()
+        # One batched scaling row per (corner, transition) combination.
+        self._combos: List[Tuple[str, str]] = []
+        driver_scales: List[float] = []
+        res_scales: List[float] = []
+        cap_scales: List[float] = []
+        for corner in corner_list:
+            for direction in _TRANSITIONS:
+                asym = (
+                    self.config.pull_up_factor
+                    if direction == RISE
+                    else self.config.pull_down_factor
+                )
+                self._combos.append((corner.name, direction))
+                driver_scales.append(corner.driver_scale * asym)
+                res_scales.append(corner.wire_res_scale)
+                cap_scales.append(corner.wire_cap_scale)
+        self._combo_scales = (driver_scales, res_scales, cap_scales)
+        # With no corner scaling wire capacitance (the ISPD'09 set), the
+        # moment reduction can collapse wire and load caps into one component.
+        self._split_caps = any(scale != 1.0 for scale in cap_scales)
 
     # ------------------------------------------------------------------
-    def evaluate(self, tree: ClockTree) -> EvaluationReport:
-        """Run one Clock-Network Evaluation of ``tree`` at every corner."""
+    def evaluate(
+        self, tree: ClockTree, incremental: Optional[bool] = None
+    ) -> EvaluationReport:
+        """Run one Clock-Network Evaluation of ``tree`` at every corner.
+
+        With ``incremental`` left at ``None`` the :class:`EvaluatorConfig`
+        decides whether the stage cache is used; passing ``False`` forces a
+        cold evaluation (identical results, no cache reads or writes).
+        """
         self.run_count += 1
-        stages = extract_stages(tree)
-        corner_results = {
-            corner.name: self._evaluate_corner(tree, stages, corner)
-            for corner in self.corners
-        }
+        use_cache = self.config.incremental if incremental is None else incremental
+        # Driver buffers are read live from the tree: cached stage lists may
+        # pre-date a same-site buffer re-sizing.
+        stages, keys, drivers = self._stages_and_keys(tree, use_cache)
+        # (is_sink, has_buffer) per tap, shared by every corner/launch sweep.
+        tap_flags: Dict[int, Tuple[bool, bool]] = {}
+        for stage in stages:
+            for tap in stage.taps:
+                node = tree.node(tap)
+                tap_flags[tap] = (node.is_sink, node.buffer is not None)
+        if self.config.engine in ("elmore", "arnoldi"):
+            models = [
+                self._tap_model(tree, stage, key) for stage, key in zip(stages, keys)
+            ]
+            corner_results = {
+                corner.name: self._corner_from_models(
+                    stages, models, drivers, tap_flags, corner
+                )
+                for corner in self.corners
+            }
+        else:
+            corner_results = {
+                corner.name: self._corner_transient(
+                    tree, stages, keys, drivers, tap_flags, corner
+                )
+                for corner in self.corners
+            }
         return EvaluationReport(
             corners=corner_results,
             fast_corner=self._fast,
@@ -252,45 +455,189 @@ class ClockNetworkEvaluator:
             evaluation_index=self.run_count,
         )
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/size statistics of the stage cache."""
+        return self.cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop all cached stage analyses (results are unaffected)."""
+        self.cache.clear()
+
     # ------------------------------------------------------------------
-    def _evaluate_corner(
-        self, tree: ClockTree, stages: List[Stage], corner: Corner
+    # Stage bookkeeping
+    # ------------------------------------------------------------------
+    def _stages_and_keys(self, tree: ClockTree, use_cache: bool):
+        if not use_cache:
+            stages = extract_stages(tree)
+            drivers = [tree.node(stage.driver_id).buffer for stage in stages]
+            return stages, [None] * len(stages), drivers
+        stages = self.cache.stage_list(tree)
+        revisions = tree.node_revisions
+        keys: List[Optional[_StageKey]] = []
+        drivers = []
+        for stage in stages:
+            driver_id = stage.driver_id
+            driver_buffer = tree.node(driver_id).buffer
+            drivers.append(driver_buffer)
+            if driver_buffer is None:
+                head = (driver_id, revisions[driver_id], tree.source_resistance)
+            else:
+                head = (driver_id, revisions[driver_id])
+            keys.append((head, tuple((e, revisions[e]) for e in stage.edges)))
+        return stages, keys, drivers
+
+    # ------------------------------------------------------------------
+    # Analytical engines: batched per-stage tap models
+    # ------------------------------------------------------------------
+    def _tap_model(self, tree: ClockTree, stage: Stage, key: Optional[_StageKey]):
+        """Per-stage ``{(corner, transition): {tap: (delay, sigma)}}`` mapping.
+
+        ``delay`` is the wire delay from the driver switching instant and
+        ``sigma`` the intrinsic slew scale; both are independent of the input
+        transition, which enters only in the final PERI combination during
+        propagation -- that is what makes the cached model reusable no matter
+        how upstream stages change.
+        """
+        if key is not None:
+            cached = self.cache.tap_model(key)
+            if cached is not None:
+                return cached
+        base = build_base_stage_network(tree, stage, self.config.max_segment_length)
+        moments = base_tap_moments(base, split_wire_load=self._split_caps)
+        m1, m2 = batched_tap_moments(moments, *self._combo_scales)
+        delay, sigma = batched_delay_sigma(
+            m1, m2, use_d2m=(self.config.engine == "arnoldi")
+        )
+        model = {}
+        for row, combo in enumerate(self._combos):
+            delays = delay[row]
+            sigmas = sigma[row]
+            model[combo] = {
+                tap: (delays[column], sigmas[column])
+                for column, tap in enumerate(moments.tap_ids)
+            }
+        if key is not None:
+            self.cache.store_tap_model(key, model)
+        return model
+
+    def _corner_from_models(
+        self,
+        stages: List[Stage],
+        models: List[dict],
+        drivers: List,
+        tap_flags: Dict[int, Tuple[bool, bool]],
+        corner: Corner,
     ) -> CornerTiming:
+        def stage_timing(index, stage, output_dir, drive_slew):
+            drive_sq = drive_slew * drive_slew
+            for tap, (delay, sigma) in models[index][(corner.name, output_dir)].items():
+                wire_slew = LN9 * sigma
+                yield tap, delay, (wire_slew * wire_slew + drive_sq) ** 0.5
+
+        return self._propagate_corner(stages, drivers, tap_flags, corner, stage_timing)
+
+    # ------------------------------------------------------------------
+    # Transient (SPICE-substitute) engine
+    # ------------------------------------------------------------------
+    def _corner_transient(
+        self,
+        tree: ClockTree,
+        stages: List[Stage],
+        keys: List[Optional[_StageKey]],
+        drivers: List,
+        tap_flags: Dict[int, Tuple[bool, bool]],
+        corner: Corner,
+    ) -> CornerTiming:
+        def stage_timing(index, stage, output_dir, drive_slew):
+            timing = self._transient_stage_timing(
+                tree, stage, keys[index], corner, output_dir, drive_slew
+            )
+            return [(tap, timing.delay[tap], timing.slew[tap]) for tap in stage.taps]
+
+        return self._propagate_corner(stages, drivers, tap_flags, corner, stage_timing)
+
+    # ------------------------------------------------------------------
+    # Shared arrival/slew propagation
+    # ------------------------------------------------------------------
+    def _propagate_corner(
+        self,
+        stages: List[Stage],
+        drivers: List,
+        tap_flags: Dict[int, Tuple[bool, bool]],
+        corner: Corner,
+        stage_timing,
+    ) -> CornerTiming:
+        """Propagate both launch transitions through the ordered stages.
+
+        ``stage_timing(index, stage, output_dir, drive_slew)`` yields
+        ``(tap, delay, slew)`` triples for one stage; everything else --
+        inversion tracking, gate delay, slew regeneration, sink/buffer
+        bookkeeping -- is engine-independent and lives only here.
+        """
+        cfg = self.config
+        root_id = stages[0].driver_id
         latency: Dict[int, Dict[str, float]] = {}
         slew: Dict[int, Dict[str, float]] = {}
         tap_slew: Dict[int, Dict[str, float]] = {}
         for launch in _TRANSITIONS:
-            self._propagate_launch(tree, stages, corner, launch, latency, slew, tap_slew)
+            arrival_at: Dict[int, float] = {root_id: 0.0}
+            slew_at: Dict[int, float] = {root_id: cfg.source_slew}
+            direction_at: Dict[int, str] = {root_id: launch}
+            for index, (stage, buffer) in enumerate(zip(stages, drivers)):
+                driver_id = stage.driver_id
+                input_arrival = arrival_at[driver_id]
+                input_slew = slew_at[driver_id]
+                input_dir = direction_at[driver_id]
+                if buffer is not None and buffer.inverting:
+                    output_dir = FALL if input_dir == RISE else RISE
+                else:
+                    output_dir = input_dir
+                if buffer is None:
+                    drive_slew = input_slew
+                    gate_delay = 0.0
+                else:
+                    drive_slew = cfg.buffer_slew_regeneration * input_slew
+                    gate_delay = (
+                        buffer.intrinsic_delay * corner.driver_scale
+                        + cfg.slew_delay_factor * input_slew
+                    )
+                for tap, delay, tap_slew_value in stage_timing(
+                    index, stage, output_dir, drive_slew
+                ):
+                    tap_arrival = input_arrival + gate_delay + delay
+                    is_sink, has_buffer = tap_flags[tap]
+                    tap_slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                    if is_sink:
+                        latency.setdefault(tap, {})[output_dir] = tap_arrival
+                        slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                    if has_buffer:
+                        arrival_at[tap] = tap_arrival
+                        slew_at[tap] = tap_slew_value
+                        direction_at[tap] = output_dir
         return CornerTiming(corner=corner, latency=latency, slew=slew, tap_slew=tap_slew)
 
-    def _propagate_launch(
+    def _transient_stage_timing(
         self,
         tree: ClockTree,
-        stages: List[Stage],
+        stage: Stage,
+        key: Optional[_StageKey],
         corner: Corner,
-        launch: str,
-        latency: Dict[int, Dict[str, float]],
-        slew: Dict[int, Dict[str, float]],
-        tap_slew: Dict[int, Dict[str, float]],
-    ) -> None:
+        output_dir: str,
+        drive_slew: float,
+    ) -> StageTiming:
         cfg = self.config
-        # Arrival time and input slew at each stage driver's *input*.
-        arrival_at: Dict[int, float] = {tree.root_id: 0.0}
-        slew_at: Dict[int, float] = {tree.root_id: cfg.source_slew}
-        # Transition direction of the signal arriving at each stage driver.
-        direction_at: Dict[int, str] = {tree.root_id: launch}
-
-        for stage in stages:
-            driver_id = stage.driver_id
-            input_arrival = arrival_at[driver_id]
-            input_slew = slew_at[driver_id]
-            input_dir = direction_at[driver_id]
-
-            if stage.driver_buffer is not None and stage.driver_buffer.inverting:
-                output_dir = FALL if input_dir == RISE else RISE
-            else:
-                output_dir = input_dir
-
+        timing_key = None
+        if key is not None:
+            timing_key = (key, corner.name, output_dir, drive_slew)
+            cached = self.cache.timing(timing_key)
+            if cached is not None:
+                return cached
+        network = None
+        network_key = None
+        if key is not None:
+            network_key = (key, corner.name, output_dir)
+            network = self.cache.network(network_key)
+        if network is None:
             network = build_stage_network(
                 tree,
                 stage,
@@ -300,43 +647,11 @@ class ClockNetworkEvaluator:
                 pull_up_factor=cfg.pull_up_factor,
                 pull_down_factor=cfg.pull_down_factor,
             )
-            if stage.driver_buffer is None:
-                drive_slew = input_slew
-            else:
-                drive_slew = cfg.buffer_slew_regeneration * input_slew
-            timing = self._analyze_stage(network, drive_slew, corner)
-
-            if stage.driver_buffer is not None:
-                gate_delay = (
-                    stage.driver_buffer.intrinsic_delay * corner.driver_scale
-                    + cfg.slew_delay_factor * input_slew
-                )
-            else:
-                gate_delay = 0.0
-
-            if not stage.taps:
-                continue
-            for tap in stage.taps:
-                tap_arrival = input_arrival + gate_delay + timing.delay[tap]
-                tap_slew_value = timing.slew[tap]
-                node = tree.node(tap)
-                tap_slew.setdefault(tap, {})[output_dir] = tap_slew_value
-                if node.is_sink:
-                    latency.setdefault(tap, {})[output_dir] = tap_arrival
-                    slew.setdefault(tap, {})[output_dir] = tap_slew_value
-                if node.has_buffer:
-                    arrival_at[tap] = tap_arrival
-                    slew_at[tap] = tap_slew_value
-                    direction_at[tap] = output_dir
-
-    def _analyze_stage(
-        self, network: StageNetwork, input_slew: float, corner: Corner
-    ) -> StageTiming:
-        engine = self.config.engine
-        if engine == "elmore":
-            return elmore_stage_timing(network, input_slew)
-        if engine == "arnoldi":
-            return arnoldi_stage_timing(network, input_slew)
-        return transient_stage_timing(
-            network, input_slew, vdd=corner.vdd, config=self.config.solver
+            if network_key is not None:
+                self.cache.store_network(network_key, network)
+        timing = transient_stage_timing(
+            network, drive_slew, vdd=corner.vdd, config=cfg.solver
         )
+        if timing_key is not None:
+            self.cache.store_timing(timing_key, timing)
+        return timing

@@ -17,11 +17,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.analysis.corners import Corner
 from repro.cts.bufferlib import BufferType
 from repro.cts.tree import ClockTree, TreeNode
 
-__all__ = ["Stage", "StageNetwork", "extract_stages", "build_stage_network"]
+__all__ = [
+    "Stage",
+    "StageNetwork",
+    "BaseStageNetwork",
+    "extract_stages",
+    "build_stage_network",
+    "build_base_stage_network",
+    "subtree_interval_sums",
+    "path_sums",
+]
 
 # Resistance used for zero-length connections so the nodal matrix stays regular.
 _MIN_RESISTANCE = 1e-3
@@ -45,6 +56,10 @@ class Stage:
     """
 
     driver_id: int
+    #: The driving buffer *at extraction time*.  Stage lists may be cached
+    #: across buffer re-sizings, so code that must see the current driver
+    #: (the evaluator, the network builders) reads it live from the tree via
+    #: ``tree.node(stage.driver_id).buffer`` instead of trusting this field.
     driver_buffer: Optional[BufferType]
     edges: List[int] = field(default_factory=list)
     taps: List[int] = field(default_factory=list)
@@ -149,14 +164,15 @@ def build_stage_network(
     driver_scale = corner.driver_scale if corner is not None else 1.0
 
     driver_node = tree.node(stage.driver_id)
+    driver_buffer = driver_node.buffer
     parent: List[int] = [-1]
     resistance: List[float] = [0.0]
     capacitance: List[float] = [0.0]
     tap_index: Dict[int, int] = {}
     tree_to_net: Dict[int, int] = {stage.driver_id: 0}
 
-    if stage.driver_buffer is not None:
-        capacitance[0] += stage.driver_buffer.output_cap
+    if driver_buffer is not None:
+        capacitance[0] += driver_buffer.output_cap
 
     stage_edge_set = set(stage.edges)
     stage_tap_set = set(stage.taps)
@@ -189,8 +205,8 @@ def build_stage_network(
         load = _tap_load(tree, node, node_id in stage_tap_set)
         capacitance[net_idx] += load
 
-    if stage.driver_buffer is not None:
-        base_res = stage.driver_buffer.output_res
+    if driver_buffer is not None:
+        base_res = driver_buffer.output_res
     else:
         base_res = tree.source_resistance
     asym = pull_up_factor if rise else pull_down_factor
@@ -206,6 +222,143 @@ def build_stage_network(
         tap_index=tap_index,
         driver_resistance=driver_resistance,
         total_capacitance=sum(capacitance),
+    )
+
+
+@dataclass
+class BaseStageNetwork:
+    """Corner-independent lumped RC arrays of one stage, in DFS preorder.
+
+    This is the vectorized counterpart of :class:`StageNetwork`: wire
+    resistances and capacitances are stored *unscaled* (nominal corner) as
+    numpy arrays, so a timing engine can apply any number of corner /
+    transition scalings as batched array arithmetic instead of rebuilding the
+    network per corner.  Capacitance is kept in two components because
+    corners scale them differently: ``wire_capacitance`` (subject to
+    ``wire_cap_scale``) and ``load_capacitance`` (sink pins, tap buffer
+    input pins and the driver's output cap -- never corner-scaled, matching
+    :func:`build_stage_network`).  Network nodes are guaranteed to be in DFS
+    preorder (parents before children, subtrees contiguous);
+    ``subtree_end[i]`` is the exclusive end of node ``i``'s subtree interval,
+    which makes subtree aggregations (downstream capacitance,
+    capacitance-weighted moments) plain prefix-sum differences and
+    root-to-node path sums a scatter-add plus one cumulative sum -- no
+    per-node Python loops.
+    """
+
+    parent: np.ndarray
+    resistance: np.ndarray
+    wire_capacitance: np.ndarray
+    load_capacitance: np.ndarray
+    subtree_end: np.ndarray
+    tap_ids: List[int]
+    tap_indices: np.ndarray
+    driver_resistance: float
+    total_capacitance: float
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+
+def subtree_interval_sums(values: np.ndarray, subtree_end: np.ndarray) -> np.ndarray:
+    """Per-node sums of ``values`` over each node's subtree (vectorized).
+
+    Requires DFS-preorder indexing with ``subtree_end`` intervals, as built by
+    :func:`build_base_stage_network`.
+    """
+    prefix = np.concatenate(([0.0], np.cumsum(values)))
+    return prefix[subtree_end] - prefix[: len(values)]
+
+
+def path_sums(values: np.ndarray, subtree_end: np.ndarray) -> np.ndarray:
+    """Per-node sums of ``values`` over the root-to-node path (vectorized).
+
+    Node ``j`` contributes to node ``i`` exactly when ``i`` lies in ``j``'s
+    subtree interval ``[j, subtree_end[j])``, so scattering ``+values[j]`` at
+    ``j`` and ``-values[j]`` at ``subtree_end[j]`` turns the path sum into one
+    cumulative sum over the difference array.  The scatter uses ``bincount``
+    (duplicate interval ends accumulate) rather than ``np.subtract.at``,
+    which is an order of magnitude slower on small arrays.
+    """
+    n = len(values)
+    removal = np.bincount(subtree_end, weights=values, minlength=n + 1)[:n]
+    return np.cumsum(values - removal)
+
+
+def build_base_stage_network(
+    tree: ClockTree,
+    stage: Stage,
+    max_segment_length: float = 100.0,
+) -> BaseStageNetwork:
+    """Build the corner-independent lumped RC network of a stage.
+
+    Performs the same segmentation as :func:`build_stage_network` at the
+    nominal corner, but returns numpy arrays in DFS preorder together with
+    the subtree intervals needed by the vectorized engines.  Corner scalings
+    (wire RC, driver strength, rise/fall asymmetry) are applied later by the
+    engines as batched scalar multiplies; wire and load capacitance are kept
+    separate so that ``wire_cap_scale`` touches only the wire component,
+    exactly as in the per-corner builder.  The only (deliberate) deviation:
+    the tiny regularization resistance of zero-length connections is scaled
+    by ``wire_res_scale`` here but not in :func:`build_stage_network` --
+    a sub-femtosecond effect.
+    """
+    driver_node = tree.node(stage.driver_id)
+    driver_buffer = driver_node.buffer
+    parent: List[int] = [-1]
+    resistance: List[float] = [0.0]
+    wire_cap: List[float] = [0.0]
+    load_cap: List[float] = [0.0]
+    tree_to_net: Dict[int, int] = {stage.driver_id: 0}
+
+    if driver_buffer is not None:
+        load_cap[0] += driver_buffer.output_cap
+        base_res = driver_buffer.output_res
+    else:
+        base_res = tree.source_resistance
+
+    stage_edge_set = set(stage.edges)
+    stage_tap_set = set(stage.taps)
+
+    stack = [child for child in driver_node.children if child in stage_edge_set]
+    order: List[int] = []
+    while stack:
+        node_id = stack.pop()
+        order.append(node_id)
+        node = tree.node(node_id)
+        if node_id in stage_tap_set:
+            continue
+        stack.extend(c for c in node.children if c in stage_edge_set)
+
+    for node_id in order:
+        node = tree.node(node_id)
+        parent_net = tree_to_net[node.parent]
+        net_idx = _add_edge_segments(
+            node, parent_net, parent, resistance, wire_cap, 1.0, 1.0, max_segment_length
+        )
+        load_cap.extend([0.0] * (len(wire_cap) - len(load_cap)))
+        tree_to_net[node_id] = net_idx
+        load_cap[net_idx] += _tap_load(tree, node, node_id in stage_tap_set)
+
+    n = len(parent)
+    subtree_end = list(range(1, n + 1))
+    for idx in range(n - 1, 0, -1):
+        par = parent[idx]
+        if subtree_end[idx] > subtree_end[par]:
+            subtree_end[par] = subtree_end[idx]
+
+    tap_ids = list(stage.taps)
+    return BaseStageNetwork(
+        parent=np.asarray(parent, dtype=np.int32),
+        resistance=np.asarray(resistance),
+        wire_capacitance=np.asarray(wire_cap),
+        load_capacitance=np.asarray(load_cap),
+        subtree_end=np.asarray(subtree_end, dtype=np.int32),
+        tap_ids=tap_ids,
+        tap_indices=np.asarray([tree_to_net[t] for t in tap_ids], dtype=np.int32),
+        driver_resistance=base_res,
+        total_capacitance=float(sum(wire_cap) + sum(load_cap)),
     )
 
 

@@ -86,6 +86,7 @@ def bottom_level_fine_tuning(
     )
     if snake_model is None:
         result.notes.append("bottom-level snake impact model could not be calibrated")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -143,6 +144,7 @@ def bottom_level_fine_tuning(
     if rise_fall_divergence(report):
         result.notes.append("rise/fall corner sinks diverged; further gains limited")
     result.final = report.summary()
+    result.final_report = report
     result.evaluations_used = evaluator.run_count - evals_before
     return result
 

@@ -88,6 +88,7 @@ def iterative_buffer_sizing(
     )
     if not tree.buffers():
         result.notes.append("tree has no buffers to size")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -131,6 +132,7 @@ def iterative_buffer_sizing(
         result.improved = True
 
     result.final = report.summary()
+    result.final_report = report
     result.evaluations_used = evaluator.run_count - evals_before
     return result
 

@@ -88,6 +88,7 @@ def slide_and_interleave_trunk(
     chain = find_trunk_chain(tree)
     if len(chain) < 2:
         result.notes.append("tree has no trunk to rebalance")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -95,6 +96,7 @@ def slide_and_interleave_trunk(
     chosen_buffer = buffer or _dominant_trunk_buffer(tree, existing_buffers)
     if chosen_buffer is None:
         result.notes.append("no trunk buffers and no buffer type supplied")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -118,6 +120,7 @@ def slide_and_interleave_trunk(
         result.edges_changed = added
 
     result.final = report.summary()
+    result.final_report = report
     result.evaluations_used = evaluator.run_count - evals_before
     return result
 

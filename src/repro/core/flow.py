@@ -26,7 +26,11 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluatorConfig
+from repro.analysis.evaluator import (
+    ClockNetworkEvaluator,
+    EvaluationReport,
+    EvaluatorConfig,
+)
 from repro.buffering.fast_buffering import insert_buffers_with_sizing
 from repro.core.bottom_level import bottom_level_fine_tuning
 from repro.core.buffer_sizing import iterative_buffer_sizing
@@ -88,61 +92,86 @@ class ContangoFlow:
         self._repair_obstacles(instance, tree, result)
         tree = self._insert_buffers(instance, tree, result)
         self._correct_polarity(instance, tree, result)
-        self._record_stage(self.STAGE_INITIAL, tree, evaluator, result, start)
+        # Each pass hands its last accepted report to the next pass (and to
+        # the stage record) as the baseline, so an unchanged tree is never
+        # re-evaluated; together with the evaluator's stage cache this makes
+        # every candidate move cost only its dirty stages.
+        report = self._record_stage(self.STAGE_INITIAL, tree, evaluator, result, start)
 
         if config.enable_buffer_sizing:
-            result.pass_results["trunk_sliding"] = slide_and_interleave_trunk(
-                tree, evaluator, objective="clr"
+            sliding = slide_and_interleave_trunk(
+                tree, evaluator, baseline=report, objective="clr"
             )
-            result.pass_results["buffer_sizing"] = iterative_buffer_sizing(
+            result.pass_results["trunk_sliding"] = sliding
+            sizing = iterative_buffer_sizing(
                 tree,
                 evaluator,
                 capacitance_limit=instance.capacitance_limit,
+                baseline=sliding.final_report,
                 objective="clr",
                 levels_after_branch=config.sizing_levels_after_branch,
                 max_iterations=config.sizing_max_iterations,
             )
-        self._record_stage(self.STAGE_TBSZ, tree, evaluator, result, start)
+            result.pass_results["buffer_sizing"] = sizing
+            report = sizing.final_report
+        report = self._record_stage(
+            self.STAGE_TBSZ, tree, evaluator, result, start, baseline=report
+        )
 
         if config.enable_wiresizing:
-            result.pass_results["wiresizing"] = top_down_wiresizing(
+            wiresizing = top_down_wiresizing(
                 tree,
                 evaluator,
                 instance.wire_library,
+                baseline=report,
                 objective="skew",
                 corners=slack_corners,
                 max_rounds=config.wiresizing_max_rounds,
             )
-        self._record_stage(self.STAGE_TWSZ, tree, evaluator, result, start)
+            result.pass_results["wiresizing"] = wiresizing
+            report = wiresizing.final_report
+        report = self._record_stage(
+            self.STAGE_TWSZ, tree, evaluator, result, start, baseline=report
+        )
 
         if config.enable_wiresnaking:
-            result.pass_results["wiresnaking"] = top_down_wiresnaking(
+            wiresnaking = top_down_wiresnaking(
                 tree,
                 evaluator,
+                baseline=report,
                 objective="skew",
                 corners=slack_corners,
                 unit_length=config.wiresnaking_unit_length,
                 max_rounds=config.wiresnaking_max_rounds,
             )
-        self._record_stage(self.STAGE_TWSN, tree, evaluator, result, start)
+            result.pass_results["wiresnaking"] = wiresnaking
+            report = wiresnaking.final_report
+        report = self._record_stage(
+            self.STAGE_TWSN, tree, evaluator, result, start, baseline=report
+        )
 
         if config.enable_bottom_level:
-            result.pass_results["bottom_level"] = bottom_level_fine_tuning(
+            bottom = bottom_level_fine_tuning(
                 tree,
                 evaluator,
                 instance.wire_library,
+                baseline=report,
                 objective="skew",
                 corners=slack_corners,
                 unit_length=config.bottom_unit_length,
                 max_rounds=config.bottom_max_rounds,
             )
-        final_record = self._record_stage(self.STAGE_BWSN, tree, evaluator, result, start)
+            result.pass_results["bottom_level"] = bottom
+            report = bottom.final_report
+        report = self._record_stage(
+            self.STAGE_BWSN, tree, evaluator, result, start, baseline=report
+        )
 
         result.tree = tree
-        result.final_report = evaluator.evaluate(tree)
+        result.final_report = report
         result.total_evaluations = evaluator.run_count
+        result.evaluator_cache = evaluator.cache_stats()
         result.runtime_s = time.perf_counter() - start
-        del final_record
         return result
 
     # ------------------------------------------------------------------
@@ -246,10 +275,11 @@ class ContangoFlow:
         evaluator: ClockNetworkEvaluator,
         result: FlowResult,
         start_time: float,
-    ) -> StageRecord:
-        report = evaluator.evaluate(tree)
+        baseline: Optional["EvaluationReport"] = None,
+    ) -> "EvaluationReport":
+        report = baseline if baseline is not None else evaluator.evaluate(tree)
         record = StageRecord.from_report(
             stage, tree, report, elapsed_s=time.perf_counter() - start_time
         )
         result.stages.append(record)
-        return record
+        return report

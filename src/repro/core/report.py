@@ -82,6 +82,9 @@ class FlowResult:
     obstacle_detours: int = 0
     total_evaluations: int = 0
     runtime_s: float = 0.0
+    #: Hit/miss/size statistics of the flow evaluator's incremental stage
+    #: cache (see :meth:`repro.analysis.evaluator.StageCache.stats`).
+    evaluator_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def skew(self) -> float:

@@ -59,6 +59,10 @@ class PassResult:
     final: Dict[str, float]
     evaluations_used: int
     notes: List[str] = field(default_factory=list)
+    #: Evaluation of the tree as the pass left it (the last accepted state).
+    #: Threaded into the next pass as its ``baseline`` so consecutive passes
+    #: never re-evaluate an unchanged tree.
+    final_report: Optional[EvaluationReport] = None
 
     @property
     def skew_reduction(self) -> float:

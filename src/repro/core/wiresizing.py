@@ -76,6 +76,7 @@ def top_down_wiresizing(
     model = calibrate_downsize_model(tree, evaluator, wirelib, report)
     if model is None:
         result.notes.append("no downsizable edges to calibrate the impact model on")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -127,6 +128,7 @@ def top_down_wiresizing(
         result.improved = True
 
     result.final = report.summary()
+    result.final_report = report
     result.evaluations_used = evaluator.run_count - evals_before
     return result
 

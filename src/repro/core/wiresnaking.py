@@ -63,6 +63,7 @@ def top_down_wiresnaking(
     model = calibrate_snake_model(tree, evaluator, report, unit_length)
     if model is None:
         result.notes.append("snake impact model could not be calibrated")
+        result.final_report = report
         result.evaluations_used = evaluator.run_count - evals_before
         return result
 
@@ -114,6 +115,7 @@ def top_down_wiresnaking(
         result.improved = True
 
     result.final = report.summary()
+    result.final_report = report
     result.evaluations_used = evaluator.run_count - evals_before
     return result
 

@@ -140,11 +140,7 @@ class ObstacleAvoider:
             if not self.obstacles.blocks_point(node.position):
                 continue
             new_position = self.obstacles.push_out_of_obstacles(node.position, self.die)
-            node.position = new_position
-            parent = tree.parent_of(node.node_id)
-            node.route = [parent.position, new_position]
-            for child in tree.children_of(node.node_id):
-                child.route = [new_position, child.position]
+            tree.move_node(node.node_id, new_position)
             report.nodes_legalized += 1
 
     # ------------------------------------------------------------------
@@ -180,11 +176,11 @@ class ObstacleAvoider:
                 # the minimum-overlap L-shape in place.
                 new_route = self._least_overlap_lshape(parent.position, node.position)
                 if new_route is not None:
-                    node.route = new_route
+                    tree.set_route(node.node_id, new_route)
                 continue
             flipped = self._clear_lshape(parent.position, node.position)
             if flipped is not None:
-                node.route = flipped
+                tree.set_route(node.node_id, flipped)
                 report.lshape_flips += 1
                 continue
             try:
@@ -195,7 +191,7 @@ class ObstacleAvoider:
                 )
                 continue
             extra = _route_length(rerouted) - node.route_length()
-            node.route = rerouted
+            tree.set_route(node.node_id, rerouted)
             report.maze_reroutes += 1
             report.detour_wirelength += max(extra, 0.0)
 
@@ -361,23 +357,12 @@ class ObstacleAvoider:
         removed = 0.0
         sinks = tree.subtree_sinks(subtree_root)
         sink_ids = {s.node_id for s in sinks}
-        parent = tree.parent_of(subtree_root)
-        to_delete = [
-            n.node_id
-            for n in tree.preorder(subtree_root)
-            if n.node_id not in sink_ids
-        ]
         for node in tree.preorder(subtree_root):
             removed += node.edge_length()
-        # Detach sinks first so they are not orphaned by the deletions below.
+        # Detach sinks first so they survive the subtree deletion below.
         for sink_id in sink_ids:
-            sink_node = tree.node(sink_id)
-            old_parent = tree.node(sink_node.parent)
-            old_parent.children.remove(sink_id)
-            sink_node.parent = None
-        parent.children.remove(subtree_root)
-        for node_id in to_delete:
-            tree._nodes.pop(node_id)  # noqa: SLF001 - intentional structural surgery
+            tree.detach_subtree(sink_id)
+        tree.remove_subtree(subtree_root)
         return removed
 
     def _build_contour_branch(
@@ -417,16 +402,13 @@ class ObstacleAvoider:
 
     def _reattach_sink(self, tree: ClockTree, parent_id: int, sink: TreeNode, wire) -> None:
         parent = tree.node(parent_id)
-        sink.parent = parent_id
-        sink.wire_type = wire
-        sink.route = [parent.position, sink.position]
-        sink.snake_length = 0.0
-        parent.children.append(sink.node_id)
-        # The sink's position may force a bend; keep the two-point route (it is
-        # interpreted as an L-shape downstream, like the paper's Figure 3).
+        route = [parent.position, sink.position]
+        # The sink's position may force a bend (the route is interpreted as an
+        # L-shape downstream, like the paper's Figure 3).
         if parent.position.x != sink.position.x and parent.position.y != sink.position.y:
             bend = Point(sink.position.x, parent.position.y)
-            sink.route = [parent.position, bend, sink.position]
+            route = [parent.position, bend, sink.position]
+        tree.attach_subtree(sink.node_id, parent_id, wire_type=wire, route=route)
 
 
 def repair_obstacle_violations(

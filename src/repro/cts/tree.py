@@ -10,12 +10,34 @@ The structure is deliberately mutable: Contango's optimization passes edit
 wire types, snake lengths and buffers in place, snapshot the tree with
 :meth:`ClockTree.clone` before risky changes, and roll back when a SPICE-style
 evaluation reports a regression or a slew violation.
+
+Change tracking
+---------------
+Every mutation is journalled so that downstream consumers (most importantly
+the incremental :class:`repro.analysis.evaluator.ClockNetworkEvaluator`) can
+re-analyze only what actually changed:
+
+* each node carries a **revision** (:meth:`ClockTree.node_revision`), bumped
+  whenever the node's electrical content changes -- buffer placed/removed/
+  resized, wire type reassigned, snaking added, route or position edited;
+* the tree carries a **structure revision**
+  (:attr:`ClockTree.structure_revision`), bumped whenever the decomposition
+  into buffer stages can change -- children added, edges split, subtrees
+  re-parented or removed, buffers placed on or removed from a node.
+
+Revisions are drawn from one process-global monotonic counter, so a
+``(node_id, revision)`` pair observed anywhere uniquely identifies that
+node's content at that moment: clones share revisions (their content is
+identical at clone time) while any later edit, in either tree, produces a
+revision never seen before.  That property is what lets the evaluator use
+revisions as content-addressed cache keys across snapshots, probes and
+rollbacks.
 """
 
 from __future__ import annotations
 
-import copy
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -24,6 +46,10 @@ from repro.cts.wirelib import WireType
 from repro.geometry.point import Point
 
 __all__ = ["NodeKind", "Sink", "TreeNode", "ClockTree", "TreeValidationError"]
+
+#: Process-global monotonic revision source shared by every ClockTree, so that
+#: revisions are unique across clones and independently built trees alike.
+_REVISIONS = itertools.count(1)
 
 
 class TreeValidationError(RuntimeError):
@@ -72,6 +98,17 @@ class TreeNode:
     wire_type: Optional[WireType] = None
     snake_length: float = 0.0
 
+    #: Memoized Manhattan length of ``route``.  All route re-assignments go
+    #: through :meth:`replace_route` (or happen before the first
+    #: :meth:`route_length` call), which keeps the memo coherent without
+    #: intercepting every attribute write.
+    _route_length: Optional[float] = field(default=None, repr=False, compare=False)
+
+    def replace_route(self, route: List[Point]) -> None:
+        """Replace the edge route and invalidate its memoized length."""
+        self.route = route
+        self._route_length = None
+
     @property
     def is_sink(self) -> bool:
         return self.kind is NodeKind.SINK
@@ -86,9 +123,15 @@ class TreeNode:
 
     def route_length(self) -> float:
         """Manhattan length of the routed wire from the parent (without snaking)."""
+        cached = self._route_length
+        if cached is not None:
+            return cached
         if len(self.route) < 2:
-            return 0.0
-        return sum(a.manhattan_to(b) for a, b in zip(self.route, self.route[1:]))
+            length = 0.0
+        else:
+            length = sum(a.manhattan_to(b) for a, b in zip(self.route, self.route[1:]))
+        self._route_length = length
+        return length
 
     def edge_length(self) -> float:
         """Total electrical wirelength of the parent edge including snaking."""
@@ -120,6 +163,8 @@ class ClockTree:
         self._next_id = 0
         self._default_wire = default_wire
         self.source_resistance = source_resistance
+        self._node_revision: Dict[int, int] = {}
+        self._structure_revision = next(_REVISIONS)
         self.root_id = self._new_node(source_position, NodeKind.SOURCE, parent=None)
 
     # ------------------------------------------------------------------
@@ -131,7 +176,48 @@ class ClockTree:
         node_id = self._next_id
         self._next_id += 1
         self._nodes[node_id] = TreeNode(node_id=node_id, position=position, kind=kind, parent=parent)
+        self._node_revision[node_id] = next(_REVISIONS)
         return node_id
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    @property
+    def structure_revision(self) -> int:
+        """Revision of the tree's topology and buffer-site placement.
+
+        Two trees (or two snapshots of one tree) with equal structure
+        revisions have identical node ids, parent/child links and buffer
+        sites, hence identical buffer-stage decompositions.
+        """
+        return self._structure_revision
+
+    def node_revision(self, node_id: int) -> int:
+        """Revision of one node's electrical content (see module docstring)."""
+        return self._node_revision[node_id]
+
+    @property
+    def node_revisions(self) -> Dict[int, int]:
+        """The live node-id -> revision mapping (treat as read-only).
+
+        Exposed for bulk consumers (the incremental evaluator builds one
+        content key per stage); use :meth:`touch` to record changes, never
+        write into this mapping directly.
+        """
+        return self._node_revision
+
+    def touch(self, node_id: int) -> None:
+        """Mark a node's electrical content as changed.
+
+        All :class:`ClockTree` mutators call this automatically; it is public
+        for code that edits :class:`TreeNode` attributes directly (e.g.
+        bespoke geometry surgery) so that incremental consumers stay sound.
+        """
+        self._node_revision[node_id] = next(_REVISIONS)
+
+    def touch_structure(self) -> None:
+        """Mark the tree topology / buffer-site set as changed."""
+        self._structure_revision = next(_REVISIONS)
 
     def add_internal(
         self,
@@ -173,6 +259,7 @@ class ClockTree:
         node.route = list(route) if route else [parent.position, position]
         self._check_route(node)
         parent.children.append(node_id)
+        self.touch_structure()
         return node_id
 
     def _check_route(self, node: TreeNode) -> None:
@@ -180,12 +267,18 @@ class ClockTree:
         if parent is None:
             return
         if len(node.route) < 2:
-            node.route = [parent.position, node.position]
-        if not node.route[0].is_close(parent.position, tol=1e-6):
+            node.replace_route([parent.position, node.position])
+        self._validate_route_endpoints(node, parent, node.route)
+
+    @staticmethod
+    def _validate_route_endpoints(
+        node: TreeNode, parent: TreeNode, points: Sequence[Point]
+    ) -> None:
+        if not points[0].is_close(parent.position, tol=1e-6):
             raise ValueError(
                 f"edge route of node {node.node_id} must start at the parent position"
             )
-        if not node.route[-1].is_close(node.position, tol=1e-6):
+        if not points[-1].is_close(node.position, tol=1e-6):
             raise ValueError(
                 f"edge route of node {node.node_id} must end at the node position"
             )
@@ -398,16 +491,30 @@ class ClockTree:
     # ------------------------------------------------------------------
     def place_buffer(self, node_id: int, buffer: BufferType) -> None:
         """Place (or replace) a buffer at a node."""
-        self.node(node_id).buffer = buffer
+        node = self.node(node_id)
+        adds_site = node.buffer is None
+        node.buffer = buffer
+        self.touch(node_id)
+        if adds_site:
+            # A new buffer site splits a stage in two; replacing the buffer at
+            # an existing site keeps the decomposition (consumers read the
+            # driving buffer live from the tree, not from cached stages).
+            self.touch_structure()
 
     def remove_buffer(self, node_id: int) -> None:
-        self.node(node_id).buffer = None
+        node = self.node(node_id)
+        if node.buffer is None:
+            return
+        node.buffer = None
+        self.touch(node_id)
+        self.touch_structure()
 
     def set_wire_type(self, node_id: int, wire: WireType) -> None:
         node = self.node(node_id)
         if node.parent is None:
             raise ValueError("the root has no parent edge to re-type")
         node.wire_type = wire
+        self.touch(node_id)
 
     def add_snake(self, node_id: int, extra_length: float) -> None:
         """Add snaking wirelength to the edge above ``node_id``."""
@@ -417,6 +524,118 @@ class ClockTree:
         if node.parent is None:
             raise ValueError("the root has no parent edge to snake")
         node.snake_length += extra_length
+        self.touch(node_id)
+
+    def set_route(self, node_id: int, route: Sequence[Point]) -> None:
+        """Replace the routed polyline of the edge above ``node_id``.
+
+        The candidate route is validated *before* the node is modified, so a
+        rejected route leaves both the tree and its mutation journal
+        untouched.
+        """
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("the root has no parent edge to reroute")
+        points = self._validated_route(node, self._nodes[node.parent], route)
+        node.replace_route(points)
+        self.touch(node_id)
+
+    def _validated_route(
+        self, node: TreeNode, parent: TreeNode, route: Optional[Sequence[Point]]
+    ) -> List[Point]:
+        """Normalize and validate a candidate parent-edge route without mutating."""
+        points = list(route) if route else []
+        if len(points) < 2:
+            points = [parent.position, node.position]
+        self._validate_route_endpoints(node, parent, points)
+        return points
+
+    def move_node(self, node_id: int, position: Point) -> None:
+        """Move a non-root node, restoring direct routes to its neighbours.
+
+        The parent edge and every child edge are reset to two-point routes
+        through the new position; callers needing bends should follow up with
+        :meth:`set_route`.
+        """
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("the root (clock entry point) cannot be moved")
+        node.position = position
+        parent = self._nodes[node.parent]
+        node.replace_route([parent.position, position])
+        self.touch(node_id)
+        for child_id in node.children:
+            child = self._nodes[child_id]
+            child.replace_route([position, child.position])
+            self.touch(child_id)
+
+    def detach_subtree(self, node_id: int) -> None:
+        """Unlink ``node_id`` (and its subtree) from its parent.
+
+        The nodes stay in the tree's node table so they can be re-attached
+        with :meth:`attach_subtree`; until then :meth:`validate` reports them
+        as orphans.
+        """
+        node = self.node(node_id)
+        if node.parent is None:
+            raise ValueError("cannot detach the root")
+        self._nodes[node.parent].children.remove(node_id)
+        node.parent = None
+        self.touch_structure()
+
+    def attach_subtree(
+        self,
+        node_id: int,
+        parent_id: int,
+        wire_type: Optional[WireType] = None,
+        route: Optional[Sequence[Point]] = None,
+    ) -> None:
+        """Re-attach a detached subtree under ``parent_id``.
+
+        The new parent edge gets a direct two-point route (or ``route``), the
+        given ``wire_type`` (or the node's existing one / the tree default)
+        and no snaking.
+        """
+        node = self.node(node_id)
+        if node.parent is not None:
+            raise ValueError(f"node {node_id} is still attached; detach it first")
+        parent = self.node(parent_id)
+        if parent.is_sink:
+            raise ValueError(f"cannot attach children to sink node {parent_id}")
+        # Validate the candidate route first so a rejected attach leaves the
+        # node cleanly detached instead of half-linked.
+        points = self._validated_route(node, parent, route)
+        node.parent = parent_id
+        if wire_type is not None:
+            node.wire_type = wire_type
+        elif node.wire_type is None:
+            node.wire_type = self._default_wire
+        node.replace_route(points)
+        node.snake_length = 0.0
+        parent.children.append(node_id)
+        self.touch(node_id)
+        self.touch_structure()
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        """Detach and delete ``node_id`` and everything below it.
+
+        Returns the deleted node ids.  Sinks that must survive a structural
+        rewrite (e.g. obstacle contour detouring) should be detached with
+        :meth:`detach_subtree` first and re-attached with
+        :meth:`attach_subtree` afterwards.
+        """
+        node = self.node(node_id)
+        if node_id == self.root_id:
+            raise ValueError("cannot remove the root (clock entry point)")
+        if node.parent is not None:
+            self._nodes[node.parent].children.remove(node_id)
+            node.parent = None
+        removed = [n.node_id for n in self.preorder(node_id)]
+        for removed_id in removed:
+            del self._nodes[removed_id]
+            del self._node_revision[removed_id]
+        self.touch_structure()
+        return removed
 
     def split_edge(self, node_id: int, fraction: float) -> int:
         """Insert an internal node on the edge above ``node_id``.
@@ -444,13 +663,34 @@ class ClockTree:
 
         parent.children[parent.children.index(node_id)] = new_id
         node.parent = new_id
-        node.route = lower_route
+        node.replace_route(lower_route)
         node.snake_length = node.snake_length * (1.0 - fraction)
+        self.touch(node_id)
+        self.touch_structure()
         return new_id
 
     def clone(self) -> "ClockTree":
-        """Deep-copy the tree (used to snapshot solutions before risky edits)."""
-        return copy.deepcopy(self)
+        """Copy the tree (used to snapshot solutions before risky edits).
+
+        Node shells and their mutable lists are copied; the immutable payloads
+        (:class:`~repro.geometry.point.Point`, :class:`Sink`,
+        :class:`~repro.cts.bufferlib.BufferType`,
+        :class:`~repro.cts.wirelib.WireType`) are shared, which makes
+        snapshotting roughly an order of magnitude cheaper than a generic
+        ``copy.deepcopy`` -- snapshots sit on the hot path of every
+        Improvement- & Violation-Checking round.  Revisions are copied
+        verbatim: the clone has identical content, so it shares cache
+        identity until either tree is edited.
+        """
+        twin = ClockTree.__new__(ClockTree)
+        twin._nodes = {node_id: _copy_node(node) for node_id, node in self._nodes.items()}
+        twin._next_id = self._next_id
+        twin._default_wire = self._default_wire
+        twin.source_resistance = self.source_resistance
+        twin.root_id = self.root_id
+        twin._node_revision = dict(self._node_revision)
+        twin._structure_revision = self._structure_revision
+        return twin
 
     def copy_state_from(self, other: "ClockTree") -> None:
         """Restore this tree's state from a snapshot produced by :meth:`clone`.
@@ -458,13 +698,16 @@ class ClockTree:
         Optimization passes mutate the tree in place and call this to roll
         back when an evaluation shows a regression or a slew violation, so
         that callers holding a reference to the tree keep seeing the accepted
-        solution.
+        solution.  Revisions are restored along with the content, so caches
+        keyed by them recognise the rolled-back state as already analyzed.
         """
-        self._nodes = copy.deepcopy(other._nodes)
+        self._nodes = {node_id: _copy_node(node) for node_id, node in other._nodes.items()}
         self._next_id = other._next_id
         self._default_wire = other._default_wire
         self.source_resistance = other.source_resistance
         self.root_id = other.root_id
+        self._node_revision = dict(other._node_revision)
+        self._structure_revision = other._structure_revision
 
     # ------------------------------------------------------------------
     # Validation
@@ -511,6 +754,21 @@ class ClockTree:
             "wirelength_um": self.total_wirelength(),
             "total_capacitance_fF": self.total_capacitance(),
         }
+
+
+def _copy_node(node: TreeNode) -> TreeNode:
+    """Copy a node shell, sharing its immutable payload objects.
+
+    Bypasses the dataclass constructor (snapshots sit on the hot path of
+    every optimization round); only the two mutable lists are copied, all
+    frozen payloads (Point, Sink, BufferType, WireType) are shared.
+    """
+    twin = TreeNode.__new__(TreeNode)
+    state = twin.__dict__
+    state.update(node.__dict__)
+    state["children"] = node.children.copy()
+    state["route"] = node.route.copy()
+    return twin
 
 
 def _split_route(

@@ -6,7 +6,7 @@ from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig, ispd09_corner
 from repro.cts import ClockTree, Sink, ispd09_buffer_library, ispd09_wire_library
 from repro.geometry import Point
 
-from conftest import make_manual_tree, make_zst_tree
+from repro.testing import make_manual_tree, make_zst_tree
 
 WIRES = ispd09_wire_library()
 BUFS = ispd09_buffer_library()

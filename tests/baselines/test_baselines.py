@@ -10,7 +10,7 @@ from repro.baselines import (
 )
 from repro.core import FlowConfig
 
-from conftest import make_small_instance
+from repro.testing import make_small_instance
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ import pytest
 from repro.buffering.fast_buffering import insert_buffers_with_sizing
 from repro.cts import ispd09_buffer_library
 
-from conftest import make_zst_tree
+from repro.testing import make_zst_tree
 
 BUFS = ispd09_buffer_library()
 LADDER = [BUFS.by_name("INV_S").parallel(k) for k in (8, 16, 24)]

@@ -7,7 +7,7 @@ from repro.buffering.vanginneken import Option, VanGinnekenInserter
 from repro.cts import ispd09_buffer_library, ispd09_wire_library
 from repro.geometry import Obstacle, ObstacleSet, Point, Rect
 
-from conftest import make_zst_tree
+from repro.testing import make_zst_tree
 
 WIRES = ispd09_wire_library()
 BUFS = ispd09_buffer_library()

@@ -17,7 +17,7 @@ from repro.core.buffer_sliding import (
 from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
 from repro.cts import ispd09_buffer_library
 
-from conftest import make_manual_tree, make_zst_tree
+from repro.testing import make_manual_tree, make_zst_tree
 
 BUFS = ispd09_buffer_library()
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core import ContangoFlow, FlowConfig
 from repro.core.report import FlowResult
 
-from conftest import make_small_instance
+from repro.testing import make_small_instance
 
 
 @pytest.fixture(scope="module")

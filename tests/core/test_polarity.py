@@ -7,7 +7,7 @@ from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
 from repro.cts import ClockTree, Sink, ispd09_buffer_library, ispd09_wire_library
 from repro.geometry import Point
 
-from conftest import make_zst_tree
+from repro.testing import make_zst_tree
 
 WIRES = ispd09_wire_library()
 BUFS = ispd09_buffer_library()

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
 from repro.core.slack import annotate_tree_slacks, compute_sink_slacks
 
-from conftest import make_manual_tree, make_zst_tree
+from repro.testing import make_manual_tree, make_zst_tree
 
 
 def evaluate(tree):

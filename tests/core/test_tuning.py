@@ -14,7 +14,7 @@ from repro.core.tuning import (
 )
 from repro.cts import ispd09_wire_library
 
-from conftest import make_manual_tree, make_zst_tree
+from repro.testing import make_manual_tree, make_zst_tree
 
 WIRES = ispd09_wire_library()
 

@@ -10,7 +10,7 @@ from repro.core.wiresizing import top_down_wiresizing
 from repro.core.wiresnaking import top_down_wiresnaking
 from repro.cts import ispd09_buffer_library, ispd09_wire_library
 
-from conftest import make_zst_tree
+from repro.testing import make_zst_tree
 
 WIRES = ispd09_wire_library()
 BUFS = ispd09_buffer_library()

@@ -236,3 +236,139 @@ class TestValidation:
         tree.node(s1).kind = NodeKind.SINK
         with pytest.raises(TreeValidationError):
             tree.validate()
+
+
+class TestChangeTracking:
+    def test_new_nodes_get_revisions(self):
+        tree, a, s1, s2 = build_simple_tree()
+        revisions = [tree.node_revision(n) for n in (tree.root_id, a, s1, s2)]
+        assert len(set(revisions)) == 4
+
+    def test_mutators_bump_node_revision(self):
+        tree, a, s1, _ = build_simple_tree()
+        before = tree.node_revision(s1)
+        tree.add_snake(s1, 10.0)
+        mid = tree.node_revision(s1)
+        tree.set_wire_type(s1, WIRES.narrowest)
+        after = tree.node_revision(s1)
+        assert before < mid < after
+
+    def test_buffer_site_changes_bump_structure_revision(self):
+        tree, a, s1, _ = build_simple_tree()
+        r0 = tree.structure_revision
+        tree.place_buffer(a, BUFS.by_name("INV_S"))
+        r1 = tree.structure_revision
+        assert r1 > r0
+        # Replacing the buffer at the same site is not structural...
+        tree.place_buffer(a, BUFS.by_name("INV_L"))
+        assert tree.structure_revision == r1
+        # ...but it bumps the node revision (content changed).
+        tree.remove_buffer(a)
+        assert tree.structure_revision > r1
+
+    def test_split_edge_is_structural(self):
+        tree, a, s1, _ = build_simple_tree()
+        r0 = tree.structure_revision
+        s1_rev = tree.node_revision(s1)
+        tree.split_edge(s1, 0.5)
+        assert tree.structure_revision > r0
+        assert tree.node_revision(s1) > s1_rev
+
+    def test_clone_shares_revisions_until_either_side_mutates(self):
+        tree, a, s1, _ = build_simple_tree()
+        clone = tree.clone()
+        assert clone.structure_revision == tree.structure_revision
+        assert clone.node_revision(s1) == tree.node_revision(s1)
+        clone.add_snake(s1, 5.0)
+        assert clone.node_revision(s1) != tree.node_revision(s1)
+
+    def test_copy_state_from_restores_revisions(self):
+        tree, a, s1, _ = build_simple_tree()
+        snapshot = tree.clone()
+        revision = tree.node_revision(s1)
+        tree.add_snake(s1, 5.0)
+        tree.copy_state_from(snapshot)
+        assert tree.node_revision(s1) == revision
+
+    def test_touch_is_monotonic_across_trees(self):
+        first, _, s1, _ = build_simple_tree()
+        second, _, t1, _ = build_simple_tree()
+        first.touch(s1)
+        second.touch(t1)
+        assert first.node_revision(s1) != second.node_revision(t1)
+
+
+class TestStructuralSurgery:
+    def test_set_route_validates_endpoints(self):
+        tree, a, s1, _ = build_simple_tree()
+        node = tree.node(s1)
+        parent = tree.node(a)
+        bend = Point(parent.position.x, node.position.y)
+        tree.set_route(s1, [parent.position, bend, node.position])
+        tree.validate()
+        with pytest.raises(ValueError):
+            tree.set_route(s1, [Point(999, 999), node.position])
+
+    def test_set_route_updates_edge_length(self):
+        tree, a, s1, _ = build_simple_tree()
+        node = tree.node(s1)
+        parent = tree.node(a)
+        straight = node.edge_length()
+        detour = Point(parent.position.x, node.position.y + 300.0)
+        tree.set_route(s1, [parent.position, detour, node.position])
+        assert node.edge_length() > straight
+
+    def test_move_node_reroutes_neighbours(self):
+        tree, a, s1, s2 = build_simple_tree()
+        tree.move_node(a, Point(120.0, 30.0))
+        tree.validate()
+        assert tree.node(a).position == Point(120.0, 30.0)
+        assert tree.node(s1).route[0] == Point(120.0, 30.0)
+
+    def test_move_root_rejected(self):
+        tree, *_ = build_simple_tree()
+        with pytest.raises(ValueError):
+            tree.move_node(tree.root_id, Point(1, 1))
+
+    def test_detach_and_attach_subtree(self):
+        tree, a, s1, _ = build_simple_tree()
+        tree.detach_subtree(s1)
+        with pytest.raises(TreeValidationError):
+            tree.validate()  # orphan while detached
+        tree.attach_subtree(s1, tree.root_id, wire_type=WIRES.narrowest)
+        tree.validate()
+        assert tree.parent_of(s1).node_id == tree.root_id
+        assert tree.node(s1).wire_type == WIRES.narrowest
+        assert tree.node(s1).snake_length == 0.0
+
+    def test_remove_subtree_deletes_nodes(self):
+        tree, a, s1, s2 = build_simple_tree()
+        count = len(tree)
+        removed = tree.remove_subtree(a)
+        assert set(removed) == {a, s1, s2}
+        assert len(tree) == count - 3
+        tree.validate()
+
+    def test_remove_root_rejected(self):
+        tree, *_ = build_simple_tree()
+        with pytest.raises(ValueError):
+            tree.remove_subtree(tree.root_id)
+
+    def test_rejected_route_leaves_tree_untouched(self):
+        tree, a, s1, _ = build_simple_tree()
+        before_route = list(tree.node(s1).route)
+        before_rev = tree.node_revision(s1)
+        with pytest.raises(ValueError):
+            tree.set_route(s1, [Point(999, 999), tree.node(s1).position])
+        assert tree.node(s1).route == before_route
+        assert tree.node_revision(s1) == before_rev
+
+    def test_rejected_attach_leaves_node_detached(self):
+        tree, a, s1, _ = build_simple_tree()
+        tree.detach_subtree(s1)
+        with pytest.raises(ValueError):
+            tree.attach_subtree(s1, tree.root_id, route=[Point(999, 999), Point(5, 5)])
+        assert tree.node(s1).parent is None
+        assert s1 not in tree.root.children
+        tree.attach_subtree(s1, tree.root_id)
+        tree.validate()

@@ -7,7 +7,7 @@ from repro.baselines import all_baselines
 from repro.core import ContangoFlow, FlowConfig
 from repro.workloads import generate_ispd09_benchmark, generate_ti_benchmark
 
-from conftest import make_small_instance
+from repro.testing import make_small_instance
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ from repro.core.slack import annotate_tree_slacks
 from repro.geometry import Obstacle, ObstacleSet, Rect
 from repro.viz import render_tree_svg, save_tree_svg
 
-from conftest import make_manual_tree, make_zst_tree
+from repro.testing import make_manual_tree, make_zst_tree
 
 
 class TestRendering:
