@@ -1,11 +1,16 @@
 """Performance smoke benchmark: the 200-sink TI flow with the arnoldi engine.
 
-Runs the full ``ContangoFlow`` on the 200-sink TI-style benchmark a few times
-and writes the best wall-clock time plus evaluator cache statistics to
-``BENCH_evaluator.json`` (at the repository root by default), so successive
-PRs leave a machine-readable performance trajectory.  The seed (whole-tree
-re-evaluation per candidate move) ran this flow in ~1.3 s; the incremental +
-vectorized evaluator is expected to stay at least 3x below that.
+A thin wrapper over the :mod:`repro.runner` batch engine: the flow runs as a
+single runner job a few times and the best wall-clock plus evaluator cache
+statistics go to ``BENCH_evaluator.json`` (at the repository root by
+default), so successive PRs leave a machine-readable performance trajectory.
+The seed (whole-tree re-evaluation per candidate move) ran this flow in
+~1.3 s; the incremental + vectorized evaluator is expected to stay at least
+3x below that.
+
+The runner's own parallel-scaling smoke is separate: ``python -m repro
+bench`` writes ``BENCH_runner.json`` (serial vs parallel wall-clock of a
+4-job matrix).
 
 Usage::
 
@@ -16,11 +21,9 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
 
-from repro.core import ContangoFlow, FlowConfig
-from repro.workloads import generate_ti_benchmark
+from repro.runner import JobSpec, run_job
 
 SINKS = 200
 ENGINE = "arnoldi"
@@ -28,32 +31,32 @@ REPEATS = 3
 
 
 def run_flow():
-    instance = generate_ti_benchmark(SINKS)
-    best = float("inf")
-    last = None
+    spec = JobSpec(instance=f"ti:{SINKS}", flow="contango", engine=ENGINE)
+    best = None
     for _ in range(REPEATS):
-        start = time.perf_counter()
-        last = ContangoFlow(FlowConfig(engine=ENGINE)).run(instance)
-        best = min(best, time.perf_counter() - start)
-    return best, last
+        record = run_job(spec)
+        if best is None or record["summary"]["runtime_s"] < best["summary"]["runtime_s"]:
+            best = record
+    return best
 
 
 def main() -> int:
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_evaluator.json")
-    best, result = run_flow()
+    record = run_flow()
+    summary = record["summary"]
     payload = {
         "benchmark": f"ti{SINKS}_contango_{ENGINE}",
         "sinks": SINKS,
         "engine": ENGINE,
-        "best_runtime_s": round(best, 4),
-        "evaluations": result.total_evaluations,
-        "skew_ps": round(result.final_report.skew, 3),
-        "clr_ps": round(result.final_report.clr, 3),
-        "max_latency_ps": round(result.final_report.max_latency, 2),
-        "slew_violations": len(result.final_report.slew_violations),
+        "best_runtime_s": round(summary["runtime_s"], 4),
+        "evaluations": summary["evaluations"],
+        "skew_ps": round(summary["skew_ps"], 3),
+        "clr_ps": round(summary["clr_ps"], 3),
+        "max_latency_ps": round(summary["max_latency_ps"], 2),
+        "slew_violations": summary["slew_violations"],
         # The flow evaluator's own cache statistics: a caching regression
         # shows up here as a collapsed hit count, not just as wall-clock.
-        "cache": result.evaluator_cache,
+        "cache": record["evaluator_cache"],
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))

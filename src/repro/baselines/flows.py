@@ -8,14 +8,23 @@ evaluation machinery and capacitance/slew limits, but stop after initial
 construction and buffering instead of running Contango's integrated
 optimization sequence.
 
-* :class:`GreedyBufferedBaseline` -- greedy nearest-neighbour topology,
-  zero-skew DME embedding, fixed-pitch insertion of large inverters (no
-  composite analysis, no sizing sweep), per-sink polarity patch.
-* :class:`UnoptimizedDmeBaseline` -- the same initial tree Contango starts
-  from (balanced bisection ZST + van Ginneken insertion of a single composite)
+Each baseline is a single registered
+:class:`~repro.core.pipeline.OptimizationPass` (synthesis + polarity patch,
+recorded as the ``FINAL`` stage) run through the same
+:class:`~repro.core.pipeline.PipelineDriver` as the integrated flow -- so a
+baseline is just the one-element pipeline ``[<its pass name>]``, and the
+passes can even be mixed into custom pipelines
+(``FlowConfig(pipeline=["unoptimized_dme", "twsz"])`` wiresizes a baseline
+tree).
+
+* ``greedy_buffered`` -- greedy nearest-neighbour topology, zero-skew DME
+  embedding, fixed-pitch insertion of large inverters (no composite
+  analysis, no sizing sweep), per-sink polarity patch.
+* ``unoptimized_dme`` -- the same initial tree Contango starts from
+  (balanced bisection ZST + van Ginneken insertion of a single composite)
   but with *none* of the post-insertion optimizations.
-* :class:`BoundedSkewBaseline` -- a bounded-skew tree that trades skew for
-  wirelength up front, buffered with the large inverter.
+* ``bounded_skew`` -- a bounded-skew tree that trades skew for wirelength up
+  front, buffered with the large inverter.
 
 What Table IV measures is the gap between these and the integrated flow on
 CLR at comparable capacitance, which is precisely the paper's point.
@@ -23,14 +32,13 @@ CLR at comparable capacitance, which is precisely the paper's point.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
-from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluatorConfig
 from repro.buffering.vanginneken import VanGinnekenInserter
 from repro.core.config import FlowConfig
+from repro.core.pipeline import OptimizationPass, PassContext, PipelineDriver, register_pass
 from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
-from repro.core.report import FlowResult, StageRecord
+from repro.core.report import FlowResult
 from repro.cts.bst import build_bounded_skew_tree
 from repro.cts.dme import build_zero_skew_tree
 from repro.cts.obstacle_avoid import repair_obstacle_violations
@@ -38,6 +46,7 @@ from repro.cts.spec import ClockNetworkInstance
 from repro.cts.tree import ClockTree
 
 __all__ = [
+    "BaselineSynthesisPass",
     "BaselineFlow",
     "GreedyBufferedBaseline",
     "UnoptimizedDmeBaseline",
@@ -46,69 +55,40 @@ __all__ = [
 ]
 
 
-class BaselineFlow:
-    """Common scaffolding for the baseline flows."""
+class BaselineSynthesisPass(OptimizationPass):
+    """One-shot baseline synthesis + polarity patch, recorded as ``FINAL``."""
 
-    name = "baseline"
+    stage = "FINAL"
+    polarity_strategy = "per-sink"
+    buffer_name: Optional[str] = None
 
-    def __init__(self, config: Optional[FlowConfig] = None) -> None:
-        self.config = config or FlowConfig()
-
-    # ------------------------------------------------------------------
-    def run(self, instance: ClockNetworkInstance) -> FlowResult:
-        """Synthesize a buffered clock tree for ``instance`` and evaluate it."""
-        instance.validate()
-        start = time.perf_counter()
-        evaluator = ClockNetworkEvaluator(
-            config=EvaluatorConfig(
-                engine=self.config.engine,
-                max_segment_length=self.config.max_segment_length,
-                slew_limit=instance.slew_limit,
-                solver=self.config.solver,
-            ),
-            corners=self.config.corners,
-            capacitance_limit=instance.capacitance_limit,
-        )
-        tree = self._synthesize(instance)
+    def run(self, ctx: PassContext) -> None:
+        tree = self._synthesize(ctx)
         inverted = count_inverted_sinks(tree)
+        smallest = ctx.instance.buffer_library.smallest
         correction = correct_sink_polarity(
             tree,
-            instance.buffer_library.smallest,
-            strategy=self._polarity_strategy(),
-            slew_limit=instance.slew_limit,
-            stronger_inverters=[instance.buffer_library.smallest.parallel(k) for k in (2, 4, 8)],
+            smallest,
+            strategy=self.polarity_strategy,
+            slew_limit=ctx.instance.slew_limit,
+            stronger_inverters=[smallest.parallel(k) for k in (2, 4, 8)],
         )
-        report = evaluator.evaluate(tree)
-        result = FlowResult(
-            instance_name=instance.name,
-            flow_name=self.name,
-            tree=tree,
-            final_report=report,
-            chosen_buffer=self._buffer_name(),
-            inverted_sinks=inverted,
-            polarity_inverters_added=correction.inverters_added,
-            total_evaluations=evaluator.run_count,
-            runtime_s=time.perf_counter() - start,
-        )
-        result.stages.append(
-            StageRecord.from_report("FINAL", tree, report, elapsed_s=result.runtime_s)
-        )
-        return result
+        ctx.tree = tree
+        ctx.report = None  # the driver evaluates the fresh network for FINAL
+        ctx.result.chosen_buffer = self.buffer_name
+        ctx.result.inverted_sinks = inverted
+        ctx.result.polarity_inverters_added = correction.inverters_added
 
     # Subclass hooks -----------------------------------------------------
-    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+    def _synthesize(self, ctx: PassContext) -> ClockTree:
         raise NotImplementedError
 
-    def _polarity_strategy(self) -> str:
-        return "per-sink"
-
-    def _buffer_name(self) -> Optional[str]:
-        return None
-
     # Shared helpers -----------------------------------------------------
+    @staticmethod
     def _buffer_tree(
-        self, instance: ClockNetworkInstance, tree: ClockTree, buffer, spacing: float
+        ctx: PassContext, tree: ClockTree, buffer, spacing: float
     ) -> ClockTree:
+        instance = ctx.instance
         inserter = VanGinnekenInserter(
             buffer=buffer,
             slew_limit=instance.slew_limit,
@@ -121,7 +101,9 @@ class BaselineFlow:
         inserter.insert(tree, apply=True)
         return tree
 
-    def _repair(self, instance: ClockNetworkInstance, tree: ClockTree, driver) -> None:
+    @staticmethod
+    def _repair(ctx: PassContext, tree: ClockTree, driver) -> None:
+        instance = ctx.instance
         if len(instance.obstacles) == 0:
             return
         repair_obstacle_violations(
@@ -133,12 +115,15 @@ class BaselineFlow:
         )
 
 
-class GreedyBufferedBaseline(BaselineFlow):
+@register_pass
+class GreedyBufferedSynthesisPass(BaselineSynthesisPass):
     """Greedy-merge topology + fixed large-inverter buffering, no optimization."""
 
     name = "greedy_buffered"
+    buffer_name = "INV_L"
 
-    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+    def _synthesize(self, ctx: PassContext) -> ClockTree:
+        instance = ctx.instance
         large = instance.buffer_library.strongest
         tree = build_zero_skew_tree(
             instance.sinks,
@@ -148,19 +133,20 @@ class GreedyBufferedBaseline(BaselineFlow):
             topology_method="greedy",
             obstacles=instance.obstacles,
         )
-        self._repair(instance, tree, large)
-        return self._buffer_tree(instance, tree, large, spacing=400.0)
-
-    def _buffer_name(self) -> Optional[str]:
-        return "INV_L"
+        self._repair(ctx, tree, large)
+        return self._buffer_tree(ctx, tree, large, spacing=400.0)
 
 
-class UnoptimizedDmeBaseline(BaselineFlow):
+@register_pass
+class UnoptimizedDmeSynthesisPass(BaselineSynthesisPass):
     """Contango's initial tree and buffering, without any of its optimizations."""
 
     name = "unoptimized_dme"
+    polarity_strategy = "subtree"
+    buffer_name = "8X INV_S"
 
-    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+    def _synthesize(self, ctx: PassContext) -> ClockTree:
+        instance = ctx.instance
         composite = instance.buffer_library.by_name("INV_S").parallel(8)
         tree = build_zero_skew_tree(
             instance.sinks,
@@ -170,28 +156,26 @@ class UnoptimizedDmeBaseline(BaselineFlow):
             topology_method="bisection",
             obstacles=instance.obstacles,
         )
-        self._repair(instance, tree, composite)
-        return self._buffer_tree(instance, tree, composite, spacing=self.config.station_spacing)
-
-    def _polarity_strategy(self) -> str:
-        return "subtree"
-
-    def _buffer_name(self) -> Optional[str]:
-        return "8X INV_S"
+        self._repair(ctx, tree, composite)
+        return self._buffer_tree(
+            ctx, tree, composite, spacing=ctx.config.station_spacing
+        )
 
 
-class BoundedSkewBaseline(BaselineFlow):
+@register_pass
+class BoundedSkewSynthesisPass(BaselineSynthesisPass):
     """Bounded-skew tree (wirelength-lean, skew-heavy) with large-inverter buffering."""
 
     name = "bounded_skew"
+    buffer_name = "INV_L"
 
-    def __init__(self, config: Optional[FlowConfig] = None, skew_bound: float = 50.0) -> None:
-        super().__init__(config)
+    def __init__(self, skew_bound: float = 50.0) -> None:
         if skew_bound < 0.0:
             raise ValueError("skew bound must be non-negative")
         self.skew_bound = skew_bound
 
-    def _synthesize(self, instance: ClockNetworkInstance) -> ClockTree:
+    def _synthesize(self, ctx: PassContext) -> ClockTree:
+        instance = ctx.instance
         large = instance.buffer_library.strongest
         tree = build_bounded_skew_tree(
             instance.sinks,
@@ -202,11 +186,58 @@ class BoundedSkewBaseline(BaselineFlow):
             topology_method="bisection",
             obstacles=instance.obstacles,
         )
-        self._repair(instance, tree, large)
-        return self._buffer_tree(instance, tree, large, spacing=350.0)
+        self._repair(ctx, tree, large)
+        return self._buffer_tree(ctx, tree, large, spacing=350.0)
 
-    def _buffer_name(self) -> Optional[str]:
-        return "INV_L"
+
+# ----------------------------------------------------------------------
+# Flow-level wrappers: a baseline is a one-pass pipeline with its own name
+# ----------------------------------------------------------------------
+class BaselineFlow:
+    """Common scaffolding: run the flow's declarative pass list."""
+
+    name = "baseline"
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or FlowConfig()
+
+    def _pipeline(self) -> List:
+        """The pass list this baseline runs (registry names or instances)."""
+        return [self.name]
+
+    def run(self, instance: ClockNetworkInstance) -> FlowResult:
+        """Synthesize a buffered clock tree for ``instance`` and evaluate it."""
+        driver = PipelineDriver(self._pipeline(), flow_name=self.name)
+        return driver.run(instance, self.config)
+
+
+class GreedyBufferedBaseline(BaselineFlow):
+    """Greedy-merge topology + fixed large-inverter buffering, no optimization."""
+
+    name = "greedy_buffered"
+
+
+class UnoptimizedDmeBaseline(BaselineFlow):
+    """Contango's initial tree and buffering, without any of its optimizations."""
+
+    name = "unoptimized_dme"
+
+
+class BoundedSkewBaseline(BaselineFlow):
+    """Bounded-skew tree (wirelength-lean, skew-heavy) with large-inverter buffering."""
+
+    name = "bounded_skew"
+
+    def __init__(
+        self, config: Optional[FlowConfig] = None, skew_bound: float = 50.0
+    ) -> None:
+        super().__init__(config)
+        if skew_bound < 0.0:
+            raise ValueError("skew bound must be non-negative")
+        self.skew_bound = skew_bound
+
+    def _pipeline(self) -> List:
+        return [BoundedSkewSynthesisPass(skew_bound=self.skew_bound)]
 
 
 def all_baselines(config: Optional[FlowConfig] = None) -> List[BaselineFlow]:

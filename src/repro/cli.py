@@ -1,0 +1,247 @@
+"""The ``repro`` command line (also reachable as ``python -m repro``).
+
+Three subcommands over the :mod:`repro.runner` batch engine:
+
+* ``repro run`` -- expand an instance x flow x engine matrix into jobs, fan
+  them across ``--jobs`` worker processes, stream one JSON record per job
+  into ``--output-dir``, and print a Table IV-style summary;
+* ``repro bench`` -- the runner's own performance smoke: a fixed 4-job
+  matrix timed at ``--jobs 1`` and ``--jobs 4``, with the wall-clocks and
+  speedup written to ``BENCH_runner.json`` so parallel scaling is tracked
+  across PRs;
+* ``repro table`` -- re-render saved per-job JSON records as Table IV (and,
+  with ``--stages``, per-run Table III stage tables).
+
+Examples::
+
+    python -m repro run --instance ti:200 --instance ispd09:ispd09f22:0.2 \
+        --flow contango --flow unoptimized_dme --jobs 4 --output-dir results
+    python -m repro run --instance ti:500 --pipeline initial,tbsz,twsz
+    python -m repro bench --output BENCH_runner.json
+    python -m repro table --input results --stages
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import available_passes
+from repro.runner import (
+    BatchRunner,
+    JobSpec,
+    available_flows,
+    table_iii,
+    table_iv,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contango reproduction batch runner (DATE'10 clock-network synthesis)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an instance x flow x engine job matrix")
+    run.add_argument(
+        "--instance",
+        action="append",
+        metavar="SPEC",
+        help="instance spec (repeatable, required unless --list-passes): "
+        "ti:<sinks>, ispd09:<name>[:<scale>], file:<path>",
+    )
+    run.add_argument(
+        "--flow",
+        action="append",
+        metavar="NAME",
+        help=f"flow to run (repeatable); default contango; one of {available_flows()}",
+    )
+    run.add_argument(
+        "--engine",
+        action="append",
+        metavar="NAME",
+        help="evaluation engine (repeatable); default arnoldi (also: spice, elmore)",
+    )
+    run.add_argument(
+        "--pipeline",
+        metavar="P1,P2,...",
+        help="comma-separated pass-registry names overriding the default "
+        "Contango sequence (see 'repro run --list-passes')",
+    )
+    run.add_argument("--seed", type=int, help="TI-generator seed override")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="write one <job>.json per completed job into DIR (streamed)",
+    )
+    run.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write the whole batch (records + wall-clock) as one JSON file",
+    )
+    run.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the registered optimization passes and exit",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="time a fixed 4-job matrix at --jobs 1 vs --jobs 4"
+    )
+    bench.add_argument("--sinks", type=int, default=200, help="TI instance size (default 200)")
+    bench.add_argument("--matrix", type=int, default=4, help="jobs in the matrix (default 4)")
+    bench.add_argument("--workers", type=int, default=4, help="parallel worker count (default 4)")
+    bench.add_argument(
+        "--output", default="BENCH_runner.json", metavar="FILE",
+        help="where to write the speedup record (default BENCH_runner.json)",
+    )
+
+    table = sub.add_parser("table", help="render saved per-job JSON as Table IV / III")
+    table.add_argument(
+        "--input", required=True, metavar="DIR_OR_FILE",
+        help="a directory of per-job *.json files, or one such file",
+    )
+    table.add_argument(
+        "--stages", action="store_true", help="also print each run's Table III stage table"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_passes:
+        # Importing the baselines registers their synthesis passes too.
+        import repro.baselines  # noqa: F401
+
+        print("\n".join(available_passes()))
+        return 0
+    if not args.instance:
+        print("repro run: at least one --instance is required", file=sys.stderr)
+        return 2
+    flows = args.flow or ["contango"]
+    engines = args.engine or ["arnoldi"]
+    pipeline = tuple(p.strip() for p in args.pipeline.split(",") if p.strip()) if args.pipeline else None
+    jobs = [
+        JobSpec(instance=instance, flow=flow, engine=engine, pipeline=pipeline, seed=args.seed)
+        for instance in args.instance
+        for flow in flows
+        for engine in engines
+    ]
+    output_dir: Optional[Path] = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    def on_result(index: int, record: Dict) -> None:
+        if output_dir is not None:
+            path = output_dir / f"{record['job']}.json"
+            path.write_text(json.dumps(record, indent=1) + "\n")
+        if "error" in record:
+            print(f"[{index + 1}/{len(jobs)}] {record['job']}: FAILED", file=sys.stderr)
+        else:
+            summary = record["summary"]
+            print(
+                f"[{index + 1}/{len(jobs)}] {record['job']}: "
+                f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps, "
+                f"{record['wall_clock_s']:.2f} s"
+            )
+
+    batch = BatchRunner(jobs, max_workers=args.jobs).run(on_result=on_result)
+    print()
+    print(table_iv(batch.records))
+    print(f"\n{len(jobs)} job(s), {batch.workers} worker(s), "
+          f"{batch.wall_clock_s:.2f} s wall-clock")
+    if args.summary_json:
+        Path(args.summary_json).write_text(
+            json.dumps(
+                {
+                    "jobs": len(jobs),
+                    "workers": batch.workers,
+                    "wall_clock_s": batch.wall_clock_s,
+                    "records": batch.records,
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+    for failure in batch.failures:
+        print(f"\njob {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
+    return 1 if batch.failures else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Distinct seeds make the matrix a realistic mixed workload rather than
+    # one instance computed four times.
+    jobs = [
+        JobSpec(instance=f"ti:{args.sinks}", seed=7 + offset)
+        for offset in range(args.matrix)
+    ]
+    serial = BatchRunner(jobs, max_workers=1).run()
+    parallel = BatchRunner(jobs, max_workers=args.workers).run()
+    failures = serial.failures + parallel.failures
+    payload = {
+        "benchmark": f"runner_{args.matrix}job_ti{args.sinks}_arnoldi",
+        "jobs": args.matrix,
+        "workers": args.workers,
+        # Speedup is bounded by the cores actually available; record them so
+        # a 1-core box's ~1.0x is not mistaken for a runner regression.
+        "cpu_count": os.cpu_count(),
+        "serial_wall_clock_s": round(serial.wall_clock_s, 4),
+        "parallel_wall_clock_s": round(parallel.wall_clock_s, 4),
+        "speedup": round(serial.wall_clock_s / parallel.wall_clock_s, 3)
+        if parallel.wall_clock_s > 0
+        else None,
+        "job_runtimes_s": [
+            round(record.get("wall_clock_s", 0.0), 4) for record in serial.records
+        ],
+        "failures": len(failures),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"job {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    source = Path(args.input)
+    paths = sorted(source.glob("*.json")) if source.is_dir() else [source]
+    records: List[Dict] = []
+    for path in paths:
+        record = json.loads(path.read_text())
+        if isinstance(record, dict) and "records" in record:  # a --summary-json file
+            records.extend(record["records"])
+        else:
+            records.append(record)
+    if not records:
+        print(f"no job records found under {source}", file=sys.stderr)
+        return 1
+    print(table_iv(records))
+    if args.stages:
+        for record in records:
+            if record.get("stage_table"):
+                print(f"\n== {record['job']} ==")
+                print(table_iii(record))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_table(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

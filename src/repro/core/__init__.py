@@ -6,8 +6,25 @@ SPICE-driven wiresizing/wiresnaking/buffer-sizing passes -- and the
 :class:`ContangoFlow` methodology that coordinates them (Figure 1).
 """
 
-from repro.core.config import FlowConfig
+from repro.core.config import DEFAULT_PIPELINE, FlowConfig
 from repro.core.flow import ContangoFlow
+from repro.core.ivc import (
+    IvcEngine,
+    IvcOutcome,
+    IvcState,
+    Transaction,
+    default_constraints,
+    ivc_round,
+)
+from repro.core.pipeline import (
+    OptimizationPass,
+    PASS_REGISTRY,
+    PassContext,
+    PipelineDriver,
+    available_passes,
+    register_pass,
+    resolve_pipeline,
+)
 from repro.core.report import FlowResult, StageRecord
 from repro.core.slack import (
     SinkSlacks,
@@ -45,10 +62,24 @@ from repro.core.buffer_sizing import (
 )
 
 __all__ = [
+    "DEFAULT_PIPELINE",
     "FlowConfig",
     "ContangoFlow",
     "FlowResult",
     "StageRecord",
+    "IvcEngine",
+    "IvcOutcome",
+    "IvcState",
+    "Transaction",
+    "default_constraints",
+    "ivc_round",
+    "OptimizationPass",
+    "PASS_REGISTRY",
+    "PassContext",
+    "PipelineDriver",
+    "available_passes",
+    "register_pass",
+    "resolve_pipeline",
     "SinkSlacks",
     "SlackAnnotation",
     "annotate_tree_slacks",

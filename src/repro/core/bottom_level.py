@@ -17,12 +17,12 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.ivc import IvcEngine, IvcState
 from repro.core.slack import compute_sink_slacks
 from repro.core.tuning import (
     PassResult,
     calibrate_downsize_model,
     calibrate_snake_model,
-    objective_value,
     stage_slew_headroom,
 )
 from repro.cts.tree import ClockTree
@@ -63,43 +63,27 @@ def bottom_level_fine_tuning(
     ``min_slack`` (ps) is the smallest per-sink slow-down slack worth spending;
     anything below it is within evaluation noise.
     """
-    evals_before = evaluator.run_count
-    report = baseline if baseline is not None else evaluator.evaluate(tree)
-    initial_summary = report.summary()
-    result = PassResult(
-        name="bottom_level_fine_tuning",
-        improved=False,
-        rounds=0,
-        edges_changed=0,
-        initial=initial_summary,
-        final=initial_summary,
-        evaluations_used=0,
+    engine = IvcEngine(
+        "bottom_level_fine_tuning", tree, evaluator, objective=objective, baseline=baseline
     )
-
     sink_edges = [s.node_id for s in tree.sinks()]
     probe_edges = _independent_probe_edges(tree, sink_edges, count=5)
     snake_model = calibrate_snake_model(
-        tree, evaluator, report, unit_length, edge_ids=probe_edges
+        tree, evaluator, engine.report, unit_length, edge_ids=probe_edges
     )
     downsize_model = calibrate_downsize_model(
-        tree, evaluator, wirelib, report, edge_ids=probe_edges
+        tree, evaluator, wirelib, engine.report, edge_ids=probe_edges
     )
     if snake_model is None:
-        result.notes.append("bottom-level snake impact model could not be calibrated")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("bottom-level snake impact model could not be calibrated")
 
-    best_objective = objective_value(report, objective)
-    rejections = 0
-    for _ in range(max_rounds):
-        slacks = compute_sink_slacks(report, corners=corners)
-        headroom = stage_slew_headroom(tree, report)
+    def propose(state: IvcState) -> int:
+        slacks = compute_sink_slacks(state.report, corners=corners)
+        headroom = stage_slew_headroom(tree, state.report)
         snake_model.refresh(tree)
         if downsize_model is not None:
             downsize_model.refresh(tree)
-        snapshot = tree.clone()
-        changed = _tune_sink_edges(
+        return _tune_sink_edges(
             tree,
             wirelib,
             slacks.slow,
@@ -107,45 +91,15 @@ def bottom_level_fine_tuning(
             snake_model,
             downsize_model,
             unit_length,
-            safety,
+            safety * state.aggressiveness,
             min_slack,
         )
-        if changed == 0:
-            result.notes.append("no sink edge had usable slack left")
-            break
-        candidate_report = evaluator.evaluate(tree)
-        candidate_objective = objective_value(candidate_report, objective)
-        rejected_reason = None
-        if candidate_report.has_slew_violation:
-            rejected_reason = "slew violation"
-        elif not candidate_report.within_capacitance_limit:
-            rejected_reason = "capacitance limit exceeded"
-        elif candidate_objective >= best_objective:
-            rejected_reason = "no improvement"
-        if rejected_reason is not None:
-            # Roll back and retry with a smaller move budget: a rejected batch
-            # usually means the linear model overreached, not that no
-            # improving move exists (the paper simply moves on; retrying at
-            # lower aggressiveness recovers part of the head-room instead).
-            tree.copy_state_from(snapshot)
-            result.notes.append("round rejected: " + rejected_reason)
-            rejections += 1
-            safety *= 0.5
-            if rejections >= 3:
-                break
-            continue
-        rejections = 0
-        report = candidate_report
-        best_objective = candidate_objective
-        result.rounds += 1
-        result.edges_changed += changed
-        result.improved = True
 
-    if rise_fall_divergence(report):
+    result = engine.run(
+        propose, max_rounds=max_rounds, empty_note="no sink edge had usable slack left"
+    )
+    if rise_fall_divergence(engine.report):
         result.notes.append("rise/fall corner sinks diverged; further gains limited")
-    result.final = report.summary()
-    result.final_report = report
-    result.evaluations_used = evaluator.run_count - evals_before
     return result
 
 

@@ -12,9 +12,11 @@ loop:
   preserved), then the first few levels of branches below the trunk,
 * capacitance spent above is *borrowed back* by downsizing the bottom-level
   buffers (those driving only sinks), keeping the total within the limit,
-* every iteration is accepted only if the objective improves without slew
-  violations and within the capacitance budget, otherwise the pass rolls the
-  tree back and stops.
+* every iteration runs through the shared IVC engine: it is accepted only if
+  the objective improves without slew violations and within the capacitance
+  budget; a rejected iteration is rolled back and retried with the growth
+  step halved (a rejection usually means the step overshot the slew
+  headroom, not that no beneficial upsizing exists).
 """
 
 from __future__ import annotations
@@ -23,7 +25,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
 from repro.core.buffer_sliding import find_trunk_chain
-from repro.core.tuning import PassResult, objective_value
+from repro.core.ivc import IvcEngine, IvcState, capacitance_cap_constraints
+from repro.core.tuning import PassResult
 from repro.cts.tree import ClockTree
 
 __all__ = [
@@ -72,69 +75,42 @@ def iterative_buffer_sizing(
     levels_after_branch: int = 4,
     max_iterations: int = 8,
     min_bottom_scale: float = 0.6,
+    max_consecutive_rejections: int = 3,
 ) -> PassResult:
-    """Iteratively upsize trunk (and upper-branch) buffers on ``tree`` in place."""
-    evals_before = evaluator.run_count
-    report = baseline if baseline is not None else evaluator.evaluate(tree)
-    initial_summary = report.summary()
-    result = PassResult(
-        name="iterative_buffer_sizing",
-        improved=False,
-        rounds=0,
-        edges_changed=0,
-        initial=initial_summary,
-        final=initial_summary,
-        evaluations_used=0,
+    """Iteratively upsize trunk (and upper-branch) buffers on ``tree`` in place.
+
+    ``max_consecutive_rejections`` bounds the retry-with-halved-growth policy
+    inherited from the IVC engine; ``1`` reproduces the historical
+    stop-on-first-rejection behavior.
+    """
+    engine = IvcEngine(
+        "iterative_buffer_sizing",
+        tree,
+        evaluator,
+        objective=objective,
+        baseline=baseline,
+        constraints=capacitance_cap_constraints(capacitance_limit),
     )
     if not tree.buffers():
-        result.notes.append("tree has no buffers to size")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("tree has no buffers to size")
 
-    best_objective = objective_value(report, objective)
-    for iteration in range(1, max_iterations + 1):
-        growth = 1.0 + 1.0 / (iteration + 3)
-        snapshot = tree.clone()
-        touched = _apply_sizing_step(
+    def propose(state: IvcState) -> int:
+        growth = 1.0 + state.aggressiveness / (state.iteration + 3)
+        return _apply_sizing_step(
             tree,
             growth,
             levels_after_branch,
             capacitance_limit,
             min_bottom_scale,
         )
-        if touched == 0:
-            result.notes.append("no buffer eligible for upsizing")
-            break
-        candidate_report = evaluator.evaluate(tree)
-        candidate_objective = objective_value(candidate_report, objective)
-        cap_ok = (
-            capacitance_limit is None
-            or candidate_report.total_capacitance <= capacitance_limit
-        )
-        if (
-            candidate_report.has_slew_violation
-            or not cap_ok
-            or candidate_objective >= best_objective
-        ):
-            tree.copy_state_from(snapshot)
-            if candidate_report.has_slew_violation:
-                result.notes.append(f"iteration {iteration} rejected: slew violation")
-            elif not cap_ok:
-                result.notes.append(f"iteration {iteration} rejected: over capacitance limit")
-            else:
-                result.notes.append(f"iteration {iteration} rejected: no improvement")
-            break
-        report = candidate_report
-        best_objective = candidate_objective
-        result.rounds += 1
-        result.edges_changed += touched
-        result.improved = True
 
-    result.final = report.summary()
-    result.final_report = report
-    result.evaluations_used = evaluator.run_count - evals_before
-    return result
+    return engine.run(
+        propose,
+        max_rounds=max_iterations,
+        empty_note="no buffer eligible for upsizing",
+        max_consecutive_rejections=max_consecutive_rejections,
+        reject_note="iteration {iteration} rejected: {reason}",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +134,6 @@ def _apply_sizing_step(
     }
     bottom = set(bottom_level_buffers(tree)) - trunk_nodes - upper_branch
 
-    cap_before = tree.total_capacitance()
     touched = 0
     for node_id in trunk_nodes | upper_branch:
         node = tree.node(node_id)
@@ -168,13 +143,9 @@ def _apply_sizing_step(
         return 0
 
     if capacitance_limit is not None:
-        cap_after = tree.total_capacitance()
-        overshoot = cap_after - capacitance_limit
+        overshoot = tree.total_capacitance() - capacitance_limit
         if overshoot > 0.0 and bottom:
             _borrow_capacitance(tree, bottom, overshoot, min_bottom_scale)
-    else:
-        cap_after = tree.total_capacitance()
-    del cap_before
     return touched
 
 

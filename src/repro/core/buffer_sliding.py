@@ -27,7 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
 from repro.buffering.candidates import max_drivable_capacitance
-from repro.core.tuning import PassResult, objective_value
+from repro.core.ivc import IvcEngine, IvcState
+from repro.core.tuning import PassResult
 from repro.cts.bufferlib import BufferType
 from repro.cts.tree import ClockTree
 
@@ -68,61 +69,33 @@ def slide_and_interleave_trunk(
 ) -> PassResult:
     """Re-space (and possibly add) trunk inverters; accept only if it helps.
 
-    The pass snapshots the tree, rebuilds the trunk buffer chain with uniform
-    pitch, re-evaluates, and rolls back unless the objective (CLR by default)
+    The pass runs as a single round of the shared IVC engine: it rebuilds the
+    trunk buffer chain with uniform pitch inside a tree transaction,
+    re-evaluates, and rolls back unless the objective (CLR by default)
     improved without introducing slew violations -- the standard IVC step.
     """
-    evals_before = evaluator.run_count
-    report = baseline if baseline is not None else evaluator.evaluate(tree)
-    initial_summary = report.summary()
-    result = PassResult(
-        name="trunk_buffer_sliding",
-        improved=False,
-        rounds=0,
-        edges_changed=0,
-        initial=initial_summary,
-        final=initial_summary,
-        evaluations_used=0,
+    engine = IvcEngine(
+        "trunk_buffer_sliding", tree, evaluator, objective=objective, baseline=baseline
     )
-
     chain = find_trunk_chain(tree)
     if len(chain) < 2:
-        result.notes.append("tree has no trunk to rebalance")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("tree has no trunk to rebalance")
 
     existing_buffers = trunk_buffer_nodes(tree)
     chosen_buffer = buffer or _dominant_trunk_buffer(tree, existing_buffers)
     if chosen_buffer is None:
-        result.notes.append("no trunk buffers and no buffer type supplied")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("no trunk buffers and no buffer type supplied")
 
     limit = slew_limit if slew_limit is not None else evaluator.config.slew_limit
-    snapshot = tree.clone()
-    added = _respace_trunk_buffers(tree, chain, chosen_buffer, limit, spacing_margin)
-    candidate_report = evaluator.evaluate(tree)
-    accepted = (
-        not candidate_report.has_slew_violation
-        and candidate_report.within_capacitance_limit
-        and objective_value(candidate_report, objective)
-        < objective_value(report, objective)
-    )
-    if not accepted:
-        tree.copy_state_from(snapshot)
-        result.notes.append("trunk rebalancing rejected by IVC")
-    else:
-        report = candidate_report
-        result.improved = True
-        result.rounds = 1
-        result.edges_changed = added
 
-    result.final = report.summary()
-    result.final_report = report
-    result.evaluations_used = evaluator.run_count - evals_before
-    return result
+    def propose(state: IvcState) -> int:
+        return _respace_trunk_buffers(tree, chain, chosen_buffer, limit, spacing_margin)
+
+    return engine.run(
+        propose,
+        max_rounds=1,
+        reject_note="trunk rebalancing rejected by IVC",
+    )
 
 
 # ----------------------------------------------------------------------

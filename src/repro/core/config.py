@@ -8,7 +8,10 @@ from typing import List, Optional
 from repro.analysis.corners import Corner, ispd09_corners
 from repro.analysis.spice import TransientSolverConfig
 
-__all__ = ["FlowConfig"]
+__all__ = ["DEFAULT_PIPELINE", "FlowConfig"]
+
+#: The paper's full optimization sequence (Figure 1), as pass-registry names.
+DEFAULT_PIPELINE = ("initial", "tbsz", "twsz", "twsn", "bwsn")
 
 
 @dataclass
@@ -19,7 +22,13 @@ class FlowConfig:
     evaluation at the two ISPD'09 supply corners, composite small inverters
     chosen by dominance analysis, a 10% capacitance reserve at initial buffer
     insertion, and the full optimization sequence INITIAL -> TBSZ -> TWSZ ->
-    TWSN -> BWSN.  The ``enable_*`` switches exist for the ablation benches.
+    TWSN -> BWSN.
+
+    ``pipeline`` selects which registered optimization passes run, in order
+    (see :mod:`repro.core.pipeline`); ``None`` means the paper's
+    :data:`DEFAULT_PIPELINE`.  The ``enable_*`` switches additionally gate
+    individual stages without dropping their Table III rows -- handy for the
+    ablation benches, which compare stage tables of equal shape.
     """
 
     # Evaluation
@@ -45,6 +54,8 @@ class FlowConfig:
     polarity_strategy: str = "subtree"
 
     # Optimization passes
+    #: Pass-registry names to run, in order; None = DEFAULT_PIPELINE.
+    pipeline: Optional[List[str]] = None
     enable_obstacle_avoidance: bool = True
     enable_buffer_sizing: bool = True
     enable_wiresizing: bool = True
@@ -59,6 +70,16 @@ class FlowConfig:
     bottom_max_rounds: int = 10
     sizing_levels_after_branch: int = 4
     sizing_max_iterations: int = 8
+    #: Consecutive rejected sizing iterations tolerated before the pass stops
+    #: (each rejection retries with the growth step halved); 1 reproduces the
+    #: historical stop-on-first-rejection behavior.
+    sizing_max_rejections: int = 3
+
+    def pipeline_names(self) -> List[str]:
+        """The pass names this flow runs, resolving the default pipeline."""
+        if self.pipeline is None:
+            return list(DEFAULT_PIPELINE)
+        return list(self.pipeline)
 
     def corner_names_for_slacks(self) -> Optional[List[str]]:
         """Corners used for slack computation (None = nominal corner only)."""

@@ -15,37 +15,26 @@ small-range/high-accuracy ones:
 5. **BWSN** -- bottom-level wiresizing/wiresnaking fine-tuning (targets skew,
    also nudges CLR).
 
-After every stage the network is re-evaluated (a CNE step) and the metrics are
-recorded, which is how Table III of the paper is regenerated.  Every
-individual optimization performs its own Improvement- & Violation-Checking and
-rolls back rejected rounds, so the flow is monotone in its primary objectives.
+Since the pass-pipeline refactor the sequence is *data*, not code: each step
+is an :class:`~repro.core.pipeline.OptimizationPass` resolved by name from
+the pass registry, and :class:`ContangoFlow` merely hands the configured
+pass list (``FlowConfig.pipeline``, defaulting to the paper's sequence) to
+the :class:`~repro.core.pipeline.PipelineDriver`.  The driver re-evaluates
+the network after every labelled stage (a CNE step) and records the metrics,
+which is how Table III of the paper is regenerated; every individual
+optimization performs its Improvement- & Violation-Checking through the
+shared :mod:`repro.core.ivc` engine and rolls back rejected rounds, so the
+flow is monotone in its primary objectives.
 """
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional
+from typing import Optional
 
-from repro.analysis.evaluator import (
-    ClockNetworkEvaluator,
-    EvaluationReport,
-    EvaluatorConfig,
-)
-from repro.buffering.fast_buffering import insert_buffers_with_sizing
-from repro.core.bottom_level import bottom_level_fine_tuning
-from repro.core.buffer_sizing import iterative_buffer_sizing
-from repro.core.buffer_sliding import slide_and_interleave_trunk
-from repro.core.composite import analyze_composites, composite_ladder
 from repro.core.config import FlowConfig
-from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
-from repro.core.report import FlowResult, StageRecord
-from repro.core.wiresizing import top_down_wiresizing
-from repro.core.wiresnaking import top_down_wiresnaking
-from repro.cts.bst import build_bounded_skew_tree
-from repro.cts.dme import build_zero_skew_tree
-from repro.cts.obstacle_avoid import repair_obstacle_violations
+from repro.core.pipeline import PipelineDriver
+from repro.core.report import FlowResult
 from repro.cts.spec import ClockNetworkInstance
-from repro.cts.tree import ClockTree
 
 __all__ = ["ContangoFlow"]
 
@@ -62,224 +51,7 @@ class ContangoFlow:
     def __init__(self, config: Optional[FlowConfig] = None) -> None:
         self.config = config or FlowConfig()
 
-    # ------------------------------------------------------------------
     def run(self, instance: ClockNetworkInstance) -> FlowResult:
         """Synthesize and optimize the clock network for ``instance``."""
-        instance.validate()
-        config = self.config
-        start = time.perf_counter()
-
-        evaluator = ClockNetworkEvaluator(
-            config=EvaluatorConfig(
-                engine=config.engine,
-                max_segment_length=config.max_segment_length,
-                slew_limit=instance.slew_limit,
-                solver=config.solver,
-            ),
-            corners=config.corners,
-            capacitance_limit=instance.capacitance_limit,
-        )
-        slack_corners = config.corner_names_for_slacks()
-
-        result = FlowResult(
-            instance_name=instance.name,
-            flow_name="contango",
-            tree=None,  # type: ignore[arg-type] -- assigned below
-            final_report=None,  # type: ignore[arg-type]
-        )
-
-        tree = self._build_initial_tree(instance)
-        self._repair_obstacles(instance, tree, result)
-        tree = self._insert_buffers(instance, tree, result)
-        self._correct_polarity(instance, tree, result)
-        # Each pass hands its last accepted report to the next pass (and to
-        # the stage record) as the baseline, so an unchanged tree is never
-        # re-evaluated; together with the evaluator's stage cache this makes
-        # every candidate move cost only its dirty stages.
-        report = self._record_stage(self.STAGE_INITIAL, tree, evaluator, result, start)
-
-        if config.enable_buffer_sizing:
-            sliding = slide_and_interleave_trunk(
-                tree, evaluator, baseline=report, objective="clr"
-            )
-            result.pass_results["trunk_sliding"] = sliding
-            sizing = iterative_buffer_sizing(
-                tree,
-                evaluator,
-                capacitance_limit=instance.capacitance_limit,
-                baseline=sliding.final_report,
-                objective="clr",
-                levels_after_branch=config.sizing_levels_after_branch,
-                max_iterations=config.sizing_max_iterations,
-            )
-            result.pass_results["buffer_sizing"] = sizing
-            report = sizing.final_report
-        report = self._record_stage(
-            self.STAGE_TBSZ, tree, evaluator, result, start, baseline=report
-        )
-
-        if config.enable_wiresizing:
-            wiresizing = top_down_wiresizing(
-                tree,
-                evaluator,
-                instance.wire_library,
-                baseline=report,
-                objective="skew",
-                corners=slack_corners,
-                max_rounds=config.wiresizing_max_rounds,
-            )
-            result.pass_results["wiresizing"] = wiresizing
-            report = wiresizing.final_report
-        report = self._record_stage(
-            self.STAGE_TWSZ, tree, evaluator, result, start, baseline=report
-        )
-
-        if config.enable_wiresnaking:
-            wiresnaking = top_down_wiresnaking(
-                tree,
-                evaluator,
-                baseline=report,
-                objective="skew",
-                corners=slack_corners,
-                unit_length=config.wiresnaking_unit_length,
-                max_rounds=config.wiresnaking_max_rounds,
-            )
-            result.pass_results["wiresnaking"] = wiresnaking
-            report = wiresnaking.final_report
-        report = self._record_stage(
-            self.STAGE_TWSN, tree, evaluator, result, start, baseline=report
-        )
-
-        if config.enable_bottom_level:
-            bottom = bottom_level_fine_tuning(
-                tree,
-                evaluator,
-                instance.wire_library,
-                baseline=report,
-                objective="skew",
-                corners=slack_corners,
-                unit_length=config.bottom_unit_length,
-                max_rounds=config.bottom_max_rounds,
-            )
-            result.pass_results["bottom_level"] = bottom
-            report = bottom.final_report
-        report = self._record_stage(
-            self.STAGE_BWSN, tree, evaluator, result, start, baseline=report
-        )
-
-        result.tree = tree
-        result.final_report = report
-        result.total_evaluations = evaluator.run_count
-        result.evaluator_cache = evaluator.cache_stats()
-        result.runtime_s = time.perf_counter() - start
-        return result
-
-    # ------------------------------------------------------------------
-    # Individual flow steps
-    # ------------------------------------------------------------------
-    def _build_initial_tree(self, instance: ClockNetworkInstance) -> ClockTree:
-        wire = instance.wire_library.default
-        if self.config.skew_bound > 0.0:
-            return build_bounded_skew_tree(
-                instance.sinks,
-                instance.source,
-                wire,
-                skew_bound=self.config.skew_bound,
-                source_resistance=instance.source_resistance,
-                topology_method=self.config.topology_method,
-                obstacles=instance.obstacles,
-            )
-        return build_zero_skew_tree(
-            instance.sinks,
-            instance.source,
-            wire,
-            source_resistance=instance.source_resistance,
-            topology_method=self.config.topology_method,
-            obstacles=instance.obstacles,
-        )
-
-    def _repair_obstacles(
-        self, instance: ClockNetworkInstance, tree: ClockTree, result: FlowResult
-    ) -> None:
-        if not self.config.enable_obstacle_avoidance or len(instance.obstacles) == 0:
-            return
-        analysis = analyze_composites(
-            instance.buffer_library, max_parallel=self.config.composite_max_parallel
-        )
-        report = repair_obstacle_violations(
-            tree,
-            instance.obstacles,
-            die=instance.die,
-            driver=analysis.preferred_base,
-            slew_limit=instance.slew_limit,
-        )
-        result.obstacle_detours = report.subtrees_detoured + report.maze_reroutes
-
-    def _buffer_candidates(self, instance: ClockNetworkInstance) -> List:
-        config = self.config
-        if config.use_composite_inverters:
-            analysis = analyze_composites(
-                instance.buffer_library,
-                max_parallel=config.composite_max_parallel,
-                ladder_steps=config.composite_ladder_steps,
-            )
-            return analysis.ladder
-        # Ablation mode: groups of the largest primitive inverter instead of
-        # composites of the small one (the paper's scalability experiment).
-        largest = max(instance.buffer_library, key=lambda b: b.input_cap)
-        return composite_ladder(largest, 1, steps=config.composite_ladder_steps)
-
-    def _insert_buffers(
-        self, instance: ClockNetworkInstance, tree: ClockTree, result: FlowResult
-    ) -> ClockTree:
-        config = self.config
-        sweep = insert_buffers_with_sizing(
-            tree,
-            self._buffer_candidates(instance),
-            capacitance_limit=instance.capacitance_limit,
-            power_reserve=config.power_reserve,
-            slew_limit=instance.slew_limit,
-            slew_margin=config.buffering_slew_margin,
-            station_spacing=config.station_spacing,
-            obstacles=instance.obstacles if len(instance.obstacles) else None,
-            die=instance.die,
-            max_options=config.max_dp_options,
-        )
-        result.chosen_buffer = sweep.chosen.buffer.name if sweep.chosen else None
-        return sweep.tree
-
-    def _correct_polarity(
-        self, instance: ClockNetworkInstance, tree: ClockTree, result: FlowResult
-    ) -> None:
-        config = self.config
-        result.inverted_sinks = count_inverted_sinks(tree)
-        if result.inverted_sinks == 0:
-            return
-        smallest = instance.buffer_library.smallest
-        stronger = [
-            smallest.parallel(count) for count in (2, 4, 8, 16) if smallest.inverting
-        ]
-        correction = correct_sink_polarity(
-            tree,
-            smallest,
-            strategy=config.polarity_strategy,
-            slew_limit=instance.slew_limit,
-            stronger_inverters=stronger,
-        )
-        result.polarity_inverters_added = correction.inverters_added
-
-    def _record_stage(
-        self,
-        stage: str,
-        tree: ClockTree,
-        evaluator: ClockNetworkEvaluator,
-        result: FlowResult,
-        start_time: float,
-        baseline: Optional["EvaluationReport"] = None,
-    ) -> "EvaluationReport":
-        report = baseline if baseline is not None else evaluator.evaluate(tree)
-        record = StageRecord.from_report(
-            stage, tree, report, elapsed_s=time.perf_counter() - start_time
-        )
-        result.stages.append(record)
-        return report
+        driver = PipelineDriver(self.config.pipeline_names(), flow_name="contango")
+        return driver.run(instance, self.config)

@@ -1,0 +1,293 @@
+"""The shared Improvement- & Violation-Checking (IVC) transaction engine.
+
+Every Contango optimization pass follows the same accept/rollback discipline
+(Figure 1 of the paper): snapshot the current solution, apply a batch of
+moves, re-evaluate the network, and keep the batch only if the objective
+improved without violating the slew or capacitance constraints.  The seed
+reproduction re-implemented that loop in every pass; this module owns it
+once:
+
+* :class:`Transaction` -- a context manager over the tree's journal-revision
+  checkpoints (:meth:`~repro.cts.tree.ClockTree.checkpoint` /
+  :meth:`~repro.cts.tree.ClockTree.rollback_to`), so a rejected round costs
+  O(touched nodes) instead of an O(n) clone and keeps the evaluator's
+  stage-cache identity;
+* :func:`ivc_round` -- one transactional round: checkpoint, propose,
+  evaluate, triage (slew violation / capacitance limit / no improvement),
+  commit or roll back;
+* :class:`IvcEngine` -- the full pass lifecycle: baseline handling, the
+  round loop with retry-at-reduced-aggressiveness after rejections, note
+  bookkeeping, and :class:`~repro.core.tuning.PassResult` accounting.
+
+A pass built on the engine supplies only its *proposal* (which moves to try
+this round, scaled by :attr:`IvcState.aggressiveness`) and keeps zero
+snapshot/rollback/accept code of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.tuning import PassResult, objective_value
+from repro.cts.tree import ClockTree
+
+__all__ = [
+    "REASON_SLEW",
+    "REASON_CAPACITANCE",
+    "REASON_NO_IMPROVEMENT",
+    "Transaction",
+    "IvcState",
+    "IvcOutcome",
+    "default_constraints",
+    "capacitance_cap_constraints",
+    "ivc_round",
+    "IvcEngine",
+]
+
+REASON_SLEW = "slew violation"
+REASON_CAPACITANCE = "capacitance limit exceeded"
+REASON_NO_IMPROVEMENT = "no improvement"
+
+#: A constraint triage: maps a candidate report to a rejection reason, or
+#: ``None`` when the candidate satisfies every constraint.
+Constraints = Callable[[EvaluationReport], Optional[str]]
+
+
+class Transaction:
+    """Scoped wrapper around one :meth:`ClockTree.checkpoint` transaction.
+
+    Commits on clean ``with``-exit, rolls back when the body raises, and
+    exposes explicit :meth:`commit` / :meth:`rollback` for control flow that
+    decides the outcome mid-body (the IVC triage).  Either call closes the
+    transaction; later calls are no-ops.
+    """
+
+    def __init__(self, tree: ClockTree) -> None:
+        self._tree = tree
+        self._token: Optional[int] = None
+
+    def __enter__(self) -> "Transaction":
+        self._token = self._tree.checkpoint()
+        return self
+
+    def commit(self) -> None:
+        """Accept the mutations made since the transaction opened."""
+        if self._token is not None:
+            self._tree.release(self._token)
+            self._token = None
+
+    def rollback(self) -> None:
+        """Undo the mutations made since the transaction opened."""
+        if self._token is not None:
+            self._tree.rollback_to(self._token)
+            self._token = None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.rollback()
+        else:
+            self.commit()
+        return False
+
+
+def default_constraints(report: EvaluationReport) -> Optional[str]:
+    """The paper's violation checks: tap slews, then the evaluator's cap limit."""
+    if report.has_slew_violation:
+        return REASON_SLEW
+    if not report.within_capacitance_limit:
+        return REASON_CAPACITANCE
+    return None
+
+
+def capacitance_cap_constraints(limit: Optional[float]) -> Constraints:
+    """Violation checks with an explicit capacitance cap.
+
+    Buffer sizing borrows capacitance against its own budget rather than the
+    evaluator's, so it triages against the limit it was handed.
+    """
+
+    def check(report: EvaluationReport) -> Optional[str]:
+        if report.has_slew_violation:
+            return REASON_SLEW
+        if limit is not None and report.total_capacitance > limit:
+            return "over capacitance limit"
+        return None
+
+    return check
+
+
+@dataclass
+class IvcState:
+    """Per-round state handed to a pass's proposal callback.
+
+    ``iteration`` is the 1-based attempt counter (rejected rounds included);
+    ``aggressiveness`` starts at 1.0 and is multiplied by the engine's decay
+    after every rejected round, so a proposal that scales its move budget by
+    it automatically retries with smaller steps; ``report`` is the evaluation
+    of the last *accepted* state.
+    """
+
+    report: EvaluationReport
+    iteration: int = 0
+    aggressiveness: float = 1.0
+    consecutive_rejections: int = 0
+
+
+@dataclass
+class IvcOutcome:
+    """Result of one :func:`ivc_round`."""
+
+    accepted: bool
+    changed: int
+    report: Optional[EvaluationReport]
+    reason: Optional[str]
+
+
+def ivc_round(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    propose: Callable[[], int],
+    *,
+    objective: str,
+    best_objective: float,
+    constraints: Optional[Constraints] = None,
+) -> IvcOutcome:
+    """Run one transactional IVC round on ``tree``.
+
+    Opens a checkpoint, calls ``propose`` (which mutates the tree and returns
+    the number of moves it applied), and triages the result:
+
+    * zero moves -- the round is vacuous; any stray edits are rolled back and
+      no evaluation is spent (``report`` is ``None``);
+    * a violated constraint or a non-improving objective -- the round is
+      rolled back and the rejection ``reason`` reported;
+    * otherwise the round commits and ``report`` carries the new evaluation.
+
+    The tree is restored exactly (content *and* journal revisions) on
+    rollback, so the evaluator's stage cache still recognises every stage of
+    the restored state.
+    """
+    check = constraints or default_constraints
+    with Transaction(tree) as txn:
+        changed = propose()
+        if changed == 0:
+            txn.rollback()
+            return IvcOutcome(accepted=False, changed=0, report=None, reason=None)
+        candidate = evaluator.evaluate(tree)
+        reason = check(candidate)
+        if reason is None and objective_value(candidate, objective) >= best_objective:
+            reason = REASON_NO_IMPROVEMENT
+        if reason is not None:
+            txn.rollback()
+            return IvcOutcome(accepted=False, changed=changed, report=candidate, reason=reason)
+    return IvcOutcome(accepted=True, changed=changed, report=candidate, reason=None)
+
+
+class IvcEngine:
+    """Owns one optimization pass's complete IVC lifecycle.
+
+    Construction resolves the baseline (evaluating the tree only when the
+    caller did not hand one over) and opens the
+    :class:`~repro.core.tuning.PassResult`; :meth:`run` drives the round loop
+    with the shared rejection policy; :meth:`abort` / :meth:`finish` close
+    the result record.  ``engine.report`` always holds the evaluation of the
+    last accepted state and is threaded into the result as ``final_report``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tree: ClockTree,
+        evaluator: ClockNetworkEvaluator,
+        *,
+        objective: str,
+        baseline: Optional[EvaluationReport] = None,
+        constraints: Optional[Constraints] = None,
+    ) -> None:
+        self.tree = tree
+        self.evaluator = evaluator
+        self.objective = objective
+        self.constraints = constraints or default_constraints
+        self._evals_before = evaluator.run_count
+        self.report = baseline if baseline is not None else evaluator.evaluate(tree)
+        initial_summary = self.report.summary()
+        self.result = PassResult(
+            name=name,
+            improved=False,
+            rounds=0,
+            edges_changed=0,
+            initial=initial_summary,
+            final=initial_summary,
+            evaluations_used=0,
+        )
+
+    # ------------------------------------------------------------------
+    def abort(self, note: str) -> PassResult:
+        """Close the pass before its loop starts (nothing to optimize on)."""
+        self.result.notes.append(note)
+        return self.finish()
+
+    def finish(self) -> PassResult:
+        """Seal the result record against the last accepted report."""
+        self.result.final = self.report.summary()
+        self.result.final_report = self.report
+        self.result.evaluations_used = self.evaluator.run_count - self._evals_before
+        return self.result
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        propose: Callable[[IvcState], int],
+        *,
+        max_rounds: int,
+        empty_note: Optional[str] = None,
+        max_consecutive_rejections: int = 3,
+        rejection_decay: float = 0.5,
+        reject_note: str = "round rejected: {reason}",
+    ) -> PassResult:
+        """Drive up to ``max_rounds`` IVC rounds of ``propose`` and finish.
+
+        A rejected round is rolled back, noted (``reject_note`` may reference
+        ``{reason}`` and ``{iteration}``), and retried with the state's
+        aggressiveness multiplied by ``rejection_decay`` -- a rejected batch
+        usually means the pass's impact model overreached, not that no
+        improving move exists, so retrying at lower aggressiveness recovers
+        part of the head-room (the paper simply moves on).  The loop stops
+        after ``max_consecutive_rejections`` rejections in a row, or on the
+        first vacuous round (``empty_note`` records why).
+        """
+        state = IvcState(report=self.report)
+        best_objective = objective_value(self.report, self.objective)
+        for attempt in range(1, max_rounds + 1):
+            state.iteration = attempt
+            state.report = self.report
+            outcome = ivc_round(
+                self.tree,
+                self.evaluator,
+                lambda: propose(state),
+                objective=self.objective,
+                best_objective=best_objective,
+                constraints=self.constraints,
+            )
+            if outcome.changed == 0:
+                if empty_note is not None:
+                    self.result.notes.append(empty_note)
+                break
+            if not outcome.accepted:
+                self.result.notes.append(
+                    reject_note.format(reason=outcome.reason, iteration=state.iteration)
+                )
+                state.consecutive_rejections += 1
+                state.aggressiveness *= rejection_decay
+                if state.consecutive_rejections >= max_consecutive_rejections:
+                    break
+                continue
+            state.consecutive_rejections = 0
+            self.report = outcome.report
+            best_objective = objective_value(outcome.report, self.objective)
+            self.result.rounds += 1
+            self.result.edges_changed += outcome.changed
+            self.result.improved = True
+        return self.finish()

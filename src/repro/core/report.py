@@ -68,12 +68,18 @@ class StageRecord:
 
 @dataclass
 class FlowResult:
-    """Complete outcome of one Contango (or baseline) synthesis run."""
+    """Complete outcome of one Contango (or baseline) synthesis run.
+
+    ``tree`` and ``final_report`` are ``None`` only while a pipeline is still
+    populating the record; a result handed back by a flow always carries
+    both.  Use :meth:`require_tree` / :meth:`require_report` for validated
+    access (every metric property goes through them).
+    """
 
     instance_name: str
     flow_name: str
-    tree: ClockTree
-    final_report: EvaluationReport
+    tree: Optional[ClockTree] = None
+    final_report: Optional[EvaluationReport] = None
     stages: List[StageRecord] = field(default_factory=list)
     pass_results: Dict[str, PassResult] = field(default_factory=dict)
     chosen_buffer: Optional[str] = None
@@ -86,17 +92,33 @@ class FlowResult:
     #: cache (see :meth:`repro.analysis.evaluator.StageCache.stats`).
     evaluator_cache: Dict[str, int] = field(default_factory=dict)
 
+    def require_tree(self) -> ClockTree:
+        """The synthesized tree; raises if the flow never produced one."""
+        if self.tree is None:
+            raise ValueError(
+                f"flow result for {self.instance_name!r} carries no tree yet"
+            )
+        return self.tree
+
+    def require_report(self) -> EvaluationReport:
+        """The final evaluation; raises if the flow never evaluated."""
+        if self.final_report is None:
+            raise ValueError(
+                f"flow result for {self.instance_name!r} carries no final report yet"
+            )
+        return self.final_report
+
     @property
     def skew(self) -> float:
-        return self.final_report.skew
+        return self.require_report().skew
 
     @property
     def clr(self) -> float:
-        return self.final_report.clr
+        return self.require_report().clr
 
     @property
     def capacitance_utilization(self) -> Optional[float]:
-        return self.final_report.capacitance_utilization
+        return self.require_report().capacitance_utilization
 
     def stage(self, name: str) -> StageRecord:
         for record in self.stages:
@@ -110,16 +132,17 @@ class FlowResult:
 
     def summary(self) -> Dict[str, float]:
         """Single-row summary in Table IV format."""
+        report = self.require_report()
         return {
             "instance": self.instance_name,
             "flow": self.flow_name,
             "clr_ps": self.clr,
             "skew_ps": self.skew,
-            "max_latency_ps": self.final_report.max_latency,
+            "max_latency_ps": report.max_latency,
             "capacitance_utilization": self.capacitance_utilization,
-            "total_capacitance_fF": self.final_report.total_capacitance,
-            "wirelength_um": self.final_report.wirelength,
-            "slew_violations": len(self.final_report.slew_violations),
+            "total_capacitance_fF": report.total_capacitance,
+            "wirelength_um": report.wirelength,
+            "slew_violations": len(report.slew_violations),
             "evaluations": self.total_evaluations,
             "runtime_s": self.runtime_s,
         }

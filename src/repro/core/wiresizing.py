@@ -9,9 +9,9 @@ fast sinks with the smallest possible number of modifications; the running
 twice on the same root-to-sink path (Algorithm 1).
 
 The effect of downsizing is predicted with the calibrated linear model
-``delta_delay ~= Tws * length`` (one evaluation measures ``Tws``), and every
-round ends with a full re-evaluation that either accepts or rolls back the
-batch (the IVC step).
+``delta_delay ~= Tws * length`` (one evaluation measures ``Tws``); the
+accept/rollback discipline around each round is the shared
+:class:`repro.core.ivc.IvcEngine` (the IVC step).
 """
 
 from __future__ import annotations
@@ -20,11 +20,11 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.ivc import IvcEngine, IvcState
 from repro.core.slack import annotate_tree_slacks
 from repro.core.tuning import (
     PassResult,
     calibrate_downsize_model,
-    objective_value,
     stage_slew_headroom,
 )
 from repro.cts.tree import ClockTree
@@ -60,77 +60,32 @@ def top_down_wiresizing(
         Fraction of the available slack the linear model is allowed to spend,
         guarding against model error.
     """
-    evals_before = evaluator.run_count
-    report = baseline if baseline is not None else evaluator.evaluate(tree)
-    initial_summary = report.summary()
-    result = PassResult(
-        name="top_down_wiresizing",
-        improved=False,
-        rounds=0,
-        edges_changed=0,
-        initial=initial_summary,
-        final=initial_summary,
-        evaluations_used=0,
+    engine = IvcEngine(
+        "top_down_wiresizing", tree, evaluator, objective=objective, baseline=baseline
     )
-
-    model = calibrate_downsize_model(tree, evaluator, wirelib, report)
+    model = calibrate_downsize_model(tree, evaluator, wirelib, engine.report)
     if model is None:
-        result.notes.append("no downsizable edges to calibrate the impact model on")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("no downsizable edges to calibrate the impact model on")
 
-    best_objective = objective_value(report, objective)
-    rejections = 0
-    for _ in range(max_rounds):
-        annotation = annotate_tree_slacks(tree, report, corners=corners)
-        headroom = stage_slew_headroom(tree, report)
+    def propose(state: IvcState) -> int:
+        annotation = annotate_tree_slacks(tree, state.report, corners=corners)
+        headroom = stage_slew_headroom(tree, state.report)
         model.refresh(tree)
-        snapshot = tree.clone()
-        changed = _downsize_round(
+        return _downsize_round(
             tree,
             wirelib,
             annotation.edge_slow,
             headroom,
             model,
-            safety,
+            safety * state.aggressiveness,
             min_edge_length,
         )
-        if changed == 0:
-            result.notes.append("no edge had enough slack to absorb a downsizing")
-            break
-        candidate_report = evaluator.evaluate(tree)
-        candidate_objective = objective_value(candidate_report, objective)
-        rejected_reason = None
-        if candidate_report.has_slew_violation:
-            rejected_reason = "slew violation"
-        elif not candidate_report.within_capacitance_limit:
-            rejected_reason = "capacitance limit exceeded"
-        elif candidate_objective >= best_objective:
-            rejected_reason = "no improvement"
-        if rejected_reason is not None:
-            # Roll back and retry with a smaller move budget: a rejected batch
-            # usually means the linear model overreached, not that no
-            # improving move exists (the paper simply moves on; retrying at
-            # lower aggressiveness recovers part of the head-room instead).
-            tree.copy_state_from(snapshot)
-            result.notes.append("round rejected: " + rejected_reason)
-            rejections += 1
-            safety *= 0.5
-            if rejections >= 3:
-                break
-            continue
-        rejections = 0
-        report = candidate_report
-        best_objective = candidate_objective
-        result.rounds += 1
-        result.edges_changed += changed
-        result.improved = True
 
-    result.final = report.summary()
-    result.final_report = report
-    result.evaluations_used = evaluator.run_count - evals_before
-    return result
+    return engine.run(
+        propose,
+        max_rounds=max_rounds,
+        empty_note="no edge had enough slack to absorb a downsizing",
+    )
 
 
 def _downsize_round(

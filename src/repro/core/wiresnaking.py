@@ -16,11 +16,11 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
+from repro.core.ivc import IvcEngine, IvcState
 from repro.core.slack import annotate_tree_slacks
 from repro.core.tuning import (
     PassResult,
     calibrate_snake_model,
-    objective_value,
     stage_slew_headroom,
 )
 from repro.cts.tree import ClockTree
@@ -47,77 +47,32 @@ def top_down_wiresnaking(
     """
     if unit_length <= 0.0:
         raise ValueError("unit_length must be positive")
-    evals_before = evaluator.run_count
-    report = baseline if baseline is not None else evaluator.evaluate(tree)
-    initial_summary = report.summary()
-    result = PassResult(
-        name="top_down_wiresnaking",
-        improved=False,
-        rounds=0,
-        edges_changed=0,
-        initial=initial_summary,
-        final=initial_summary,
-        evaluations_used=0,
+    engine = IvcEngine(
+        "top_down_wiresnaking", tree, evaluator, objective=objective, baseline=baseline
     )
-
-    model = calibrate_snake_model(tree, evaluator, report, unit_length)
+    model = calibrate_snake_model(tree, evaluator, engine.report, unit_length)
     if model is None:
-        result.notes.append("snake impact model could not be calibrated")
-        result.final_report = report
-        result.evaluations_used = evaluator.run_count - evals_before
-        return result
+        return engine.abort("snake impact model could not be calibrated")
 
-    best_objective = objective_value(report, objective)
-    rejections = 0
-    for _ in range(max_rounds):
-        annotation = annotate_tree_slacks(tree, report, corners=corners)
-        headroom = stage_slew_headroom(tree, report)
+    def propose(state: IvcState) -> int:
+        annotation = annotate_tree_slacks(tree, state.report, corners=corners)
+        headroom = stage_slew_headroom(tree, state.report)
         model.refresh(tree)
-        snapshot = tree.clone()
-        changed = _snake_round(
+        return _snake_round(
             tree,
             annotation.edge_slow,
             headroom,
             model,
             unit_length,
             max_units_per_edge,
-            safety,
+            safety * state.aggressiveness,
         )
-        if changed == 0:
-            result.notes.append("no edge had a full snaking unit of slack left")
-            break
-        candidate_report = evaluator.evaluate(tree)
-        candidate_objective = objective_value(candidate_report, objective)
-        rejected_reason = None
-        if candidate_report.has_slew_violation:
-            rejected_reason = "slew violation"
-        elif not candidate_report.within_capacitance_limit:
-            rejected_reason = "capacitance limit exceeded"
-        elif candidate_objective >= best_objective:
-            rejected_reason = "no improvement"
-        if rejected_reason is not None:
-            # Roll back and retry with a smaller move budget: a rejected batch
-            # usually means the linear model overreached, not that no
-            # improving move exists (the paper simply moves on; retrying at
-            # lower aggressiveness recovers part of the head-room instead).
-            tree.copy_state_from(snapshot)
-            result.notes.append("round rejected: " + rejected_reason)
-            rejections += 1
-            safety *= 0.5
-            if rejections >= 3:
-                break
-            continue
-        rejections = 0
-        report = candidate_report
-        best_objective = candidate_objective
-        result.rounds += 1
-        result.edges_changed += changed
-        result.improved = True
 
-    result.final = report.summary()
-    result.final_report = report
-    result.evaluations_used = evaluator.run_count - evals_before
-    return result
+    return engine.run(
+        propose,
+        max_rounds=max_rounds,
+        empty_note="no edge had a full snaking unit of slack left",
+    )
 
 
 def _snake_round(

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.units import LN9
 from repro.buffering.candidates import max_drivable_capacitance
 from repro.cts.bufferlib import BufferType
-from repro.cts.tree import ClockTree, NodeKind, TreeNode
+from repro.cts.tree import ClockTree, NodeKind, TreeNode, TreeValidationError
 from repro.geometry.lshape import lshape_routes
 from repro.geometry.maze import MazeRouteError, MazeRouter
 from repro.geometry.obstacles import CompoundObstacle, ObstacleSet
@@ -229,7 +229,20 @@ class ObstacleAvoider:
                     # One buffer placed before the obstacle can drive the whole
                     # enclosed subtree: no detour required (Step 2).
                     continue
-                added = self._contour_detour(tree, root_id, bbox)
+                # The contour detour is heavy tree surgery (detach sinks,
+                # delete the enclosed internals, rebuild along the contour);
+                # run it as a transaction so a failed rebuild rolls back to
+                # the intact subtree instead of leaving the tree half-wired.
+                token = tree.checkpoint()
+                try:
+                    added = self._contour_detour(tree, root_id, bbox)
+                except (ValueError, MazeRouteError, TreeValidationError) as exc:
+                    tree.rollback_to(token)
+                    report.notes.append(
+                        f"contour detour of subtree {root_id} rolled back: {exc}"
+                    )
+                    continue
+                tree.release(token)
                 if added > 0.0:
                     report.subtrees_detoured += 1
                     report.detour_wirelength += added

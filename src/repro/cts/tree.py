@@ -32,6 +32,31 @@ identical at clone time) while any later edit, in either tree, produces a
 revision never seen before.  That property is what lets the evaluator use
 revisions as content-addressed cache keys across snapshots, probes and
 rollbacks.
+
+Checkpoints
+-----------
+Optimization rounds used to snapshot with :meth:`ClockTree.clone` (O(n) per
+round even when the round touches three edges).  The journal-revision
+checkpoint API replaces that on the hot path:
+
+* :meth:`ClockTree.checkpoint` opens a transaction and returns a token;
+  from then on every mutator records an O(1) pre-image of each node it is
+  about to touch (first touch per node per checkpoint only);
+* :meth:`ClockTree.rollback_to` undoes everything back to the token in
+  O(touched nodes), restoring node *revisions* verbatim so content-addressed
+  caches (the evaluator's stage cache) recognise the rolled-back state as
+  already analyzed;
+* :meth:`ClockTree.release` closes an accepted transaction and drops its
+  journal entries.
+
+Checkpoints nest and must be released/rolled back LIFO.  With no checkpoint
+outstanding the journal hooks are a single branch per mutation.  Code that
+edits :class:`TreeNode` attributes directly (bypassing the mutators) must
+call :meth:`ClockTree.journal_node` *before* the edit -- and :meth:`touch`
+after it -- to stay transactional.  One caveat: nodes deleted by
+:meth:`remove_subtree` are re-inserted at the end of the node table on
+rollback, so their *iteration order* (not their content) can differ from a
+:meth:`clone`-based restore.
 """
 
 from __future__ import annotations
@@ -165,6 +190,9 @@ class ClockTree:
         self.source_resistance = source_resistance
         self._node_revision: Dict[int, int] = {}
         self._structure_revision = next(_REVISIONS)
+        self._journal: List[tuple] = []
+        self._checkpoints: List[int] = []
+        self._journaled: List[set] = []
         self.root_id = self._new_node(source_position, NodeKind.SOURCE, parent=None)
 
     # ------------------------------------------------------------------
@@ -173,10 +201,14 @@ class ClockTree:
     def _new_node(
         self, position: Point, kind: NodeKind, parent: Optional[int]
     ) -> int:
+        if self._checkpoints:
+            self._journal.append(("next_id", self._next_id))
         node_id = self._next_id
         self._next_id += 1
         self._nodes[node_id] = TreeNode(node_id=node_id, position=position, kind=kind, parent=parent)
         self._node_revision[node_id] = next(_REVISIONS)
+        if self._checkpoints:
+            self._journal.append(("create", node_id))
         return node_id
 
     # ------------------------------------------------------------------
@@ -217,7 +249,88 @@ class ClockTree:
 
     def touch_structure(self) -> None:
         """Mark the tree topology / buffer-site set as changed."""
+        if self._checkpoints:
+            self._journal.append(("structure", self._structure_revision))
         self._structure_revision = next(_REVISIONS)
+
+    # ------------------------------------------------------------------
+    # Journal-revision checkpoints (transactional snapshots)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Open a transaction; returns a token for :meth:`rollback_to`/:meth:`release`.
+
+        While at least one checkpoint is outstanding every mutator journals a
+        pre-image of each node it touches (once per node per checkpoint), so
+        rolling back costs O(touched nodes) instead of the O(n) of a
+        :meth:`clone`-based snapshot.  Checkpoints nest; tokens must be
+        consumed in LIFO order.
+        """
+        token = len(self._journal)
+        self._checkpoints.append(token)
+        self._journaled.append(set())
+        return token
+
+    def rollback_to(self, token: int) -> None:
+        """Undo every mutation made since :meth:`checkpoint` returned ``token``.
+
+        Node revisions and the structure revision are restored verbatim, so
+        caches keyed by them (the evaluator's stage cache) recognise the
+        rolled-back state as already analyzed -- exactly like a
+        :meth:`copy_state_from` restore, at O(touched nodes) cost.
+        """
+        self._pop_checkpoint(token)
+        while len(self._journal) > token:
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "node":
+                _, node_id, pre_image, revision = entry
+                self._nodes[node_id] = pre_image
+                self._node_revision[node_id] = revision
+            elif kind == "create":
+                self._nodes.pop(entry[1], None)
+                self._node_revision.pop(entry[1], None)
+            elif kind == "structure":
+                self._structure_revision = entry[1]
+            else:  # "next_id"
+                self._next_id = entry[1]
+
+    def release(self, token: int) -> None:
+        """Close an accepted transaction opened by :meth:`checkpoint`.
+
+        Journal entries are kept while an enclosing checkpoint is still
+        outstanding (it may yet roll back through them) and dropped once the
+        last checkpoint closes.
+        """
+        self._pop_checkpoint(token)
+        if not self._checkpoints:
+            self._journal.clear()
+
+    def _pop_checkpoint(self, token: int) -> None:
+        if not self._checkpoints or self._checkpoints[-1] != token:
+            raise ValueError(
+                "checkpoint tokens must be rolled back / released in LIFO order"
+            )
+        self._checkpoints.pop()
+        self._journaled.pop()
+
+    def journal_node(self, node_id: int) -> None:
+        """Record a pre-image of ``node_id`` for the innermost open checkpoint.
+
+        All :class:`ClockTree` mutators call this automatically before
+        touching a node; it is public for code that edits
+        :class:`TreeNode` attributes directly (pair it with :meth:`touch`
+        *after* the edit).  No-op when no checkpoint is outstanding or the
+        node was already journalled since the innermost checkpoint.
+        """
+        if not self._checkpoints:
+            return
+        journaled = self._journaled[-1]
+        if node_id in journaled:
+            return
+        journaled.add(node_id)
+        self._journal.append(
+            ("node", node_id, _copy_node(self._nodes[node_id]), self._node_revision[node_id])
+        )
 
     def add_internal(
         self,
@@ -252,6 +365,7 @@ class ClockTree:
         parent = self.node(parent_id)
         if parent.is_sink:
             raise ValueError(f"cannot attach children to sink node {parent_id}")
+        self.journal_node(parent_id)
         node_id = self._new_node(position, kind, parent=parent_id)
         node = self._nodes[node_id]
         node.sink = sink
@@ -492,6 +606,7 @@ class ClockTree:
     def place_buffer(self, node_id: int, buffer: BufferType) -> None:
         """Place (or replace) a buffer at a node."""
         node = self.node(node_id)
+        self.journal_node(node_id)
         adds_site = node.buffer is None
         node.buffer = buffer
         self.touch(node_id)
@@ -505,6 +620,7 @@ class ClockTree:
         node = self.node(node_id)
         if node.buffer is None:
             return
+        self.journal_node(node_id)
         node.buffer = None
         self.touch(node_id)
         self.touch_structure()
@@ -513,6 +629,7 @@ class ClockTree:
         node = self.node(node_id)
         if node.parent is None:
             raise ValueError("the root has no parent edge to re-type")
+        self.journal_node(node_id)
         node.wire_type = wire
         self.touch(node_id)
 
@@ -523,6 +640,7 @@ class ClockTree:
         node = self.node(node_id)
         if node.parent is None:
             raise ValueError("the root has no parent edge to snake")
+        self.journal_node(node_id)
         node.snake_length += extra_length
         self.touch(node_id)
 
@@ -537,6 +655,7 @@ class ClockTree:
         if node.parent is None:
             raise ValueError("the root has no parent edge to reroute")
         points = self._validated_route(node, self._nodes[node.parent], route)
+        self.journal_node(node_id)
         node.replace_route(points)
         self.touch(node_id)
 
@@ -560,12 +679,14 @@ class ClockTree:
         node = self.node(node_id)
         if node.parent is None:
             raise ValueError("the root (clock entry point) cannot be moved")
+        self.journal_node(node_id)
         node.position = position
         parent = self._nodes[node.parent]
         node.replace_route([parent.position, position])
         self.touch(node_id)
         for child_id in node.children:
             child = self._nodes[child_id]
+            self.journal_node(child_id)
             child.replace_route([position, child.position])
             self.touch(child_id)
 
@@ -579,6 +700,8 @@ class ClockTree:
         node = self.node(node_id)
         if node.parent is None:
             raise ValueError("cannot detach the root")
+        self.journal_node(node.parent)
+        self.journal_node(node_id)
         self._nodes[node.parent].children.remove(node_id)
         node.parent = None
         self.touch_structure()
@@ -605,6 +728,8 @@ class ClockTree:
         # Validate the candidate route first so a rejected attach leaves the
         # node cleanly detached instead of half-linked.
         points = self._validated_route(node, parent, route)
+        self.journal_node(node_id)
+        self.journal_node(parent_id)
         node.parent = parent_id
         if wire_type is not None:
             node.wire_type = wire_type
@@ -627,10 +752,16 @@ class ClockTree:
         node = self.node(node_id)
         if node_id == self.root_id:
             raise ValueError("cannot remove the root (clock entry point)")
+        # Journal every pre-image before the first mutation: the subtree root
+        # must be captured while it still points at its parent, or a rollback
+        # would resurrect it half-detached.
+        removed = [n.node_id for n in self.preorder(node_id)]
+        for removed_id in removed:
+            self.journal_node(removed_id)
         if node.parent is not None:
+            self.journal_node(node.parent)
             self._nodes[node.parent].children.remove(node_id)
             node.parent = None
-        removed = [n.node_id for n in self.preorder(node_id)]
         for removed_id in removed:
             del self._nodes[removed_id]
             del self._node_revision[removed_id]
@@ -652,6 +783,8 @@ class ClockTree:
         if node.parent is None:
             raise ValueError("cannot split above the root")
         parent = self.node(node.parent)
+        self.journal_node(node_id)
+        self.journal_node(parent.node_id)
 
         split_point, upper_route, lower_route = _split_route(node.route, fraction)
         new_id = self._new_node(split_point, NodeKind.INTERNAL, parent=parent.node_id)
@@ -690,6 +823,10 @@ class ClockTree:
         twin.root_id = self.root_id
         twin._node_revision = dict(self._node_revision)
         twin._structure_revision = self._structure_revision
+        # Checkpoints do not transfer: the clone starts transaction-free.
+        twin._journal = []
+        twin._checkpoints = []
+        twin._journaled = []
         return twin
 
     def copy_state_from(self, other: "ClockTree") -> None:
@@ -700,7 +837,13 @@ class ClockTree:
         that callers holding a reference to the tree keep seeing the accepted
         solution.  Revisions are restored along with the content, so caches
         keyed by them recognise the rolled-back state as already analyzed.
+
+        Any outstanding :meth:`checkpoint` transactions are voided: the whole
+        state is replaced, so their journals no longer apply.
         """
+        self._journal = []
+        self._checkpoints = []
+        self._journaled = []
         self._nodes = {node_id: _copy_node(node) for node_id, node in other._nodes.items()}
         self._next_id = other._next_id
         self._default_wire = other._default_wire

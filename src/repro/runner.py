@@ -1,0 +1,302 @@
+"""Parallel batch runner: fan a job matrix across worker processes.
+
+One *job* is one synthesis run -- an instance spec ("ti:200",
+"ispd09:ispd09f22", optionally scaled), a flow (the integrated Contango
+pipeline or one of the Table IV baselines), an evaluation engine, and an
+optional custom pass pipeline.  The runner expands a matrix of those axes
+into :class:`JobSpec` jobs, fans them across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and streams a
+JSON-serializable record per job as it completes, so ablation studies and
+Table III/IV/V-style sweeps run at the machine's core count instead of one
+flow at a time.
+
+Workers regenerate their instance from the spec (the generators are seeded
+and deterministic), so nothing heavier than a tiny dataclass crosses the
+process boundary in either direction.
+
+The module is the substrate of the ``python -m repro`` command line (see
+:mod:`repro.cli`) and of ``benchmarks/perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import all_baselines
+from repro.core import ContangoFlow, FlowConfig
+from repro.core.report import FlowResult
+from repro.cts.spec import ClockNetworkInstance
+from repro.workloads import (
+    generate_ispd09_benchmark,
+    generate_ti_benchmark,
+    read_instance,
+)
+
+__all__ = [
+    "JobSpec",
+    "JobError",
+    "BatchResult",
+    "BatchRunner",
+    "available_flows",
+    "resolve_instance",
+    "run_job",
+    "render_table",
+    "table_iii",
+    "table_iv",
+]
+
+
+# ----------------------------------------------------------------------
+# Job specification and execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of the batch matrix, cheap to pickle across processes.
+
+    ``instance`` uses a ``kind:value`` spec:
+
+    * ``ti:<sinks>`` -- the TI-style scalability generator;
+    * ``ispd09:<name>`` or ``ispd09:<name>:<scale>`` -- an ISPD'09-style
+      benchmark, optionally shrunk by ``scale`` in (0, 1];
+    * ``file:<path>`` -- a saved instance in the plain-text format.
+
+    ``pipeline`` overrides :attr:`FlowConfig.pipeline` (pass-registry
+    names); ``seed`` overrides the TI generator's default seed.
+    """
+
+    instance: str
+    flow: str = "contango"
+    engine: str = "arnoldi"
+    pipeline: Optional[Tuple[str, ...]] = None
+    seed: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        """Filesystem-safe identifier used for result files and log lines."""
+        parts = [self.instance.replace(":", "").replace("/", "_"), self.flow, self.engine]
+        if self.pipeline is not None:
+            parts.append("-".join(self.pipeline))
+        if self.seed is not None:
+            parts.append(f"seed{self.seed}")
+        return "__".join(parts)
+
+
+class JobError(RuntimeError):
+    """A job failed inside a worker; carries the worker-side traceback."""
+
+
+def available_flows() -> List[str]:
+    """Runnable flow names: the integrated flow plus the Table IV baselines."""
+    return ["contango"] + [flow.name for flow in all_baselines()]
+
+
+def resolve_instance(spec: JobSpec) -> ClockNetworkInstance:
+    """Materialize the instance a job spec names."""
+    kind, _, rest = spec.instance.partition(":")
+    if kind == "ti":
+        if not rest.isdigit():
+            raise ValueError(f"ti instance spec needs a sink count, got {spec.instance!r}")
+        if spec.seed is not None:
+            return generate_ti_benchmark(int(rest), seed=spec.seed)
+        return generate_ti_benchmark(int(rest))
+    if kind == "ispd09":
+        name, _, scale = rest.partition(":")
+        return generate_ispd09_benchmark(name, sink_scale=float(scale) if scale else None)
+    if kind == "file":
+        return read_instance(rest)
+    raise ValueError(
+        f"unknown instance spec {spec.instance!r}; use ti:<sinks>, "
+        f"ispd09:<name>[:<scale>] or file:<path>"
+    )
+
+
+def _make_flow(spec: JobSpec, config: FlowConfig):
+    if spec.flow == "contango":
+        return ContangoFlow(config)
+    for baseline in all_baselines(config):
+        if baseline.name == spec.flow:
+            return baseline
+    raise ValueError(f"unknown flow {spec.flow!r}; available: {available_flows()}")
+
+
+def run_job(spec: JobSpec) -> Dict:
+    """Execute one job and return its JSON-serializable result record.
+
+    Module-level (not a method) so the process pool can pickle it by
+    reference; the instance is regenerated in the worker from the spec.
+    """
+    start = time.perf_counter()
+    instance = resolve_instance(spec)
+    config = FlowConfig(engine=spec.engine)
+    if spec.pipeline is not None:
+        config.pipeline = list(spec.pipeline)
+    result: FlowResult = _make_flow(spec, config).run(instance)
+    return {
+        "job": spec.label,
+        "instance": spec.instance,
+        "flow": spec.flow,
+        "engine": spec.engine,
+        "pipeline": list(spec.pipeline) if spec.pipeline is not None else None,
+        "seed": spec.seed,
+        "sinks": instance.sink_count,
+        "summary": result.summary(),
+        "stage_table": result.stage_table(),
+        "pass_notes": {name: list(p.notes) for name, p in result.pass_results.items()},
+        "evaluator_cache": result.evaluator_cache,
+        "wall_clock_s": time.perf_counter() - start,
+    }
+
+
+def _error_record(spec: JobSpec, detail: str) -> Dict:
+    return {
+        "job": spec.label,
+        "instance": spec.instance,
+        "flow": spec.flow,
+        "engine": spec.engine,
+        "error": detail,
+    }
+
+
+def _run_job_guarded(spec: JobSpec) -> Dict:
+    """Worker entry point: never raises, so one bad job cannot kill the batch."""
+    try:
+        return run_job(spec)
+    except Exception:
+        return _error_record(spec, traceback.format_exc())
+
+
+# ----------------------------------------------------------------------
+# The batch runner
+# ----------------------------------------------------------------------
+@dataclass
+class BatchResult:
+    """Outcome of one batch: per-job records (in job order) plus timing."""
+
+    records: List[Dict]
+    wall_clock_s: float
+    workers: int
+
+    @property
+    def failures(self) -> List[Dict]:
+        return [record for record in self.records if "error" in record]
+
+    @property
+    def summaries(self) -> List[Dict]:
+        return [record["summary"] for record in self.records if "summary" in record]
+
+
+class BatchRunner:
+    """Fans a list of :class:`JobSpec` jobs across worker processes.
+
+    ``max_workers=1`` runs in-process (no pool overhead, deterministic log
+    order); anything higher uses a :class:`ProcessPoolExecutor` and streams
+    results as they finish.  ``on_result(index, record)`` fires once per
+    completed job either way -- the CLI uses it to write per-job JSON and
+    print progress lines while the rest of the batch is still running.
+    """
+
+    def __init__(self, jobs: Sequence[JobSpec], max_workers: int = 1) -> None:
+        if not jobs:
+            raise ValueError("a batch needs at least one job")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.jobs = list(jobs)
+        self.max_workers = max_workers
+
+    def run(self, on_result: Optional[Callable[[int, Dict], None]] = None) -> BatchResult:
+        start = time.perf_counter()
+        records: List[Optional[Dict]] = [None] * len(self.jobs)
+        if self.max_workers == 1:
+            for index, spec in enumerate(self.jobs):
+                records[index] = _run_job_guarded(spec)
+                if on_result is not None:
+                    on_result(index, records[index])
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {
+                    pool.submit(_run_job_guarded, spec): index
+                    for index, spec in enumerate(self.jobs)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        records[index] = future.result()
+                    except Exception:  # pool infrastructure failure, not the job
+                        records[index] = _error_record(
+                            self.jobs[index], traceback.format_exc()
+                        )
+                    if on_result is not None:
+                        on_result(index, records[index])
+        return BatchResult(
+            records=[record for record in records if record is not None],
+            wall_clock_s=time.perf_counter() - start,
+            workers=self.max_workers,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table rendering (Table III / Table IV style)
+# ----------------------------------------------------------------------
+def render_table(rows: Sequence[Dict], columns: Sequence[Tuple[str, str, str]]) -> str:
+    """Fixed-width text table; ``columns`` is (key, header, format-spec)."""
+    rendered: List[List[str]] = [[header for _, header, _ in columns]]
+    for row in rows:
+        cells = []
+        for key, _, spec in columns:
+            value = row.get(key)
+            cells.append("-" if value is None else format(value, spec))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+#: Table IV columns: one row per (instance, flow) with the final metrics.
+_TABLE_IV_COLUMNS = (
+    ("instance", "instance", "s"),
+    ("flow", "flow", "s"),
+    ("clr_ps", "CLR[ps]", ".2f"),
+    ("skew_ps", "skew[ps]", ".2f"),
+    ("max_latency_ps", "latency[ps]", ".1f"),
+    ("total_capacitance_fF", "cap[fF]", ".0f"),
+    ("wirelength_um", "WL[um]", ".0f"),
+    ("slew_violations", "slew viol", "d"),
+    ("evaluations", "evals", "d"),
+    ("runtime_s", "runtime[s]", ".2f"),
+)
+
+#: Table III columns: one row per optimization stage of a single run.
+_TABLE_III_COLUMNS = (
+    ("stage", "stage", "s"),
+    ("skew_ps", "skew[ps]", ".2f"),
+    ("clr_ps", "CLR[ps]", ".2f"),
+    ("max_latency_ps", "latency[ps]", ".1f"),
+    ("worst_slew_ps", "slew[ps]", ".1f"),
+    ("total_capacitance_fF", "cap[fF]", ".0f"),
+    ("wirelength_um", "WL[um]", ".0f"),
+    ("buffer_count", "buffers", "d"),
+    ("evaluations", "evals", "d"),
+    ("elapsed_s", "t[s]", ".2f"),
+)
+
+
+def table_iv(records: Sequence[Dict]) -> str:
+    """Render completed job records as a Table IV-style comparison."""
+    rows = [record["summary"] for record in records if "summary" in record]
+    return render_table(rows, _TABLE_IV_COLUMNS)
+
+
+def table_iii(record: Dict) -> str:
+    """Render one job record's stage table in Table III format."""
+    rows = [dict(row) for row in record.get("stage_table", [])]
+    for row in rows:
+        row.setdefault("elapsed_s", 0.0)
+    return render_table(rows, _TABLE_III_COLUMNS)

@@ -23,6 +23,7 @@ from repro.geometry import Obstacle, ObstacleSet, Point, Rect
 
 __all__ = [
     "make_sinks",
+    "tree_fingerprint",
     "make_small_instance",
     "make_manual_tree",
     "make_zst_tree",
@@ -96,3 +97,35 @@ def make_zst_tree(sink_count: int = 24, seed: int = 7, die_size: float = 3000.0)
     return build_zero_skew_tree(
         sinks, Point(die_size / 2.0, 0.0), ispd09_wire_library().widest, source_resistance=80.0
     )
+
+
+def tree_fingerprint(tree: ClockTree) -> tuple:
+    """Hashable digest of a tree's complete state, journal revisions included.
+
+    Two equal fingerprints mean identical topology, geometry, electrical
+    content *and* cache identity (node/structure revisions), which is exactly
+    what an IVC rollback must restore.  Used by the transaction property
+    tests; cheap enough for unit-test-sized trees only.
+    """
+    nodes = []
+    for node in sorted(tree.nodes(), key=lambda n: n.node_id):
+        nodes.append(
+            (
+                node.node_id,
+                node.parent,
+                tuple(node.children),
+                node.kind.value,
+                (node.position.x, node.position.y),
+                None
+                if node.sink is None
+                else (node.sink.name, node.sink.capacitance, node.sink.required_polarity),
+                None
+                if node.buffer is None
+                else (node.buffer.name, node.buffer.input_cap, node.buffer.output_res),
+                None if node.wire_type is None else node.wire_type.name,
+                node.snake_length,
+                tuple((p.x, p.y) for p in node.route),
+                tree.node_revision(node.node_id),
+            )
+        )
+    return (tree.root_id, tree.structure_revision, tuple(nodes))

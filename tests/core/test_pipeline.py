@@ -1,0 +1,143 @@
+"""Tests for the pass-pipeline architecture (repro.core.pipeline).
+
+The golden test is the refactor's safety net: the pipeline-driven
+``ContangoFlow``, configured with the pre-refactor buffer-sizing rejection
+policy (``sizing_max_rejections=1``, i.e. stop on first rejection), must
+reproduce the Table III stage records captured from the monolithic
+pre-refactor flow on the seeded 200-sink TI instance *bit-for-bit* (wall
+clock excluded).  The default policy -- retry with halved growth -- is then
+asserted to be no worse.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    ContangoFlow,
+    FlowConfig,
+    FlowResult,
+    OptimizationPass,
+    PipelineDriver,
+    available_passes,
+    register_pass,
+    resolve_pipeline,
+)
+from repro.core.pipeline import PassContext
+from repro.testing import make_small_instance
+from repro.workloads import generate_ti_benchmark
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "ti200_arnoldi_stage_table.json"
+
+
+@pytest.fixture(scope="module")
+def ti200():
+    return generate_ti_benchmark(200)
+
+
+class TestGoldenParity:
+    def test_pipeline_flow_reproduces_pre_refactor_stage_table(self, ti200):
+        golden = json.loads(GOLDEN_PATH.read_text())["stage_table"]
+        config = FlowConfig(engine="arnoldi", sizing_max_rejections=1)
+        result = ContangoFlow(config).run(ti200)
+        table = result.stage_table()
+        for row in table:
+            row.pop("elapsed_s")  # wall-clock: not reproducible bit-for-bit
+        assert table == golden
+
+    def test_default_retry_policy_is_no_worse(self, ti200):
+        golden = json.loads(GOLDEN_PATH.read_text())["stage_table"][-1]
+        result = ContangoFlow(FlowConfig(engine="arnoldi")).run(ti200)
+        assert result.skew <= golden["skew_ps"] + 1e-9
+        assert result.clr <= golden["clr_ps"] + 1e-9
+        assert not result.require_report().has_slew_violation
+
+
+class TestRegistry:
+    def test_default_passes_are_registered(self):
+        assert {"initial", "tbsz", "twsz", "twsn", "bwsn"} <= set(available_passes())
+
+    def test_unknown_pass_raises_with_choices(self):
+        with pytest.raises(KeyError, match="unknown optimization pass"):
+            resolve_pipeline(["definitely_not_a_pass"])
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(OptimizationPass):
+            name = "initial"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_pass(Duplicate)
+
+    def test_unnamed_pass_rejected(self):
+        class Nameless(OptimizationPass):
+            pass
+
+        with pytest.raises(ValueError, match="non-empty 'name'"):
+            register_pass(Nameless)
+
+    def test_baseline_passes_resolve_lazily(self):
+        passes = resolve_pipeline(["unoptimized_dme"])
+        assert passes[0].name == "unoptimized_dme"
+
+
+class TestCustomPipelines:
+    def test_truncated_pipeline_runs_selected_stages_only(self):
+        instance = make_small_instance(sink_count=16, with_obstacles=False)
+        config = FlowConfig(engine="elmore", pipeline=["initial", "twsz"])
+        result = ContangoFlow(config).run(instance)
+        assert [s.stage for s in result.stages] == ["INITIAL", "TWSZ"]
+        assert set(result.pass_results) <= {"wiresizing"}
+        result.require_tree().validate()
+
+    def test_baseline_pass_mixes_into_a_pipeline(self):
+        instance = make_small_instance(sink_count=16, with_obstacles=False)
+        config = FlowConfig(engine="elmore", pipeline=["unoptimized_dme", "twsn"])
+        result = ContangoFlow(config).run(instance)
+        assert [s.stage for s in result.stages] == ["FINAL", "TWSN"]
+
+    def test_pipeline_without_construction_pass_fails_clearly(self):
+        instance = make_small_instance(sink_count=8, with_obstacles=False)
+        config = FlowConfig(engine="elmore", pipeline=["twsz"])
+        with pytest.raises(RuntimeError, match="construction pass"):
+            ContangoFlow(config).run(instance)
+
+    def test_driver_accepts_pass_instances(self):
+        recorded = []
+
+        class Probe(OptimizationPass):
+            name = "probe-instance"
+
+            def run(self, ctx: PassContext) -> None:
+                recorded.append(ctx.instance.name)
+
+        instance = make_small_instance(sink_count=8, with_obstacles=False)
+        driver = PipelineDriver(["initial", Probe()], flow_name="probed")
+        result = driver.run(instance, FlowConfig(engine="elmore"))
+        assert recorded == [instance.name]
+        assert result.flow_name == "probed"
+
+
+class TestFlowResultAccessors:
+    def test_unpopulated_result_raises_on_access(self):
+        result = FlowResult(instance_name="x", flow_name="y")
+        with pytest.raises(ValueError, match="no tree"):
+            result.require_tree()
+        with pytest.raises(ValueError, match="no final report"):
+            result.require_report()
+        with pytest.raises(ValueError):
+            _ = result.skew
+
+    def test_populated_result_passes_through(self):
+        instance = make_small_instance(sink_count=8, with_obstacles=False)
+        config = FlowConfig(
+            engine="elmore",
+            enable_buffer_sizing=False,
+            enable_wiresizing=False,
+            enable_wiresnaking=False,
+            enable_bottom_level=False,
+        )
+        result = ContangoFlow(config).run(instance)
+        assert result.require_tree() is result.tree
+        assert result.require_report() is result.final_report
+        assert result.skew == result.final_report.skew

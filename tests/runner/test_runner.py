@@ -1,0 +1,203 @@
+"""Tests for the batch runner and the ``python -m repro`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    BatchRunner,
+    JobSpec,
+    available_flows,
+    resolve_instance,
+    run_job,
+    table_iii,
+    table_iv,
+)
+
+
+class TestJobSpec:
+    def test_label_is_filesystem_safe(self):
+        spec = JobSpec(instance="ispd09:ispd09f22:0.1", flow="contango", engine="elmore")
+        assert ":" not in spec.label
+        assert "/" not in spec.label
+
+    def test_resolve_ti_instance(self):
+        instance = resolve_instance(JobSpec(instance="ti:40"))
+        assert instance.sink_count == 40
+
+    def test_resolve_ti_with_seed_changes_instance(self):
+        a = resolve_instance(JobSpec(instance="ti:40"))
+        b = resolve_instance(JobSpec(instance="ti:40", seed=9))
+        positions_a = sorted((s.position.x, s.position.y) for s in a.sinks)
+        positions_b = sorted((s.position.x, s.position.y) for s in b.sinks)
+        assert positions_a != positions_b
+
+    def test_resolve_scaled_ispd09_instance(self):
+        instance = resolve_instance(JobSpec(instance="ispd09:ispd09f22:0.1"))
+        assert 0 < instance.sink_count < 91
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError, match="sink count"):
+            resolve_instance(JobSpec(instance="ti:lots"))
+        with pytest.raises(ValueError, match="unknown instance spec"):
+            resolve_instance(JobSpec(instance="nope:1"))
+
+    def test_available_flows_lists_contango_and_baselines(self):
+        flows = available_flows()
+        assert "contango" in flows
+        assert "unoptimized_dme" in flows
+
+
+class TestRunJob:
+    def test_record_is_json_serializable_and_complete(self):
+        record = run_job(JobSpec(instance="ti:30", engine="elmore"))
+        json.dumps(record)  # must not raise
+        assert record["sinks"] == 30
+        assert record["summary"]["flow"] == "contango"
+        assert [row["stage"] for row in record["stage_table"]] == [
+            "INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN",
+        ]
+        assert record["wall_clock_s"] > 0.0
+
+    def test_custom_pipeline_travels_through_the_spec(self):
+        record = run_job(
+            JobSpec(instance="ti:30", engine="elmore", pipeline=("initial", "twsz"))
+        )
+        assert [row["stage"] for row in record["stage_table"]] == ["INITIAL", "TWSZ"]
+        assert record["pipeline"] == ["initial", "twsz"]
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(ValueError, match="unknown flow"):
+            run_job(JobSpec(instance="ti:30", flow="nope"))
+
+
+class TestBatchRunner:
+    def jobs(self):
+        return [
+            JobSpec(instance="ti:30", engine="elmore"),
+            JobSpec(instance="ti:30", flow="unoptimized_dme", engine="elmore"),
+        ]
+
+    def test_serial_batch_preserves_job_order(self):
+        batch = BatchRunner(self.jobs(), max_workers=1).run()
+        assert [r["flow"] for r in batch.records] == ["contango", "unoptimized_dme"]
+        assert not batch.failures
+
+    def test_parallel_batch_matches_serial_results(self):
+        serial = BatchRunner(self.jobs(), max_workers=1).run()
+        parallel = BatchRunner(self.jobs(), max_workers=2).run()
+
+        def comparable(record):
+            summary = dict(record["summary"])
+            summary.pop("runtime_s")
+            return (record["job"], summary)
+
+        assert [comparable(r) for r in serial.records] == [
+            comparable(r) for r in parallel.records
+        ]
+
+    def test_failed_job_yields_error_record_not_crash(self):
+        jobs = [JobSpec(instance="ti:30", engine="elmore"), JobSpec(instance="nope:1")]
+        events = []
+        batch = BatchRunner(jobs, max_workers=1).run(
+            on_result=lambda index, record: events.append(index)
+        )
+        assert sorted(events) == [0, 1]
+        assert len(batch.failures) == 1
+        assert "unknown instance spec" in batch.failures[0]["error"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner([], max_workers=1)
+
+
+class TestTables:
+    def test_table_iv_renders_one_row_per_job(self):
+        batch = BatchRunner(
+            [JobSpec(instance="ti:30", engine="elmore")], max_workers=1
+        ).run()
+        rendered = table_iv(batch.records)
+        assert "CLR[ps]" in rendered
+        assert "contango" in rendered
+
+    def test_table_iii_renders_stage_rows(self):
+        record = run_job(JobSpec(instance="ti:30", engine="elmore"))
+        rendered = table_iii(record)
+        for stage in ("INITIAL", "TBSZ", "BWSN"):
+            assert stage in rendered
+
+
+class TestCli:
+    def test_run_streams_per_job_json_and_summary(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        summary_path = tmp_path / "summary.json"
+        code = main(
+            [
+                "run",
+                "--instance", "ti:30",
+                "--flow", "contango",
+                "--flow", "unoptimized_dme",
+                "--engine", "elmore",
+                "--jobs", "2",
+                "--output-dir", str(out_dir),
+                "--summary-json", str(summary_path),
+            ]
+        )
+        assert code == 0
+        per_job = sorted(p.name for p in out_dir.glob("*.json"))
+        assert len(per_job) == 2
+        summary = json.loads(summary_path.read_text())
+        assert summary["jobs"] == 2
+        assert len(summary["records"]) == 2
+        printed = capsys.readouterr().out
+        assert "CLR[ps]" in printed
+
+    def test_run_propagates_job_failure_as_exit_code(self, tmp_path, capsys):
+        code = main(["run", "--instance", "nope:1", "--jobs", "1"])
+        assert code == 1
+
+    def test_table_rerenders_summary_file(self, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        main(
+            [
+                "run",
+                "--instance", "ti:30",
+                "--engine", "elmore",
+                "--summary-json", str(summary_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["table", "--input", str(summary_path), "--stages"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "INITIAL" in printed
+
+    def test_list_passes_works_standalone(self, capsys):
+        code = main(["run", "--list-passes"])
+        assert code == 0
+        printed = capsys.readouterr().out.split()
+        assert {"initial", "tbsz", "unoptimized_dme"} <= set(printed)
+
+    def test_run_without_instance_fails_clearly(self, capsys):
+        code = main(["run"])
+        assert code == 2
+        assert "--instance" in capsys.readouterr().err
+
+    def test_bench_writes_speedup_record(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_runner.json"
+        code = main(
+            ["bench", "--sinks", "30", "--matrix", "2", "--workers", "2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["jobs"] == 2
+        assert payload["serial_wall_clock_s"] > 0.0
+        assert payload["parallel_wall_clock_s"] > 0.0
+        assert payload["failures"] == 0
+        if (os.cpu_count() or 1) >= 4:
+            # With real cores available the parallel matrix must win; on a
+            # starved CI box we only require it recorded both timings.
+            assert payload["speedup"] > 1.0
