@@ -6,12 +6,25 @@ solver -- behind the single :class:`~repro.analysis.evaluator.ClockNetworkEvalua
 interface used by every optimization pass and benchmark.
 """
 
-from repro.analysis.corners import Corner, default_corners, ispd09_corners, nominal_corner
+from repro.analysis.corners import (
+    Corner,
+    default_corners,
+    driver_scale_for_vdd,
+    ispd09_corners,
+    nominal_corner,
+    supply_driver_multiplier,
+)
 from repro.analysis.evaluator import (
     ClockNetworkEvaluator,
     CornerTiming,
     EvaluationReport,
     EvaluatorConfig,
+)
+from repro.analysis.variation import (
+    VariationModel,
+    VariationSamples,
+    YieldReport,
+    default_variation_model,
 )
 from repro.analysis.rcnetwork import Stage, StageNetwork, build_stage_network, extract_stages
 from repro.analysis.elmore import elmore_stage_timing, elmore_stage_delays, StageTiming
@@ -21,8 +34,14 @@ from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
 __all__ = [
     "Corner",
     "default_corners",
+    "driver_scale_for_vdd",
     "ispd09_corners",
     "nominal_corner",
+    "supply_driver_multiplier",
+    "VariationModel",
+    "VariationSamples",
+    "YieldReport",
+    "default_variation_model",
     "ClockNetworkEvaluator",
     "CornerTiming",
     "EvaluationReport",

@@ -10,10 +10,19 @@ wire parasitics to model interconnect process corners.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
-__all__ = ["Corner", "default_corners", "ispd09_corners", "nominal_corner"]
+import numpy as np
+
+__all__ = [
+    "Corner",
+    "default_corners",
+    "ispd09_corners",
+    "nominal_corner",
+    "driver_scale_for_vdd",
+    "supply_driver_multiplier",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +54,43 @@ class Corner:
         if min(self.driver_scale, self.wire_res_scale, self.wire_cap_scale) <= 0.0:
             raise ValueError("corner scale factors must be positive")
 
+    def scaled(
+        self,
+        voltage: Optional[float] = None,
+        wire: Optional[float] = None,
+        driver: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> "Corner":
+        """A derived corner with adjusted supply and/or parasitic scaling.
+
+        ``voltage`` is the new *absolute* supply in volts; the driver scale is
+        re-derived through the alpha-power supply law while preserving any
+        non-supply drive factor already baked into this corner (so
+        ``fast.scaled(voltage=slow.vdd)`` reproduces the slow corner's driver
+        scale exactly).  ``wire`` multiplies both wire parasitic scales
+        (an interconnect process shift) and ``driver`` applies an extra
+        multiplier on drive resistance (a transistor process shift).
+        """
+        changes: dict = {}
+        suffix: List[str] = []
+        if voltage is not None:
+            process_factor = self.driver_scale / driver_scale_for_vdd(self.vdd)
+            changes["vdd"] = voltage
+            changes["driver_scale"] = driver_scale_for_vdd(voltage) * process_factor
+            suffix.append(f"{voltage:g}V")
+        if driver is not None:
+            changes["driver_scale"] = changes.get("driver_scale", self.driver_scale) * driver
+            suffix.append(f"drv{driver:g}")
+        if wire is not None:
+            changes["wire_res_scale"] = self.wire_res_scale * wire
+            changes["wire_cap_scale"] = self.wire_cap_scale * wire
+            suffix.append(f"wire{wire:g}")
+        if name is not None:
+            changes["name"] = name
+        elif suffix:
+            changes["name"] = f"{self.name}~{'_'.join(suffix)}"
+        return replace(self, **changes)
+
 
 _NOMINAL_VDD = 1.2
 _VTH = 0.3
@@ -68,6 +114,21 @@ def driver_scale_for_vdd(vdd: float, nominal_vdd: float = _NOMINAL_VDD) -> float
         return v / (v - _VTH) ** _ALPHA
 
     return _r(vdd) / _r(nominal_vdd)
+
+
+def supply_driver_multiplier(vdd: float, vdd_shift: np.ndarray) -> np.ndarray:
+    """Vectorized driver-resistance multiplier for per-stage supply shifts.
+
+    ``vdd_shift`` holds additive supply perturbations (volts) around the
+    corner supply ``vdd``; the result is the elementwise ratio
+    ``R(vdd + shift) / R(vdd)`` of the alpha-power supply law, clamped so a
+    large negative draw cannot push the supply to the threshold.  A shift of
+    exactly ``0.0`` returns exactly ``1.0`` (bit-for-bit), which is what
+    makes zero-variance Monte Carlo reproduce nominal evaluation.
+    """
+    v = np.maximum(vdd + np.asarray(vdd_shift, dtype=float), _VTH + 0.05)
+    scaled = v / (v - _VTH) ** _ALPHA
+    return scaled / (vdd / (vdd - _VTH) ** _ALPHA)
 
 
 def nominal_corner() -> Corner:

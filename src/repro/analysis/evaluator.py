@@ -41,12 +41,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.arnoldi import (
+    BaseTapMoments,
     base_tap_moments,
     batched_delay_sigma,
     batched_tap_moments,
 )
-from repro.analysis.corners import Corner, ispd09_corners
+from repro.analysis.corners import Corner, ispd09_corners, supply_driver_multiplier
 from repro.analysis.elmore import StageTiming
 from repro.analysis.rcnetwork import (
     Stage,
@@ -57,7 +60,9 @@ from repro.analysis.rcnetwork import (
 )
 from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
 from repro.analysis.units import LN9
+from repro.analysis.variation import VariationModel, VariationSamples, YieldReport
 from repro.cts.tree import ClockTree
+from repro.seeding import derive_rng
 
 __all__ = [
     "EvaluatorConfig",
@@ -279,6 +284,7 @@ class StageCache:
         self.max_entries = max_entries
         self._stage_lists: "OrderedDict[int, List[Stage]]" = OrderedDict()
         self._tap_models: Dict[_StageKey, Dict] = {}
+        self._base_moments: Dict[tuple, BaseTapMoments] = {}
         self._networks: Dict[tuple, StageNetwork] = {}
         self._timings: Dict[tuple, StageTiming] = {}
         self.hits = 0
@@ -312,6 +318,32 @@ class StageCache:
         self._bound()
         self._tap_models[key] = model
 
+    def base_moments(self, key: tuple, count: bool = True) -> Optional[BaseTapMoments]:
+        """Cached corner-independent moment reduction of one stage.
+
+        Keys carry the stage content key plus the wire/load-split flag; the
+        entries are shared between :meth:`ClockNetworkEvaluator.evaluate`
+        (which turns them into per-corner tap models) and
+        :meth:`ClockNetworkEvaluator.evaluate_yield` (which scales them per
+        Monte Carlo sample), so a yield evaluation re-reduces only stages
+        whose RC content changed since any earlier evaluation of either kind.
+
+        ``count=False`` skips the hit/miss accounting: the nominal tap-model
+        path already counts once per stage lookup, and one re-analyzed stage
+        should keep counting as one miss.
+        """
+        moments = self._base_moments.get(key)
+        if count:
+            if moments is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return moments
+
+    def store_base_moments(self, key: tuple, moments: BaseTapMoments) -> None:
+        self._bound()
+        self._base_moments[key] = moments
+
     # -- transient-engine entries ------------------------------------------
     def network(self, key: tuple) -> Optional[StageNetwork]:
         return self._networks.get(key)
@@ -334,7 +366,13 @@ class StageCache:
 
     # -- maintenance --------------------------------------------------------
     def _bound(self) -> None:
-        if len(self._tap_models) + len(self._networks) + len(self._timings) >= self.max_entries:
+        total = (
+            len(self._tap_models)
+            + len(self._base_moments)
+            + len(self._networks)
+            + len(self._timings)
+        )
+        if total >= self.max_entries:
             self.clear()
             self.evictions += 1
 
@@ -342,6 +380,7 @@ class StageCache:
         """Drop every cached entry (stats are kept)."""
         self._stage_lists.clear()
         self._tap_models.clear()
+        self._base_moments.clear()
         self._networks.clear()
         self._timings.clear()
 
@@ -351,6 +390,7 @@ class StageCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "tap_models": len(self._tap_models),
+            "base_moments": len(self._base_moments),
             "networks": len(self._networks),
             "timings": len(self._timings),
             "stage_lists": len(self._stage_lists),
@@ -380,6 +420,10 @@ class ClockNetworkEvaluator:
         self.corners = corner_list
         self.capacitance_limit = capacitance_limit
         self.run_count = 0
+        # Monte Carlo yield evaluations are counted separately: run_count
+        # stands for the paper's "SPICE runs" metric and must not drift when
+        # the variation engine is switched on.
+        self.yield_run_count = 0
         # The fast corner has the highest supply, the slow corner the lowest.
         self._fast = max(corner_list, key=lambda c: c.vdd).name
         self._slow = min(corner_list, key=lambda c: c.vdd).name
@@ -464,6 +508,181 @@ class ClockNetworkEvaluator:
         self.cache.clear()
 
     # ------------------------------------------------------------------
+    # Monte Carlo variation evaluation
+    # ------------------------------------------------------------------
+    def evaluate_yield(
+        self,
+        tree: ClockTree,
+        model: VariationModel,
+        samples: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        skew_limit_ps: float = 7.5,
+    ) -> YieldReport:
+        """Evaluate ``tree`` under ``samples`` Monte Carlo variation scenarios.
+
+        Per-stage perturbations are drawn from ``model`` and applied on top
+        of every evaluator corner; all scenarios are analyzed in batched
+        numpy passes over the cached per-stage moment reductions (one
+        :func:`~repro.analysis.arnoldi.batched_tap_moments` call per stage
+        and corner covers every sample and both transitions at once), so the
+        cost per scenario is orders of magnitude below a per-sample
+        :meth:`evaluate` loop.  A zero-variance model reproduces the nominal
+        evaluation bit-for-bit: sampling returns multipliers of exactly 1.0
+        and the arithmetic below mirrors the nominal path operation for
+        operation.
+
+        Only the analytical engines can be batched this way; the transient
+        engine raises.  ``skew_limit_ps`` sets the yield threshold of the
+        returned :class:`~repro.analysis.variation.YieldReport` (the
+        ISPD'10-contest-style local skew limit of 7.5 ps by default).
+        """
+        if self.config.engine not in ("elmore", "arnoldi"):
+            raise ValueError(
+                "evaluate_yield requires an analytical engine ('elmore' or "
+                "'arnoldi'); the transient engine cannot be batched across "
+                "variation samples"
+            )
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        if rng is None:
+            # Deterministic by default: an omitted seed falls back to the
+            # library-wide base seed rather than OS entropy.
+            rng = derive_rng(seed, "evaluate-yield")
+        self.yield_run_count += 1
+        use_cache = self.config.incremental
+        stages, keys, drivers = self._stages_and_keys(tree, use_cache)
+        positions = np.array(
+            [
+                (tree.node(stage.driver_id).position.x, tree.node(stage.driver_id).position.y)
+                for stage in stages
+            ]
+        )
+        draws = model.sample(samples, rng, positions=positions)
+        split = self._split_caps or model.perturbs_wire_cap
+        moments = [
+            self._stage_base_moments(tree, stage, key, split)
+            for stage, key in zip(stages, keys)
+        ]
+        tap_flags: Dict[int, Tuple[bool, bool]] = {}
+        for stage in stages:
+            for tap in stage.taps:
+                node = tree.node(tap)
+                tap_flags[tap] = (node.is_sink, node.buffer is not None)
+
+        per_corner = {
+            corner.name: self._corner_yield(
+                stages, moments, drivers, tap_flags, corner, draws, samples
+            )
+            for corner in self.corners
+        }
+
+        fast = per_corner[self._fast]
+        slow = per_corner[self._slow]
+        skew = np.maximum(
+            fast["max"][RISE] - fast["min"][RISE], fast["max"][FALL] - fast["min"][FALL]
+        )
+        clr = np.maximum(
+            slow["max"][RISE] - fast["min"][RISE], slow["max"][FALL] - fast["min"][FALL]
+        )
+        worst_slew = per_corner[self.corners[0].name]["slew"]
+        for corner in self.corners[1:]:
+            worst_slew = np.maximum(worst_slew, per_corner[corner.name]["slew"])
+        return YieldReport(
+            n_samples=samples,
+            engine=self.config.engine,
+            model=model.describe(),
+            skew_limit_ps=skew_limit_ps,
+            slew_limit_ps=self.config.slew_limit,
+            fast_corner=self._fast,
+            slow_corner=self._slow,
+            skew_samples=skew,
+            clr_samples=clr,
+            worst_slew_samples=worst_slew,
+        )
+
+    def _corner_yield(
+        self,
+        stages: List[Stage],
+        moments: List[BaseTapMoments],
+        drivers: List,
+        tap_flags: Dict[int, Tuple[bool, bool]],
+        corner: Corner,
+        draws: VariationSamples,
+        n: int,
+    ) -> Dict:
+        """Vectorized arrival/slew propagation of all samples at one corner.
+
+        The sample axis replaces :meth:`_propagate_corner`'s scalars with
+        length-``n`` arrays; the stage loop, inversion tracking and slew
+        model are carried over verbatim (and in the same operation order, so
+        unit multipliers keep bit parity with the nominal path).  Returns
+        running per-sample sink-latency extrema per transition plus the
+        per-sample worst tap slew.
+        """
+        cfg = self.config
+        use_d2m = cfg.engine == "arnoldi"
+        up_scale = corner.driver_scale * cfg.pull_up_factor
+        down_scale = corner.driver_scale * cfg.pull_down_factor
+        supply_mult = supply_driver_multiplier(corner.vdd, draws.vdd_shift)
+        driver_mult = draws.driver * supply_mult
+
+        # One batched moment pass per stage: rows are [rise x n, fall x n].
+        stage_models = []
+        for index in range(len(stages)):
+            stage_driver = driver_mult[:, index]
+            d_rows = np.concatenate((up_scale * stage_driver, down_scale * stage_driver))
+            r_rows = np.tile(corner.wire_res_scale * draws.wire_res[:, index], 2)
+            w_rows = np.tile(corner.wire_cap_scale * draws.wire_cap[:, index], 2)
+            m1, m2 = batched_tap_moments(moments[index], d_rows, r_rows, w_rows)
+            stage_models.append(batched_delay_sigma(m1, m2, use_d2m=use_d2m))
+
+        root_id = stages[0].driver_id
+        max_lat = {t: np.full(n, -np.inf) for t in _TRANSITIONS}
+        min_lat = {t: np.full(n, np.inf) for t in _TRANSITIONS}
+        worst_slew = np.zeros(n)
+        for launch in _TRANSITIONS:
+            arrival_at: Dict[int, np.ndarray] = {root_id: np.zeros(n)}
+            slew_at: Dict[int, np.ndarray] = {root_id: np.full(n, cfg.source_slew)}
+            direction_at: Dict[int, str] = {root_id: launch}
+            for index, (stage, buffer) in enumerate(zip(stages, drivers)):
+                driver_id = stage.driver_id
+                input_arrival = arrival_at[driver_id]
+                input_slew = slew_at[driver_id]
+                input_dir = direction_at[driver_id]
+                if buffer is not None and buffer.inverting:
+                    output_dir = FALL if input_dir == RISE else RISE
+                else:
+                    output_dir = input_dir
+                if buffer is None:
+                    drive_slew = input_slew
+                    gate_delay = 0.0
+                else:
+                    drive_slew = cfg.buffer_slew_regeneration * input_slew
+                    gate_delay = (
+                        buffer.intrinsic_delay * (corner.driver_scale * driver_mult[:, index])
+                        + cfg.slew_delay_factor * input_slew
+                    )
+                delay, sigma = stage_models[index]
+                row0 = 0 if output_dir == RISE else n
+                base_arrival = input_arrival + gate_delay
+                drive_sq = drive_slew * drive_slew
+                for column, tap in enumerate(moments[index].tap_ids):
+                    tap_arrival = base_arrival + delay[row0 : row0 + n, column]
+                    wire_slew = LN9 * sigma[row0 : row0 + n, column]
+                    tap_slew_value = (wire_slew * wire_slew + drive_sq) ** 0.5
+                    is_sink, has_buffer = tap_flags[tap]
+                    np.maximum(worst_slew, tap_slew_value, out=worst_slew)
+                    if is_sink:
+                        np.maximum(max_lat[output_dir], tap_arrival, out=max_lat[output_dir])
+                        np.minimum(min_lat[output_dir], tap_arrival, out=min_lat[output_dir])
+                    if has_buffer:
+                        arrival_at[tap] = tap_arrival
+                        slew_at[tap] = tap_slew_value
+                        direction_at[tap] = output_dir
+        return {"max": max_lat, "min": min_lat, "slew": worst_slew}
+
+    # ------------------------------------------------------------------
     # Stage bookkeeping
     # ------------------------------------------------------------------
     def _stages_and_keys(self, tree: ClockTree, use_cache: bool):
@@ -502,8 +721,7 @@ class ClockNetworkEvaluator:
             cached = self.cache.tap_model(key)
             if cached is not None:
                 return cached
-        base = build_base_stage_network(tree, stage, self.config.max_segment_length)
-        moments = base_tap_moments(base, split_wire_load=self._split_caps)
+        moments = self._stage_base_moments(tree, stage, key, self._split_caps, count=False)
         m1, m2 = batched_tap_moments(moments, *self._combo_scales)
         delay, sigma = batched_delay_sigma(
             m1, m2, use_d2m=(self.config.engine == "arnoldi")
@@ -519,6 +737,32 @@ class ClockNetworkEvaluator:
         if key is not None:
             self.cache.store_tap_model(key, model)
         return model
+
+    def _stage_base_moments(
+        self,
+        tree: ClockTree,
+        stage: Stage,
+        key: Optional[_StageKey],
+        split: bool,
+        count: bool = True,
+    ) -> BaseTapMoments:
+        """The stage's corner-independent moment reduction, cached by content.
+
+        Shared by the per-corner tap models of :meth:`evaluate` and the
+        Monte Carlo batches of :meth:`evaluate_yield`, so whichever runs
+        first pays for the numpy reduction and the other reuses it for every
+        stage whose RC content is unchanged.
+        """
+        cache_key = (key, split) if key is not None else None
+        if cache_key is not None:
+            cached = self.cache.base_moments(cache_key, count=count)
+            if cached is not None:
+                return cached
+        base = build_base_stage_network(tree, stage, self.config.max_segment_length)
+        moments = base_tap_moments(base, split_wire_load=split)
+        if cache_key is not None:
+            self.cache.store_base_moments(cache_key, moments)
+        return moments
 
     def _corner_from_models(
         self,

@@ -1,10 +1,15 @@
 """The ``repro`` command line (also reachable as ``python -m repro``).
 
-Three subcommands over the :mod:`repro.runner` batch engine:
+Four subcommands over the :mod:`repro.runner` batch engine:
 
 * ``repro run`` -- expand an instance x flow x engine matrix into jobs, fan
   them across ``--jobs`` worker processes, stream one JSON record per job
   into ``--output-dir``, and print a Table IV-style summary;
+* ``repro mc`` -- Monte Carlo variation sweeps: synthesize each instance x
+  flow cell, then evaluate its skew yield under ``--samples`` randomized
+  supply/process scenarios (batched through the vectorized moment path) with
+  a per-job seeded RNG; ``--gated`` switches synthesis to the
+  variation-aware pipeline (p95-skew-gated IVC rounds);
 * ``repro bench`` -- the runner's own performance smoke: a fixed 4-job
   matrix timed at ``--jobs 1`` and ``--jobs 4``, with the wall-clocks and
   speedup written to ``BENCH_runner.json`` so parallel scaling is tracked
@@ -17,6 +22,9 @@ Examples::
     python -m repro run --instance ti:200 --instance ispd09:ispd09f22:0.2 \
         --flow contango --flow unoptimized_dme --jobs 4 --output-dir results
     python -m repro run --instance ti:500 --pipeline initial,tbsz,twsz
+    python -m repro mc --instance ti:200 --samples 1000 --seed 7 \
+        --family correlated --jobs 4 --output-dir mc-results
+    python -m repro mc --instance ti:200 --samples 500 --gated
     python -m repro bench --output BENCH_runner.json
     python -m repro table --input results --stages
 """
@@ -28,15 +36,19 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.variation import SAMPLING_FAMILIES
 from repro.core import available_passes
 from repro.runner import (
     BatchRunner,
     JobSpec,
+    McJobSpec,
     available_flows,
+    run_mc_job_guarded,
     table_iii,
     table_iv,
+    table_mc,
 )
 
 __all__ = ["build_parser", "main"]
@@ -93,6 +105,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered optimization passes and exit",
     )
 
+    mc = sub.add_parser(
+        "mc", help="Monte Carlo skew-yield sweep over an instance x flow x samples matrix"
+    )
+    mc.add_argument(
+        "--instance",
+        action="append",
+        metavar="SPEC",
+        help="instance spec (repeatable): ti:<sinks>, ispd09:<name>[:<scale>], file:<path>",
+    )
+    mc.add_argument(
+        "--flow",
+        action="append",
+        metavar="NAME",
+        help=f"flow to synthesize with (repeatable); default contango; one of {available_flows()}",
+    )
+    mc.add_argument(
+        "--engine",
+        default="arnoldi",
+        choices=["arnoldi", "elmore"],
+        help="analytical evaluation engine used for synthesis and MC (default arnoldi)",
+    )
+    mc.add_argument(
+        "--samples",
+        action="append",
+        type=int,
+        metavar="N",
+        help="Monte Carlo scenario count (repeatable for a sample-count sweep); default 1000",
+    )
+    mc.add_argument(
+        "--family",
+        default="independent",
+        choices=list(SAMPLING_FAMILIES),
+        help="variation sampling family (default independent)",
+    )
+    mc.add_argument(
+        "--seed", type=int, default=7,
+        help="base seed; per-job generators derive from it deterministically (default 7)",
+    )
+    mc.add_argument(
+        "--skew-limit", type=float, default=7.5, metavar="PS",
+        help="skew limit (ps) defining yield (default 7.5, the ISPD'10-style target)",
+    )
+    mc.add_argument(
+        "--gated",
+        action="store_true",
+        help="synthesize with the variation-aware pipeline (p95-skew-gated IVC "
+        "rounds); the gate checks each round with --gate-samples scenarios, "
+        "not --samples",
+    )
+    mc.add_argument(
+        "--gate-samples", type=int, metavar="N",
+        help="scenario count per gate check during --gated synthesis "
+        "(default: the FlowConfig default of 128; the final reported sweep "
+        "always uses --samples)",
+    )
+    mc.add_argument(
+        "--pipeline",
+        metavar="P1,P2,...",
+        help="explicit pass-registry pipeline override (see 'repro run --list-passes')",
+    )
+    mc.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    mc.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="write one <job>.json per completed job into DIR (streamed)",
+    )
+    mc.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write the whole batch (records + wall-clock) as one JSON file",
+    )
+
     bench = sub.add_parser(
         "bench", help="time a fixed 4-job matrix at --jobs 1 vs --jobs 4"
     )
@@ -135,6 +219,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for flow in flows
         for engine in engines
     ]
+    def progress(summary: Dict) -> str:
+        return (
+            f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps"
+        )
+
+    return _run_batch(args, jobs, table=table_iv, summary_key="summary", progress=progress)
+
+
+def _run_batch(
+    args: argparse.Namespace,
+    jobs: List,
+    table: Callable[[List[Dict]], str],
+    summary_key: str,
+    progress: Callable[[Dict], str],
+    worker: Optional[Callable[..., Dict]] = None,
+) -> int:
+    """Shared batch plumbing of ``repro run`` / ``repro mc``.
+
+    Streams one JSON record per job into ``--output-dir``, prints a progress
+    line per completion (``progress`` renders the record's ``summary_key``
+    payload), renders the final ``table``, optionally writes the whole batch
+    as ``--summary-json``, and maps job failures to exit code 1.
+    """
     output_dir: Optional[Path] = Path(args.output_dir) if args.output_dir else None
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
@@ -146,16 +253,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if "error" in record:
             print(f"[{index + 1}/{len(jobs)}] {record['job']}: FAILED", file=sys.stderr)
         else:
-            summary = record["summary"]
             print(
                 f"[{index + 1}/{len(jobs)}] {record['job']}: "
-                f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps, "
-                f"{record['wall_clock_s']:.2f} s"
+                f"{progress(record[summary_key])}, {record['wall_clock_s']:.2f} s"
             )
 
-    batch = BatchRunner(jobs, max_workers=args.jobs).run(on_result=on_result)
+    runner_kwargs = {} if worker is None else {"worker": worker}
+    batch = BatchRunner(jobs, max_workers=args.jobs, **runner_kwargs).run(
+        on_result=on_result
+    )
     print()
-    print(table_iv(batch.records))
+    print(table(batch.records))
     print(f"\n{len(jobs)} job(s), {batch.workers} worker(s), "
           f"{batch.wall_clock_s:.2f} s wall-clock")
     if args.summary_json:
@@ -174,6 +282,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for failure in batch.failures:
         print(f"\njob {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
     return 1 if batch.failures else 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    if not args.instance:
+        print("repro mc: at least one --instance is required", file=sys.stderr)
+        return 2
+    flows = args.flow or ["contango"]
+    sample_counts = args.samples or [1000]
+    pipeline = (
+        tuple(p.strip() for p in args.pipeline.split(",") if p.strip())
+        if args.pipeline
+        else None
+    )
+    try:
+        jobs = [
+            McJobSpec(
+                instance=instance,
+                flow=flow,
+                engine=args.engine,
+                samples=samples,
+                family=args.family,
+                seed=args.seed,
+                skew_limit_ps=args.skew_limit,
+                gated=args.gated,
+                gate_samples=args.gate_samples,
+                pipeline=pipeline,
+            )
+            for instance in args.instance
+            for flow in flows
+            for samples in sample_counts
+        ]
+    except ValueError as error:
+        print(f"repro mc: {error}", file=sys.stderr)
+        return 2
+
+    def progress(summary: Dict) -> str:
+        return (
+            f"p95 skew {summary['skew_p95_ps']:.2f} ps, "
+            f"yield {100.0 * summary['skew_yield']:.1f}% "
+            f"@ {summary['skew_limit_ps']:g} ps"
+        )
+
+    return _run_batch(
+        args,
+        jobs,
+        table=table_mc,
+        summary_key="yield",
+        progress=progress,
+        worker=run_mc_job_guarded,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -238,6 +396,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "mc":
+        return _cmd_mc(args)
     if args.command == "bench":
         return _cmd_bench(args)
     return _cmd_table(args)

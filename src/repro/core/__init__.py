@@ -6,7 +6,8 @@ SPICE-driven wiresizing/wiresnaking/buffer-sizing passes -- and the
 :class:`ContangoFlow` methodology that coordinates them (Figure 1).
 """
 
-from repro.core.config import DEFAULT_PIPELINE, FlowConfig
+from repro.core.config import DEFAULT_PIPELINE, VARIATION_PIPELINE, FlowConfig
+from repro.core.variation import VariationGate
 from repro.core.flow import ContangoFlow
 from repro.core.ivc import (
     IvcEngine,
@@ -63,6 +64,8 @@ from repro.core.buffer_sizing import (
 
 __all__ = [
     "DEFAULT_PIPELINE",
+    "VARIATION_PIPELINE",
+    "VariationGate",
     "FlowConfig",
     "ContangoFlow",
     "FlowResult",

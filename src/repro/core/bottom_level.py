@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
-from repro.core.ivc import IvcEngine, IvcState
+from repro.core.ivc import IvcEngine, IvcGate, IvcState
 from repro.core.slack import compute_sink_slacks
 from repro.core.tuning import (
     PassResult,
@@ -57,14 +57,21 @@ def bottom_level_fine_tuning(
     max_rounds: int = 12,
     safety: float = 0.95,
     min_slack: float = 0.25,
+    gate: Optional[IvcGate] = None,
 ) -> PassResult:
     """Run bottom-level wiresizing + wiresnaking on ``tree`` in place.
 
     ``min_slack`` (ps) is the smallest per-sink slow-down slack worth spending;
-    anything below it is within evaluation noise.
+    anything below it is within evaluation noise.  ``gate`` is an optional
+    IVC acceptance gate (see :class:`repro.core.variation.VariationGate`).
     """
     engine = IvcEngine(
-        "bottom_level_fine_tuning", tree, evaluator, objective=objective, baseline=baseline
+        "bottom_level_fine_tuning",
+        tree,
+        evaluator,
+        objective=objective,
+        baseline=baseline,
+        gate=gate,
     )
     sink_edges = [s.node_id for s in tree.sinks()]
     probe_edges = _independent_probe_edges(tree, sink_edges, count=5)

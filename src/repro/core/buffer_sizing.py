@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
 from repro.core.buffer_sliding import find_trunk_chain
-from repro.core.ivc import IvcEngine, IvcState, capacitance_cap_constraints
+from repro.core.ivc import IvcEngine, IvcGate, IvcState, capacitance_cap_constraints
 from repro.core.tuning import PassResult
 from repro.cts.tree import ClockTree
 
@@ -76,12 +76,14 @@ def iterative_buffer_sizing(
     max_iterations: int = 8,
     min_bottom_scale: float = 0.6,
     max_consecutive_rejections: int = 3,
+    gate: Optional[IvcGate] = None,
 ) -> PassResult:
     """Iteratively upsize trunk (and upper-branch) buffers on ``tree`` in place.
 
     ``max_consecutive_rejections`` bounds the retry-with-halved-growth policy
     inherited from the IVC engine; ``1`` reproduces the historical
-    stop-on-first-rejection behavior.
+    stop-on-first-rejection behavior.  ``gate`` is an optional IVC acceptance
+    gate (see :class:`repro.core.variation.VariationGate`).
     """
     engine = IvcEngine(
         "iterative_buffer_sizing",
@@ -90,6 +92,7 @@ def iterative_buffer_sizing(
         objective=objective,
         baseline=baseline,
         constraints=capacitance_cap_constraints(capacitance_limit),
+        gate=gate,
     )
     if not tree.buffers():
         return engine.abort("tree has no buffers to size")

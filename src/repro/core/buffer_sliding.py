@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
 from repro.buffering.candidates import max_drivable_capacitance
-from repro.core.ivc import IvcEngine, IvcState
+from repro.core.ivc import IvcEngine, IvcGate, IvcState
 from repro.core.tuning import PassResult
 from repro.cts.bufferlib import BufferType
 from repro.cts.tree import ClockTree
@@ -66,6 +66,7 @@ def slide_and_interleave_trunk(
     objective: str = "clr",
     slew_limit: Optional[float] = None,
     spacing_margin: float = 0.85,
+    gate: Optional[IvcGate] = None,
 ) -> PassResult:
     """Re-space (and possibly add) trunk inverters; accept only if it helps.
 
@@ -73,9 +74,16 @@ def slide_and_interleave_trunk(
     trunk buffer chain with uniform pitch inside a tree transaction,
     re-evaluates, and rolls back unless the objective (CLR by default)
     improved without introducing slew violations -- the standard IVC step.
+    ``gate`` is an optional IVC acceptance gate (see
+    :class:`repro.core.variation.VariationGate`).
     """
     engine = IvcEngine(
-        "trunk_buffer_sliding", tree, evaluator, objective=objective, baseline=baseline
+        "trunk_buffer_sliding",
+        tree,
+        evaluator,
+        objective=objective,
+        baseline=baseline,
+        gate=gate,
     )
     chain = find_trunk_chain(tree)
     if len(chain) < 2:

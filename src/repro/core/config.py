@@ -7,11 +7,17 @@ from typing import List, Optional
 
 from repro.analysis.corners import Corner, ispd09_corners
 from repro.analysis.spice import TransientSolverConfig
+from repro.analysis.variation import VariationModel
 
-__all__ = ["DEFAULT_PIPELINE", "FlowConfig"]
+__all__ = ["DEFAULT_PIPELINE", "VARIATION_PIPELINE", "FlowConfig"]
 
 #: The paper's full optimization sequence (Figure 1), as pass-registry names.
 DEFAULT_PIPELINE = ("initial", "tbsz", "twsz", "twsn", "bwsn")
+
+#: The variation-aware pipeline variant: the same sequence with every IVC
+#: round of the optimization passes additionally screened by the Monte Carlo
+#: p95-skew gate (see :mod:`repro.core.variation`).
+VARIATION_PIPELINE = ("initial", "tbsz_mc", "twsz_mc", "twsn_mc", "bwsn_mc")
 
 
 @dataclass
@@ -74,6 +80,26 @@ class FlowConfig:
     #: (each rejection retries with the growth step halved); 1 reproduces the
     #: historical stop-on-first-rejection behavior.
     sizing_max_rejections: int = 3
+
+    # Reproducibility
+    #: Base seed of every stochastic component (Monte Carlo variation
+    #: sampling, the p95 acceptance gate, benchmark harnesses).  All
+    #: generators are derived from it via :mod:`repro.seeding`, so two runs
+    #: with equal seeds are bit-identical and ``None`` falls back to the
+    #: library default rather than nondeterminism.
+    seed: Optional[int] = None
+
+    # Monte Carlo variation (the `*_mc` pipeline variants and `repro mc`)
+    #: Variation model used by the p95 acceptance gate; ``None`` selects
+    #: :func:`repro.analysis.variation.default_variation_model`.
+    variation_model: Optional[VariationModel] = None
+    #: Scenario count per gate check (kept modest: one check costs one
+    #: batched yield evaluation).
+    variation_samples: int = 128
+    #: Allowed p95-skew increase (ps) before the gate rejects a round.
+    variation_p95_tolerance_ps: float = 0.0
+    #: Skew limit (ps) used for yield reporting by the gate and `repro mc`.
+    variation_skew_limit_ps: float = 7.5
 
     def pipeline_names(self) -> List[str]:
         """The pass names this flow runs, resolving the default pipeline."""

@@ -27,7 +27,7 @@ snapshot/rollback/accept code of its own.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
 from repro.core.tuning import PassResult, objective_value
@@ -37,6 +37,7 @@ __all__ = [
     "REASON_SLEW",
     "REASON_CAPACITANCE",
     "REASON_NO_IMPROVEMENT",
+    "IvcGate",
     "Transaction",
     "IvcState",
     "IvcOutcome",
@@ -53,6 +54,28 @@ REASON_NO_IMPROVEMENT = "no improvement"
 #: A constraint triage: maps a candidate report to a rejection reason, or
 #: ``None`` when the candidate satisfies every constraint.
 Constraints = Callable[[EvaluationReport], Optional[str]]
+
+class IvcGate(Protocol):
+    """Optional acceptance-gate protocol of :func:`ivc_round`.
+
+    See :class:`repro.core.variation.VariationGate` for the canonical
+    implementation.  ``prime(tree, report)`` is called once before a pass's
+    round loop; ``check(tree, report)`` runs only for rounds that already
+    satisfied constraints *and* improved the objective -- with the tree
+    still in candidate state -- and returns a rejection reason or ``None``;
+    ``commit()`` is called after the round is accepted.  Gates are
+    deliberately last in the triage order because they may be expensive (the
+    variation gate runs a Monte Carlo evaluation per check).
+    """
+
+    def prime(self, tree: ClockTree, report: EvaluationReport) -> None:
+        ...
+
+    def check(self, tree: ClockTree, report: EvaluationReport) -> Optional[str]:
+        ...
+
+    def commit(self) -> None:
+        ...
 
 
 class Transaction:
@@ -153,6 +176,7 @@ def ivc_round(
     objective: str,
     best_objective: float,
     constraints: Optional[Constraints] = None,
+    gate: Optional[IvcGate] = None,
 ) -> IvcOutcome:
     """Run one transactional IVC round on ``tree``.
 
@@ -163,7 +187,12 @@ def ivc_round(
       no evaluation is spent (``report`` is ``None``);
     * a violated constraint or a non-improving objective -- the round is
       rolled back and the rejection ``reason`` reported;
-    * otherwise the round commits and ``report`` carries the new evaluation.
+    * a round that would be accepted but fails the optional acceptance
+      ``gate`` (see the gate protocol note above; e.g. the Monte Carlo
+      p95-skew check of :class:`repro.core.variation.VariationGate`) is
+      likewise rolled back;
+    * otherwise the round commits, ``report`` carries the new evaluation and
+      the gate (when present) is told to promote its reference.
 
     The tree is restored exactly (content *and* journal revisions) on
     rollback, so the evaluator's stage cache still recognises every stage of
@@ -179,9 +208,13 @@ def ivc_round(
         reason = check(candidate)
         if reason is None and objective_value(candidate, objective) >= best_objective:
             reason = REASON_NO_IMPROVEMENT
+        if reason is None and gate is not None:
+            reason = gate.check(tree, candidate)
         if reason is not None:
             txn.rollback()
             return IvcOutcome(accepted=False, changed=changed, report=candidate, reason=reason)
+    if gate is not None:
+        gate.commit()
     return IvcOutcome(accepted=True, changed=changed, report=candidate, reason=None)
 
 
@@ -205,11 +238,13 @@ class IvcEngine:
         objective: str,
         baseline: Optional[EvaluationReport] = None,
         constraints: Optional[Constraints] = None,
+        gate: Optional[IvcGate] = None,
     ) -> None:
         self.tree = tree
         self.evaluator = evaluator
         self.objective = objective
         self.constraints = constraints or default_constraints
+        self.gate = gate
         self._evals_before = evaluator.run_count
         self.report = baseline if baseline is not None else evaluator.evaluate(tree)
         initial_summary = self.report.summary()
@@ -260,6 +295,8 @@ class IvcEngine:
         """
         state = IvcState(report=self.report)
         best_objective = objective_value(self.report, self.objective)
+        if self.gate is not None:
+            self.gate.prime(self.tree, self.report)
         for attempt in range(1, max_rounds + 1):
             state.iteration = attempt
             state.report = self.report
@@ -270,6 +307,7 @@ class IvcEngine:
                 objective=self.objective,
                 best_objective=best_objective,
                 constraints=self.constraints,
+                gate=self.gate,
             )
             if outcome.changed == 0:
                 if empty_note is not None:

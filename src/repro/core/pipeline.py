@@ -34,6 +34,7 @@ from repro.analysis.evaluator import (
     EvaluationReport,
     EvaluatorConfig,
 )
+from repro.analysis.variation import default_variation_model
 from repro.buffering.fast_buffering import insert_buffers_with_sizing
 from repro.core.bottom_level import bottom_level_fine_tuning
 from repro.core.buffer_sizing import iterative_buffer_sizing
@@ -42,6 +43,7 @@ from repro.core.composite import analyze_composites, composite_ladder
 from repro.core.config import FlowConfig
 from repro.core.polarity import correct_sink_polarity, count_inverted_sinks
 from repro.core.report import FlowResult, StageRecord
+from repro.core.variation import VariationGate
 from repro.core.wiresizing import top_down_wiresizing
 from repro.core.wiresnaking import top_down_wiresnaking
 from repro.cts.bst import build_bounded_skew_tree
@@ -79,6 +81,10 @@ class PassContext:
     start_time: float
     tree: Optional[ClockTree] = None
     report: Optional[EvaluationReport] = None
+    #: Shared Monte Carlo acceptance gate; populated by the driver when the
+    #: pipeline contains variation-aware passes, read via
+    #: :meth:`OptimizationPass.gate`.
+    variation_gate: Optional[VariationGate] = None
 
     @property
     def slack_corners(self) -> Optional[List[str]]:
@@ -98,14 +104,23 @@ class OptimizationPass:
 
     Subclasses set ``name`` (the registry/pipeline key) and optionally
     ``stage`` -- the Table III row label the driver records right after the
-    pass.  ``run`` mutates the context in place.
+    pass.  ``run`` mutates the context in place.  ``variation_aware`` marks
+    the Monte Carlo pipeline variants: the driver builds one shared
+    :class:`~repro.core.variation.VariationGate` when any pass in the
+    pipeline sets it, and the pass threads the gate into its IVC engine via
+    :meth:`gate`.
     """
 
     name: str = ""
     stage: Optional[str] = None
+    variation_aware: bool = False
 
     def run(self, ctx: PassContext) -> None:
         raise NotImplementedError
+
+    def gate(self, ctx: PassContext) -> Optional[VariationGate]:
+        """The acceptance gate this pass should hand to its IVC engine."""
+        return ctx.variation_gate if self.variation_aware else None
 
 
 #: Registered pass factories, keyed by pass name.
@@ -197,6 +212,7 @@ class PipelineDriver:
             evaluator=evaluator,
             result=result,
             start_time=start,
+            variation_gate=self._build_gate(config, evaluator),
         )
         for optimization_pass in self.passes:
             optimization_pass.run(ctx)
@@ -208,8 +224,31 @@ class PipelineDriver:
         result.final_report = ctx.report
         result.total_evaluations = evaluator.run_count
         result.evaluator_cache = evaluator.cache_stats()
+        if ctx.variation_gate is not None:
+            result.variation_gate = ctx.variation_gate.stats()
         result.runtime_s = time.perf_counter() - start
         return result
+
+    def _build_gate(
+        self, config: FlowConfig, evaluator: ClockNetworkEvaluator
+    ) -> Optional[VariationGate]:
+        """One shared p95 gate when the pipeline has variation-aware passes."""
+        if not any(p.variation_aware for p in self.passes):
+            return None
+        if config.engine not in ("elmore", "arnoldi"):
+            raise ValueError(
+                "variation-aware pipeline passes need an analytical engine "
+                "('elmore' or 'arnoldi'): the Monte Carlo gate batches all "
+                f"samples through the moment path, got engine={config.engine!r}"
+            )
+        return VariationGate(
+            evaluator,
+            config.variation_model or default_variation_model(),
+            samples=config.variation_samples,
+            seed=config.seed,
+            tolerance_ps=config.variation_p95_tolerance_ps,
+            skew_limit_ps=config.variation_skew_limit_ps,
+        )
 
     @staticmethod
     def _record_stage(ctx: PassContext, stage: str) -> None:
@@ -343,7 +382,7 @@ class TrunkBufferSizingPass(OptimizationPass):
             return
         tree = ctx.require_tree()
         sliding = slide_and_interleave_trunk(
-            tree, ctx.evaluator, baseline=ctx.report, objective="clr"
+            tree, ctx.evaluator, baseline=ctx.report, objective="clr", gate=self.gate(ctx)
         )
         ctx.result.pass_results["trunk_sliding"] = sliding
         sizing = iterative_buffer_sizing(
@@ -355,6 +394,7 @@ class TrunkBufferSizingPass(OptimizationPass):
             levels_after_branch=ctx.config.sizing_levels_after_branch,
             max_iterations=ctx.config.sizing_max_iterations,
             max_consecutive_rejections=ctx.config.sizing_max_rejections,
+            gate=self.gate(ctx),
         )
         ctx.result.pass_results["buffer_sizing"] = sizing
         ctx.report = sizing.final_report
@@ -379,6 +419,7 @@ class WiresizingPass(OptimizationPass):
             objective="skew",
             corners=ctx.slack_corners,
             max_rounds=ctx.config.wiresizing_max_rounds,
+            gate=self.gate(ctx),
         )
         ctx.result.pass_results["wiresizing"] = outcome
         ctx.report = outcome.final_report
@@ -403,6 +444,7 @@ class WiresnakingPass(OptimizationPass):
             corners=ctx.slack_corners,
             unit_length=ctx.config.wiresnaking_unit_length,
             max_rounds=ctx.config.wiresnaking_max_rounds,
+            gate=self.gate(ctx),
         )
         ctx.result.pass_results["wiresnaking"] = outcome
         ctx.report = outcome.final_report
@@ -428,6 +470,48 @@ class BottomLevelPass(OptimizationPass):
             corners=ctx.slack_corners,
             unit_length=ctx.config.bottom_unit_length,
             max_rounds=ctx.config.bottom_max_rounds,
+            gate=self.gate(ctx),
         )
         ctx.result.pass_results["bottom_level"] = outcome
         ctx.report = outcome.final_report
+
+
+# ----------------------------------------------------------------------
+# Variation-aware pipeline variants (Monte Carlo p95-skew gated IVC)
+# ----------------------------------------------------------------------
+# Each variant runs the identical optimization, but every IVC round that
+# improves the nominal objective is additionally screened by the shared
+# VariationGate: rounds that regress the p95 skew of the Monte Carlo
+# variation distribution are rolled back.  Select them via
+# ``FlowConfig(pipeline=list(VARIATION_PIPELINE))`` or per stage
+# (``--pipeline initial,tbsz,twsz_mc,...``).
+@register_pass
+class VariationAwareTrunkBufferSizingPass(TrunkBufferSizingPass):
+    """TBSZ with the Monte Carlo p95-skew acceptance gate."""
+
+    name = "tbsz_mc"
+    variation_aware = True
+
+
+@register_pass
+class VariationAwareWiresizingPass(WiresizingPass):
+    """TWSZ with the Monte Carlo p95-skew acceptance gate."""
+
+    name = "twsz_mc"
+    variation_aware = True
+
+
+@register_pass
+class VariationAwareWiresnakingPass(WiresnakingPass):
+    """TWSN with the Monte Carlo p95-skew acceptance gate."""
+
+    name = "twsn_mc"
+    variation_aware = True
+
+
+@register_pass
+class VariationAwareBottomLevelPass(BottomLevelPass):
+    """BWSN with the Monte Carlo p95-skew acceptance gate."""
+
+    name = "bwsn_mc"
+    variation_aware = True

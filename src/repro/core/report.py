@@ -91,6 +91,10 @@ class FlowResult:
     #: Hit/miss/size statistics of the flow evaluator's incremental stage
     #: cache (see :meth:`repro.analysis.evaluator.StageCache.stats`).
     evaluator_cache: Dict[str, int] = field(default_factory=dict)
+    #: Bookkeeping of the Monte Carlo p95 acceptance gate (empty unless the
+    #: pipeline ran variation-aware passes; see
+    #: :meth:`repro.core.variation.VariationGate.stats`).
+    variation_gate: Dict[str, object] = field(default_factory=dict)
 
     def require_tree(self) -> ClockTree:
         """The synthesized tree; raises if the flow never produced one."""

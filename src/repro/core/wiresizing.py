@@ -20,7 +20,7 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
-from repro.core.ivc import IvcEngine, IvcState
+from repro.core.ivc import IvcEngine, IvcGate, IvcState
 from repro.core.slack import annotate_tree_slacks
 from repro.core.tuning import (
     PassResult,
@@ -43,6 +43,7 @@ def top_down_wiresizing(
     max_rounds: int = 20,
     safety: float = 0.9,
     min_edge_length: float = 10.0,
+    gate: Optional[IvcGate] = None,
 ) -> PassResult:
     """Run iterative top-down wiresizing on ``tree`` in place.
 
@@ -59,9 +60,17 @@ def top_down_wiresizing(
     safety:
         Fraction of the available slack the linear model is allowed to spend,
         guarding against model error.
+    gate:
+        Optional IVC acceptance gate (e.g. the Monte Carlo p95-skew check of
+        :class:`repro.core.variation.VariationGate`).
     """
     engine = IvcEngine(
-        "top_down_wiresizing", tree, evaluator, objective=objective, baseline=baseline
+        "top_down_wiresizing",
+        tree,
+        evaluator,
+        objective=objective,
+        baseline=baseline,
+        gate=gate,
     )
     model = calibrate_downsize_model(tree, evaluator, wirelib, engine.report)
     if model is None:

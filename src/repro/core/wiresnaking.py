@@ -16,7 +16,7 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.analysis.evaluator import ClockNetworkEvaluator, EvaluationReport
-from repro.core.ivc import IvcEngine, IvcState
+from repro.core.ivc import IvcEngine, IvcGate, IvcState
 from repro.core.slack import annotate_tree_slacks
 from repro.core.tuning import (
     PassResult,
@@ -38,17 +38,25 @@ def top_down_wiresnaking(
     max_units_per_edge: int = 50,
     max_rounds: int = 20,
     safety: float = 0.9,
+    gate: Optional[IvcGate] = None,
 ) -> PassResult:
     """Run iterative top-down wiresnaking on ``tree`` in place.
 
     ``unit_length`` is the paper's ``lwn`` parameter (um of snake per unit);
     ``max_units_per_edge`` caps how much snake a single edge may receive per
     round, which keeps each round inside the linear-model trust region.
+    ``gate`` is an optional IVC acceptance gate (see
+    :class:`repro.core.variation.VariationGate`).
     """
     if unit_length <= 0.0:
         raise ValueError("unit_length must be positive")
     engine = IvcEngine(
-        "top_down_wiresnaking", tree, evaluator, objective=objective, baseline=baseline
+        "top_down_wiresnaking",
+        tree,
+        evaluator,
+        objective=objective,
+        baseline=baseline,
+        gate=gate,
     )
     model = calibrate_snake_model(tree, evaluator, engine.report, unit_length)
     if model is None:

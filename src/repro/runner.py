@@ -10,12 +10,22 @@ JSON-serializable record per job as it completes, so ablation studies and
 Table III/IV/V-style sweeps run at the machine's core count instead of one
 flow at a time.
 
+Monte Carlo variation sweeps are a second job type over the same pool:
+:class:`McJobSpec` synthesizes the network and then evaluates it under
+thousands of sampled supply/process scenarios
+(:meth:`~repro.analysis.evaluator.ClockNetworkEvaluator.evaluate_yield`),
+with a per-job :class:`numpy.random.Generator` derived deterministically
+from the base seed plus the job's identity (see :mod:`repro.seeding`), so a
+whole instance x flow x sample-count matrix is bit-reproducible from one
+``--seed`` no matter how it is scheduled across workers.
+
 Workers regenerate their instance from the spec (the generators are seeded
 and deterministic), so nothing heavier than a tiny dataclass crosses the
 process boundary in either direction.
 
 The module is the substrate of the ``python -m repro`` command line (see
-:mod:`repro.cli`) and of ``benchmarks/perf_smoke.py``.
+:mod:`repro.cli`) and of ``benchmarks/perf_smoke.py`` /
+``benchmarks/variation_smoke.py``.
 """
 
 from __future__ import annotations
@@ -24,12 +34,19 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.analysis.variation import (
+    SAMPLING_FAMILIES,
+    VariationModel,
+    default_variation_model,
+)
 from repro.baselines import all_baselines
 from repro.core import ContangoFlow, FlowConfig
 from repro.core.report import FlowResult
 from repro.cts.spec import ClockNetworkInstance
+from repro.seeding import derive_rng
 from repro.workloads import (
     generate_ispd09_benchmark,
     generate_ti_benchmark,
@@ -38,15 +55,20 @@ from repro.workloads import (
 
 __all__ = [
     "JobSpec",
+    "McJobSpec",
     "JobError",
     "BatchResult",
     "BatchRunner",
     "available_flows",
     "resolve_instance",
     "run_job",
+    "run_mc_job",
+    "run_mc_job_guarded",
+    "variation_model_for",
     "render_table",
     "table_iii",
     "table_iv",
+    "table_mc",
 ]
 
 
@@ -114,13 +136,13 @@ def resolve_instance(spec: JobSpec) -> ClockNetworkInstance:
     )
 
 
-def _make_flow(spec: JobSpec, config: FlowConfig):
-    if spec.flow == "contango":
+def _make_flow(flow_name: str, config: FlowConfig):
+    if flow_name == "contango":
         return ContangoFlow(config)
     for baseline in all_baselines(config):
-        if baseline.name == spec.flow:
+        if baseline.name == flow_name:
             return baseline
-    raise ValueError(f"unknown flow {spec.flow!r}; available: {available_flows()}")
+    raise ValueError(f"unknown flow {flow_name!r}; available: {available_flows()}")
 
 
 def run_job(spec: JobSpec) -> Dict:
@@ -131,11 +153,13 @@ def run_job(spec: JobSpec) -> Dict:
     """
     start = time.perf_counter()
     instance = resolve_instance(spec)
-    config = FlowConfig(engine=spec.engine)
+    # The job seed doubles as the flow's base seed, so every stochastic
+    # component downstream (variation gates, MC sampling) derives from it.
+    config = FlowConfig(engine=spec.engine, seed=spec.seed)
     if spec.pipeline is not None:
         config.pipeline = list(spec.pipeline)
-    result: FlowResult = _make_flow(spec, config).run(instance)
-    return {
+    result: FlowResult = _make_flow(spec.flow, config).run(instance)
+    record = {
         "job": spec.label,
         "instance": spec.instance,
         "flow": spec.flow,
@@ -149,9 +173,12 @@ def run_job(spec: JobSpec) -> Dict:
         "evaluator_cache": result.evaluator_cache,
         "wall_clock_s": time.perf_counter() - start,
     }
+    if result.variation_gate:
+        record["variation_gate"] = result.variation_gate
+    return record
 
 
-def _error_record(spec: JobSpec, detail: str) -> Dict:
+def _error_record(spec: Union["JobSpec", "McJobSpec"], detail: str) -> Dict:
     return {
         "job": spec.label,
         "instance": spec.instance,
@@ -165,6 +192,157 @@ def _run_job_guarded(spec: JobSpec) -> Dict:
     """Worker entry point: never raises, so one bad job cannot kill the batch."""
     try:
         return run_job(spec)
+    except Exception:
+        return _error_record(spec, traceback.format_exc())
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo variation jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class McJobSpec:
+    """One Monte Carlo variation job: synthesize, then sample the yield.
+
+    The instance spec and flow/engine/pipeline axes mirror :class:`JobSpec`;
+    ``samples`` and ``family`` select the Monte Carlo sweep, and ``seed``
+    drives *only* the stochastic parts (sampling, gates) -- the instance
+    itself stays pinned by its spec so different seeds explore different
+    scenarios of the same network.  ``gated`` additionally switches the
+    synthesis pipeline to the variation-aware variant
+    (:data:`repro.core.config.VARIATION_PIPELINE`), so robust-optimization
+    ablations are one flag away from the nominal flow.
+    """
+
+    instance: str
+    flow: str = "contango"
+    engine: str = "arnoldi"
+    samples: int = 1000
+    family: str = "independent"
+    seed: int = 7
+    skew_limit_ps: float = 7.5
+    gated: bool = False
+    #: Scenario count per gate check during gated synthesis; ``None`` keeps
+    #: the :class:`FlowConfig` default (the gate runs once per IVC round, so
+    #: it deliberately uses fewer samples than the final reporting sweep).
+    gate_samples: Optional[int] = None
+    pipeline: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+        if self.gate_samples is not None and self.gate_samples < 2:
+            raise ValueError("gate_samples must be >= 2")
+        if self.family not in SAMPLING_FAMILIES:
+            raise ValueError(
+                f"unknown sampling family {self.family!r}; choose from {SAMPLING_FAMILIES}"
+            )
+        if self.engine not in ("elmore", "arnoldi"):
+            raise ValueError(
+                "Monte Carlo jobs need an analytical engine ('elmore' or 'arnoldi')"
+            )
+        if self.gated and self.flow != "contango":
+            raise ValueError(
+                "--gated selects the Contango variation-aware pipeline and is "
+                f"not available for flow {self.flow!r}"
+            )
+        if self.gated and self.pipeline is not None:
+            raise ValueError(
+                "--gated and an explicit pipeline are mutually exclusive; put "
+                "the *_mc pass variants in the pipeline instead"
+            )
+
+    @property
+    def label(self) -> str:
+        parts = [
+            self.instance.replace(":", "").replace("/", "_"),
+            self.flow,
+            self.engine,
+            f"mc{self.samples}",
+            self.family,
+            f"seed{self.seed}",
+        ]
+        if self.gated:
+            parts.append("gated")
+        if self.pipeline is not None:
+            parts.append("-".join(self.pipeline))
+        return "__".join(parts)
+
+
+def variation_model_for(spec: McJobSpec, config: FlowConfig) -> VariationModel:
+    """The variation model an MC job samples from.
+
+    The corner-anchored family spans the flow's own corner set (so the sweep
+    covers exactly the supplies the nominal optimization saw); the other
+    families use the stock sigma budget.
+    """
+    if spec.family == "corner_anchored":
+        return VariationModel.from_corners(config.corners)
+    return default_variation_model(family=spec.family)
+
+
+def run_mc_job(spec: McJobSpec) -> Dict:
+    """Synthesize one network and Monte Carlo-evaluate its skew yield.
+
+    The sampling generator is derived from the job seed plus the job's
+    identity keys, so every job of a matrix draws an independent, scheduling-
+    invariant stream and re-running with the same ``--seed`` is
+    bit-reproducible.
+    """
+    start = time.perf_counter()
+    instance = resolve_instance(JobSpec(instance=spec.instance))
+    config = FlowConfig(engine=spec.engine, seed=spec.seed)
+    config.variation_skew_limit_ps = spec.skew_limit_ps
+    # The gate must screen against the same distribution the job reports:
+    # one model instance serves both the gated synthesis and the final sweep.
+    model = variation_model_for(spec, config)
+    config.variation_model = model
+    if spec.gate_samples is not None:
+        config.variation_samples = spec.gate_samples
+    if spec.pipeline is not None:
+        config.pipeline = list(spec.pipeline)
+    elif spec.gated:  # spec validation guarantees flow == "contango" here
+        from repro.core.config import VARIATION_PIPELINE
+
+        config.pipeline = list(VARIATION_PIPELINE)
+    result: FlowResult = _make_flow(spec.flow, config).run(instance)
+    tree = result.require_tree()
+
+    evaluator = ClockNetworkEvaluator(
+        config=EvaluatorConfig(
+            engine=spec.engine,
+            max_segment_length=config.max_segment_length,
+            slew_limit=instance.slew_limit,
+        ),
+        corners=config.corners,
+        capacitance_limit=instance.capacitance_limit,
+    )
+    rng = derive_rng(spec.seed, spec.instance, spec.flow, spec.family, spec.samples)
+    report = evaluator.evaluate_yield(
+        tree, model, samples=spec.samples, rng=rng, skew_limit_ps=spec.skew_limit_ps
+    )
+    record = {
+        "job": spec.label,
+        "instance": spec.instance,
+        "flow": spec.flow,
+        "engine": spec.engine,
+        "samples": spec.samples,
+        "family": spec.family,
+        "seed": spec.seed,
+        "gated": spec.gated,
+        "sinks": instance.sink_count,
+        "yield": report.summary(),
+        "nominal": result.summary(),
+        "wall_clock_s": time.perf_counter() - start,
+    }
+    if result.variation_gate:
+        record["variation_gate"] = result.variation_gate
+    return record
+
+
+def run_mc_job_guarded(spec: McJobSpec) -> Dict:
+    """Worker entry point of MC jobs; mirrors :func:`_run_job_guarded`."""
+    try:
+        return run_mc_job(spec)
     except Exception:
         return _error_record(spec, traceback.format_exc())
 
@@ -190,35 +368,46 @@ class BatchResult:
 
 
 class BatchRunner:
-    """Fans a list of :class:`JobSpec` jobs across worker processes.
+    """Fans a list of job specs across worker processes.
 
     ``max_workers=1`` runs in-process (no pool overhead, deterministic log
     order); anything higher uses a :class:`ProcessPoolExecutor` and streams
     results as they finish.  ``on_result(index, record)`` fires once per
     completed job either way -- the CLI uses it to write per-job JSON and
     print progress lines while the rest of the batch is still running.
+
+    The default ``worker`` runs synthesis jobs (:class:`JobSpec`); Monte
+    Carlo batches pass :class:`McJobSpec` jobs with
+    ``worker=run_mc_job_guarded`` -- any module-level function mapping a
+    picklable spec to a JSON-able record fits.
     """
 
-    def __init__(self, jobs: Sequence[JobSpec], max_workers: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: Sequence,
+        max_workers: int = 1,
+        worker: Callable[..., Dict] = _run_job_guarded,
+    ) -> None:
         if not jobs:
             raise ValueError("a batch needs at least one job")
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.jobs = list(jobs)
         self.max_workers = max_workers
+        self.worker = worker
 
     def run(self, on_result: Optional[Callable[[int, Dict], None]] = None) -> BatchResult:
         start = time.perf_counter()
         records: List[Optional[Dict]] = [None] * len(self.jobs)
         if self.max_workers == 1:
             for index, spec in enumerate(self.jobs):
-                records[index] = _run_job_guarded(spec)
+                records[index] = self.worker(spec)
                 if on_result is not None:
                     on_result(index, records[index])
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = {
-                    pool.submit(_run_job_guarded, spec): index
+                    pool.submit(self.worker, spec): index
                     for index, spec in enumerate(self.jobs)
                 }
                 for future in as_completed(futures):
@@ -300,3 +489,47 @@ def table_iii(record: Dict) -> str:
     for row in rows:
         row.setdefault("elapsed_s", 0.0)
     return render_table(rows, _TABLE_III_COLUMNS)
+
+
+#: Yield-table columns: one row per Monte Carlo job with the distribution
+#: statistics the ISPD'10-style scoring cares about.
+_TABLE_MC_COLUMNS = (
+    ("instance", "instance", "s"),
+    ("flow", "flow", "s"),
+    ("family", "family", "s"),
+    ("samples", "samples", "d"),
+    ("skew_mean_ps", "skew mu[ps]", ".2f"),
+    ("skew_std_ps", "sigma[ps]", ".2f"),
+    ("skew_p95_ps", "p95[ps]", ".2f"),
+    ("skew_p99_ps", "p99[ps]", ".2f"),
+    ("skew_yield_pct", "yield[%]", ".1f"),
+    ("clr_p95_ps", "CLR p95[ps]", ".2f"),
+    ("nominal_skew_ps", "nom skew[ps]", ".2f"),
+    ("wall_clock_s", "t[s]", ".2f"),
+)
+
+
+def table_mc(records: Sequence[Dict]) -> str:
+    """Render completed Monte Carlo job records as a yield table."""
+    rows: List[Dict] = []
+    for record in records:
+        if "yield" not in record:
+            continue
+        summary = record["yield"]
+        rows.append(
+            {
+                "instance": record.get("instance"),
+                "flow": record.get("flow"),
+                "family": record.get("family"),
+                "samples": record.get("samples"),
+                "skew_mean_ps": summary.get("skew_mean_ps"),
+                "skew_std_ps": summary.get("skew_std_ps"),
+                "skew_p95_ps": summary.get("skew_p95_ps"),
+                "skew_p99_ps": summary.get("skew_p99_ps"),
+                "skew_yield_pct": 100.0 * summary.get("skew_yield", 0.0),
+                "clr_p95_ps": summary.get("clr_p95_ps"),
+                "nominal_skew_ps": record.get("nominal", {}).get("skew_ps"),
+                "wall_clock_s": record.get("wall_clock_s"),
+            }
+        )
+    return render_table(rows, _TABLE_MC_COLUMNS)

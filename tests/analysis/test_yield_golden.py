@@ -1,0 +1,61 @@
+"""Golden pin of the seeded ti200 Monte Carlo yield summary.
+
+The variation engine's whole value is that a seeded run is exactly
+reproducible: sampling (``repro.seeding``), the batched moment math and the
+summary statistics must all stay stable across refactors.  This test re-runs
+the seeded 256-sample sweep on the flow-optimized 200-sink TI network and
+compares the summary to ``tests/golden/ti200_yield.json`` to 9 decimal
+places (the precision the golden file was written with).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.analysis.variation import default_variation_model
+from repro.core import ContangoFlow, FlowConfig
+from repro.seeding import derive_rng
+from repro.workloads import generate_ti_benchmark
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "ti200_yield.json"
+
+
+@pytest.fixture(scope="module")
+def ti200_yield_summary():
+    instance = generate_ti_benchmark(200)
+    result = ContangoFlow(FlowConfig(engine="arnoldi")).run(instance)
+    evaluator = ClockNetworkEvaluator(
+        config=EvaluatorConfig(engine="arnoldi", slew_limit=instance.slew_limit),
+        capacitance_limit=instance.capacitance_limit,
+    )
+    report = evaluator.evaluate_yield(
+        result.require_tree(),
+        default_variation_model(),
+        samples=256,
+        rng=derive_rng(7, "golden-yield"),
+        skew_limit_ps=7.5,
+    )
+    return report.summary()
+
+
+def test_seeded_ti200_yield_matches_golden(ti200_yield_summary):
+    golden = json.loads(GOLDEN_PATH.read_text())["summary"]
+    produced = {
+        key: (round(value, 9) if isinstance(value, float) else value)
+        for key, value in ti200_yield_summary.items()
+    }
+    assert produced == golden
+
+
+def test_golden_distribution_is_sane(ti200_yield_summary):
+    # Guard against a silently degenerate golden (all-zero or collapsed
+    # distribution would "match" a stale file without testing anything).
+    assert ti200_yield_summary["skew_std_ps"] > 0.5
+    assert (
+        ti200_yield_summary["skew_mean_ps"]
+        < ti200_yield_summary["skew_p95_ps"]
+        < ti200_yield_summary["skew_p99_ps"]
+        <= ti200_yield_summary["skew_max_ps"]
+    )
