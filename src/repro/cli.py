@@ -1,10 +1,19 @@
 """The ``repro`` command line (also reachable as ``python -m repro``).
 
-Four subcommands over the :mod:`repro.runner` batch engine:
+Six subcommands over the :mod:`repro.runner` batch engine and the
+:mod:`repro.store` result store:
 
 * ``repro run`` -- expand an instance x flow x engine matrix into jobs, fan
   them across ``--jobs`` worker processes, stream one JSON record per job
   into ``--output-dir``, and print a Table IV-style summary;
+* ``repro sweep`` -- the scenario lab: expand a scenario family's parameter
+  sweep (``--set``/``--sweep`` over :mod:`repro.scenarios` families, plus any
+  explicit ``--instance`` specs) times flows and engines, run it through the
+  batch runner, and append every completed job to a persistent
+  :class:`~repro.store.RunStore` under ``--store`` tagged with ``--run-id``;
+* ``repro compare`` -- diff two store selections (``DIR`` or ``DIR@RUN_ID``)
+  into a per-scenario skew/CLR/evaluations/wall-clock delta table with
+  regression highlighting; ``--fail-on-regression`` turns it into a CI gate;
 * ``repro mc`` -- Monte Carlo variation sweeps: synthesize each instance x
   flow cell, then evaluate its skew yield under ``--samples`` randomized
   supply/process scenarios (batched through the vectorized moment path) with
@@ -19,9 +28,14 @@ Four subcommands over the :mod:`repro.runner` batch engine:
 
 Examples::
 
-    python -m repro run --instance ti:200 --instance ispd09:ispd09f22:0.2 \
+    python -m repro run --instance ti:200 --instance scenario:maze:sinks=64 \
         --flow contango --flow unoptimized_dme --jobs 4 --output-dir results
     python -m repro run --instance ti:500 --pipeline initial,tbsz,twsz
+    python -m repro sweep --family banks --set sinks=48 \
+        --sweep clusters=4,8,16 --flow contango --jobs 4 \
+        --store results/store --run-id nightly
+    python -m repro compare results/store@baseline results/store@nightly \
+        --fail-on-regression
     python -m repro mc --instance ti:200 --samples 1000 --seed 7 \
         --family correlated --jobs 4 --output-dir mc-results
     python -m repro mc --instance ti:200 --samples 500 --gated
@@ -35,6 +49,7 @@ import argparse
 import json
 import os
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -45,10 +60,19 @@ from repro.runner import (
     JobSpec,
     McJobSpec,
     available_flows,
+    render_table,
     run_mc_job_guarded,
     table_iii,
     table_iv,
     table_mc,
+)
+from repro.scenarios import SCENARIO_REGISTRY, expand_sweep, get_family
+from repro.store import (
+    COMPARE_COLUMNS,
+    CompareTolerances,
+    RunStore,
+    compare_rows,
+    diff_records,
 )
 
 __all__ = ["build_parser", "main"]
@@ -67,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="SPEC",
         help="instance spec (repeatable, required unless --list-passes): "
-        "ti:<sinks>, ispd09:<name>[:<scale>], file:<path>",
+        "ti:<sinks>, ispd09:<name>[:<scale>], scenario:<family>[:k=v,...], "
+        "file:<path>",
     )
     run.add_argument(
         "--flow",
@@ -105,6 +130,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered optimization passes and exit",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="scenario-lab sweep: scenario family x flow matrix into a persistent run store",
+    )
+    sweep.add_argument(
+        "--family",
+        action="append",
+        metavar="NAME",
+        help="scenario family to sweep (repeatable; see --list-families)",
+    )
+    sweep.add_argument(
+        "--set",
+        action="append",
+        dest="sets",
+        metavar="K=V",
+        default=None,
+        help="fix a family parameter for every sweep point (repeatable)",
+    )
+    sweep.add_argument(
+        "--sweep",
+        action="append",
+        dest="sweeps",
+        metavar="K=V1,V2,...",
+        default=None,
+        help="sweep a family parameter over a value list (repeatable; "
+        "multiple axes cross-multiply)",
+    )
+    sweep.add_argument(
+        "--instance",
+        action="append",
+        metavar="SPEC",
+        help="extra explicit instance specs to include in the matrix "
+        "(repeatable): ti:<sinks>, ispd09:<name>[:<scale>], "
+        "scenario:<family>[:k=v,...], file:<path>",
+    )
+    sweep.add_argument(
+        "--flow",
+        action="append",
+        metavar="NAME",
+        help=f"flow to run (repeatable); default contango; one of {available_flows()}",
+    )
+    sweep.add_argument(
+        "--engine",
+        action="append",
+        metavar="NAME",
+        help="evaluation engine (repeatable); default arnoldi (also: spice, elmore)",
+    )
+    sweep.add_argument("--seed", type=int, help="instance/flow seed override")
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        help="run-store directory; every completed job is appended to "
+        "DIR/runs.jsonl (required unless --list-families)",
+    )
+    sweep.add_argument(
+        "--run-id",
+        metavar="ID",
+        help="store tag for this sweep (default: a UTC timestamp tag)",
+    )
+    sweep.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="additionally write one <job>.json per completed job into DIR",
+    )
+    sweep.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write the whole batch (records + wall-clock) as one JSON file",
+    )
+    sweep.add_argument(
+        "--list-families",
+        action="store_true",
+        help="print the registered scenario families with their parameters and exit",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two run-store selections into a per-scenario delta table",
+    )
+    compare.add_argument(
+        "baseline",
+        metavar="STORE[@RUN_ID]",
+        help="baseline selection: a store directory, optionally @RUN_ID "
+        "(default: the latest run; @all selects every record)",
+    )
+    compare.add_argument(
+        "candidate",
+        metavar="STORE[@RUN_ID]",
+        help="candidate selection, same syntax as the baseline",
+    )
+    compare.add_argument(
+        "--skew-tol", type=float, default=0.05, metavar="PS",
+        help="allowed skew increase before a job counts as regressed (default 0.05 ps)",
+    )
+    compare.add_argument(
+        "--clr-tol", type=float, default=0.05, metavar="PS",
+        help="allowed CLR increase before a job counts as regressed (default 0.05 ps)",
+    )
+    compare.add_argument(
+        "--evals-tol", type=int, default=None, metavar="N",
+        help="also flag jobs whose evaluation count grew by more than N "
+        "(default: evaluations reported but not gated)",
+    )
+    compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any matched job regressed (or nothing matched at all)",
+    )
+
     mc = sub.add_parser(
         "mc", help="Monte Carlo skew-yield sweep over an instance x flow x samples matrix"
     )
@@ -112,7 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--instance",
         action="append",
         metavar="SPEC",
-        help="instance spec (repeatable): ti:<sinks>, ispd09:<name>[:<scale>], file:<path>",
+        help="instance spec (repeatable): ti:<sinks>, ispd09:<name>[:<scale>], "
+        "scenario:<family>[:k=v,...], file:<path>",
     )
     mc.add_argument(
         "--flow",
@@ -234,13 +370,16 @@ def _run_batch(
     summary_key: str,
     progress: Callable[[Dict], str],
     worker: Optional[Callable[..., Dict]] = None,
+    on_record: Optional[Callable[[Dict], None]] = None,
 ) -> int:
-    """Shared batch plumbing of ``repro run`` / ``repro mc``.
+    """Shared batch plumbing of ``repro run`` / ``repro sweep`` / ``repro mc``.
 
     Streams one JSON record per job into ``--output-dir``, prints a progress
     line per completion (``progress`` renders the record's ``summary_key``
     payload), renders the final ``table``, optionally writes the whole batch
     as ``--summary-json``, and maps job failures to exit code 1.
+    ``on_record`` fires once per completed job (``repro sweep`` appends to
+    the run store with it).
     """
     output_dir: Optional[Path] = Path(args.output_dir) if args.output_dir else None
     if output_dir is not None:
@@ -250,6 +389,8 @@ def _run_batch(
         if output_dir is not None:
             path = output_dir / f"{record['job']}.json"
             path.write_text(json.dumps(record, indent=1) + "\n")
+        if on_record is not None:
+            on_record(record)
         if "error" in record:
             print(f"[{index + 1}/{len(jobs)}] {record['job']}: FAILED", file=sys.stderr)
         else:
@@ -282,6 +423,167 @@ def _run_batch(
     for failure in batch.failures:
         print(f"\njob {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
     return 1 if batch.failures else 0
+
+
+def _parse_assignments(items: Optional[List[str]], option: str) -> Dict[str, str]:
+    """Parse repeated ``K=V`` command-line values into a dict."""
+    parsed: Dict[str, str] = {}
+    for item in items or []:
+        key, eq, value = item.partition("=")
+        if not eq or not key or not value:
+            raise ValueError(f"{option} expects K=V, got {item!r}")
+        if key in parsed:
+            raise ValueError(f"duplicate {option} for parameter {key!r}")
+        parsed[key] = value
+    return parsed
+
+
+def _list_families() -> None:
+    for name in sorted(SCENARIO_REGISTRY):
+        family = SCENARIO_REGISTRY[name]
+        print(f"{name}: {family.description}")
+        for param in family.params:
+            bounds = ""
+            if param.minimum is not None or param.maximum is not None:
+                lo = "" if param.minimum is None else f"{param.minimum:g}"
+                hi = "" if param.maximum is None else f"{param.maximum:g}"
+                bounds = f" [{lo}..{hi}]"
+            print(f"    {param.name}={param.default}{bounds}  {param.doc}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list_families:
+        _list_families()
+        return 0
+    if not args.family and not args.instance:
+        print(
+            "repro sweep: at least one --family or --instance is required",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.store:
+        print("repro sweep: --store DIR is required", file=sys.stderr)
+        return 2
+    try:
+        sets = _parse_assignments(args.sets, "--set")
+        sweeps = {
+            key: [v for v in value.split(",") if v]
+            for key, value in _parse_assignments(args.sweeps, "--sweep").items()
+        }
+        specs: List[str] = []
+        for family_name in args.family or []:
+            get_family(family_name)  # clear unknown-family error up front
+            specs.extend(expand_sweep(family_name, sets, sweeps))
+        specs.extend(args.instance or [])
+    except (KeyError, ValueError) as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+
+    flows = args.flow or ["contango"]
+    engines = args.engine or ["arnoldi"]
+    jobs = [
+        JobSpec(instance=spec, flow=flow, engine=engine, seed=args.seed)
+        for spec in specs
+        for flow in flows
+        for engine in engines
+    ]
+    store = RunStore(args.store)
+    run_id = args.run_id or datetime.now(timezone.utc).strftime("sweep-%Y%m%dT%H%M%SZ")
+    try:
+        # Fail fast: a bad --run-id must not surface as a crash on the first
+        # store append after minutes of synthesis.
+        RunStore.check_run_id(run_id)
+    except ValueError as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+
+    def progress(summary: Dict) -> str:
+        return f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps"
+
+    code = _run_batch(
+        args,
+        jobs,
+        table=table_iv,
+        summary_key="summary",
+        progress=progress,
+        on_record=lambda record: store.append(record, run_id=run_id),
+    )
+    print(f"\nstored {len(jobs)} record(s) under run id {run_id!r} in {store.path}")
+    return code
+
+
+def _resolve_selection(selection: str) -> List[Dict]:
+    """Load the records a ``STORE[@RUN_ID]`` selection names.
+
+    The run id follows the *last* ``@``; a selection whose prefix is not a
+    store but which names one as a whole is treated as a plain path, so
+    directories containing ``@`` stay addressable.
+    """
+    path, sep, run_id = selection.rpartition("@")
+    if not sep or (not RunStore(path).path.exists() and RunStore(selection).path.exists()):
+        path, run_id = selection, ""
+    store = RunStore(path)
+    if not store.path.exists():
+        raise ValueError(f"no run store at {store.path}")
+    if run_id == "all":
+        return store.records()
+    if not run_id:
+        run_id = store.latest_run_id() or ""
+    records = store.records(run_id=run_id)
+    if not records:
+        raise ValueError(
+            f"run id {run_id!r} matches nothing in {store.path}; "
+            f"available: {store.run_ids()}"
+        )
+    return records
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = _resolve_selection(args.baseline)
+        candidate = _resolve_selection(args.candidate)
+    except ValueError as error:
+        print(f"repro compare: {error}", file=sys.stderr)
+        return 2
+    result = diff_records(
+        baseline,
+        candidate,
+        CompareTolerances(
+            skew_ps=args.skew_tol, clr_ps=args.clr_tol, evaluations=args.evals_tol
+        ),
+    )
+    print(render_table(compare_rows(result), COMPARE_COLUMNS))
+    print(
+        f"\n{len(result.rows)} matched job(s), "
+        f"{len(result.regressions)} regression(s), "
+        f"{len(result.only_baseline)} baseline-only, "
+        f"{len(result.only_candidate)} candidate-only"
+    )
+    for row in result.regressions:
+        print(
+            f"REGRESSION {row.instance} [{row.flow}/{row.engine}]: "
+            f"skew {row.d_skew_ps:+.3f} ps, clr {row.d_clr_ps:+.3f} ps, "
+            f"evals {row.d_evaluations:+d}",
+            file=sys.stderr,
+        )
+    if args.fail_on_regression and not result.rows:
+        print("repro compare: no matched jobs to gate on", file=sys.stderr)
+        return 1
+    if args.fail_on_regression and result.only_baseline:
+        # A candidate that silently dropped (or errored on) baseline jobs has
+        # not re-validated them; partial coverage must not pass the gate.
+        missing = ", ".join(
+            str(record.get("instance")) for record in result.only_baseline
+        )
+        print(
+            f"repro compare: {len(result.only_baseline)} baseline job(s) "
+            f"missing from the candidate: {missing}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.fail_on_regression and result.regressions:
+        return 1
+    return 0
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
@@ -396,6 +698,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "mc":
         return _cmd_mc(args)
     if args.command == "bench":

@@ -1,9 +1,9 @@
 """Parallel batch runner: fan a job matrix across worker processes.
 
 One *job* is one synthesis run -- an instance spec ("ti:200",
-"ispd09:ispd09f22", optionally scaled), a flow (the integrated Contango
-pipeline or one of the Table IV baselines), an evaluation engine, and an
-optional custom pass pipeline.  The runner expands a matrix of those axes
+"ispd09:ispd09f22", "scenario:maze:sinks=64", optionally scaled), a flow (the
+integrated Contango pipeline or one of the Table IV baselines), an evaluation
+engine, and an optional custom pass pipeline.  The runner expands a matrix of those axes
 into :class:`JobSpec` jobs, fans them across a
 :class:`~concurrent.futures.ProcessPoolExecutor`, and streams a
 JSON-serializable record per job as it completes, so ablation studies and
@@ -46,16 +46,20 @@ from repro.baselines import all_baselines
 from repro.core import ContangoFlow, FlowConfig
 from repro.core.report import FlowResult
 from repro.cts.spec import ClockNetworkInstance
+from repro.scenarios import parse_scenario_overrides
 from repro.seeding import derive_rng
+from repro.store.fingerprint import config_digest, job_fingerprint
 from repro.workloads import (
     generate_ispd09_benchmark,
     generate_ti_benchmark,
+    instance_fingerprint,
     read_instance,
 )
 
 __all__ = [
     "JobSpec",
     "McJobSpec",
+    "sanitize_spec",
     "JobError",
     "BatchResult",
     "BatchRunner",
@@ -75,6 +79,20 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Job specification and execution
 # ----------------------------------------------------------------------
+def sanitize_spec(text: str) -> str:
+    """Filesystem-safe, *injective* form of an instance spec.
+
+    ``:`` maps to ``-`` and ``/`` to ``_`` so the common specs stay readable
+    (``ti:200`` -> ``ti-200``); literal occurrences of the replacement
+    characters (and ``%``) are percent-escaped first, so no two distinct
+    specs share a label.  Stripping separators outright collided ``ti:200``
+    with a hypothetical ``ti2:00`` -- and a collision means one job's result
+    file silently overwrites another's.
+    """
+    text = text.replace("%", "%25").replace("-", "%2D").replace("_", "%5F")
+    return text.replace(":", "-").replace("/", "_")
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One cell of the batch matrix, cheap to pickle across processes.
@@ -84,10 +102,13 @@ class JobSpec:
     * ``ti:<sinks>`` -- the TI-style scalability generator;
     * ``ispd09:<name>`` or ``ispd09:<name>:<scale>`` -- an ISPD'09-style
       benchmark, optionally shrunk by ``scale`` in (0, 1];
+    * ``scenario:<family>[:k=v,...]`` -- a registered scenario family from
+      :mod:`repro.scenarios` (``repro sweep --list-families`` lists them);
     * ``file:<path>`` -- a saved instance in the plain-text format.
 
     ``pipeline`` overrides :attr:`FlowConfig.pipeline` (pass-registry
-    names); ``seed`` overrides the TI generator's default seed.
+    names); ``seed`` overrides the TI generator's (or a scenario's) default
+    instance seed.
     """
 
     instance: str
@@ -99,7 +120,7 @@ class JobSpec:
     @property
     def label(self) -> str:
         """Filesystem-safe identifier used for result files and log lines."""
-        parts = [self.instance.replace(":", "").replace("/", "_"), self.flow, self.engine]
+        parts = [sanitize_spec(self.instance), self.flow, self.engine]
         if self.pipeline is not None:
             parts.append("-".join(self.pipeline))
         if self.seed is not None:
@@ -128,11 +149,19 @@ def resolve_instance(spec: JobSpec) -> ClockNetworkInstance:
     if kind == "ispd09":
         name, _, scale = rest.partition(":")
         return generate_ispd09_benchmark(name, sink_scale=float(scale) if scale else None)
+    if kind == "scenario":
+        family, overrides = parse_scenario_overrides(spec.instance)
+        params = family.resolve(overrides)
+        # An explicit seed= inside the spec pins the instance; otherwise the
+        # job seed selects the scenario variant, mirroring the ti: behavior.
+        if spec.seed is not None and "seed" not in overrides:
+            params["seed"] = spec.seed
+        return family.generate(**params)
     if kind == "file":
         return read_instance(rest)
     raise ValueError(
         f"unknown instance spec {spec.instance!r}; use ti:<sinks>, "
-        f"ispd09:<name>[:<scale>] or file:<path>"
+        f"ispd09:<name>[:<scale>], scenario:<family>[:k=v,...] or file:<path>"
     )
 
 
@@ -159,6 +188,12 @@ def run_job(spec: JobSpec) -> Dict:
     if spec.pipeline is not None:
         config.pipeline = list(spec.pipeline)
     result: FlowResult = _make_flow(spec.flow, config).run(instance)
+    # Content-address the computation for the run store: the instance's
+    # canonical-serialization hash (not the spec string) plus the config
+    # digest, so generator or config drift changes the fingerprint even when
+    # the spec text stays the same.
+    instance_fp = instance_fingerprint(instance)
+    config_fp = config_digest(config)
     record = {
         "job": spec.label,
         "instance": spec.instance,
@@ -166,6 +201,16 @@ def run_job(spec: JobSpec) -> Dict:
         "engine": spec.engine,
         "pipeline": list(spec.pipeline) if spec.pipeline is not None else None,
         "seed": spec.seed,
+        "instance_fingerprint": instance_fp,
+        "config_digest": config_fp,
+        "fingerprint": job_fingerprint(
+            instance_fingerprint=instance_fp,
+            flow=spec.flow,
+            engine=spec.engine,
+            pipeline=spec.pipeline,
+            seed=spec.seed,
+            config_digest=config_fp,
+        ),
         "sinks": instance.sink_count,
         "summary": result.summary(),
         "stage_table": result.stage_table(),
@@ -254,7 +299,7 @@ class McJobSpec:
     @property
     def label(self) -> str:
         parts = [
-            self.instance.replace(":", "").replace("/", "_"),
+            sanitize_spec(self.instance),
             self.flow,
             self.engine,
             f"mc{self.samples}",

@@ -1,0 +1,36 @@
+"""Scenario lab: declarative synthetic instance families and sweeps.
+
+See :mod:`repro.scenarios.base` for the family/registry machinery and
+:mod:`repro.scenarios.families` for the built-in families (importing this
+package registers them).  Spec strings look like ``scenario:maze:sinks=64``
+and resolve anywhere an instance spec is accepted.
+"""
+
+from repro.scenarios.base import (
+    SCENARIO_REGISTRY,
+    ScenarioFamily,
+    ScenarioParam,
+    canonical_scenario_spec,
+    expand_sweep,
+    generate_scenario,
+    get_family,
+    parse_scenario_overrides,
+    parse_scenario_spec,
+    register_family,
+    scenario_names,
+)
+from repro.scenarios import families as _families  # noqa: F401 -- registers built-ins
+
+__all__ = [
+    "SCENARIO_REGISTRY",
+    "ScenarioFamily",
+    "ScenarioParam",
+    "canonical_scenario_spec",
+    "expand_sweep",
+    "generate_scenario",
+    "get_family",
+    "parse_scenario_overrides",
+    "parse_scenario_spec",
+    "register_family",
+    "scenario_names",
+]

@@ -1,0 +1,328 @@
+"""The built-in scenario families.
+
+Four stress directions the ISPD'09/TI workloads do not cover:
+
+* ``maze`` -- serpentine walls of routing blockage forcing long detours
+  through :mod:`repro.cts.obstacle_avoid`;
+* ``macros`` -- ISPD'10-style large placement blockages with a share of the
+  sinks sitting on macro edges (hard-macro clock pins);
+* ``strip`` -- a high-aspect-ratio die, where latency balance must be bought
+  with wire snaking instead of topology symmetry;
+* ``banks`` -- dense register banks with tunable cluster count and tightness,
+  the degenerate-capacitance case for bottom-level merging.
+
+Every family is registered in :data:`repro.scenarios.SCENARIO_REGISTRY` at
+import time and resolves through ``scenario:<family>[:k=v,...]`` specs; die
+coordinates are micrometres, matching the ISPD'09-style generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cts.bufferlib import ispd09_buffer_library
+from repro.cts.spec import ClockNetworkInstance
+from repro.cts.topology import SinkInstance
+from repro.cts.wirelib import ispd09_wire_library
+from repro.geometry.obstacles import Obstacle, ObstacleSet
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.scenarios.base import ParamValue, ScenarioFamily, ScenarioParam, register_family
+from repro.workloads.ispd09 import capacitance_budget
+
+__all__ = ["MAZE", "MACROS", "STRIP", "BANKS"]
+
+
+def _finish(
+    name: str,
+    die: Rect,
+    source: Point,
+    sinks: List[SinkInstance],
+    obstacles: ObstacleSet,
+    cap_limit_factor: float = 2.2,
+    source_resistance: float = 80.0,
+) -> ClockNetworkInstance:
+    """Assemble an instance with the shared ISPD'09 libraries and cap budget."""
+    return ClockNetworkInstance(
+        name=name,
+        die=die,
+        source=source,
+        sinks=sinks,
+        obstacles=obstacles,
+        wire_library=ispd09_wire_library(),
+        buffer_library=ispd09_buffer_library(),
+        source_resistance=source_resistance,
+        capacitance_limit=capacitance_budget(die, sinks, cap_limit_factor),
+        slew_limit=100.0,
+    )
+
+
+def _uniform_point(rng: np.random.Generator, die: Rect) -> Point:
+    return Point(
+        float(rng.uniform(die.xlo, die.xhi)), float(rng.uniform(die.ylo, die.yhi))
+    )
+
+
+def _free_sinks(
+    rng: np.random.Generator,
+    die: Rect,
+    obstacles: ObstacleSet,
+    count: int,
+    cap_lo: float,
+    cap_hi: float,
+    prefix: str = "sink",
+) -> List[SinkInstance]:
+    """Uniformly scattered sinks kept off the blockages (rejection + push-out)."""
+    sinks: List[SinkInstance] = []
+    for index in range(count):
+        position = _uniform_point(rng, die)
+        attempts = 0
+        while obstacles.blocks_point(position) and attempts < 40:
+            position = _uniform_point(rng, die)
+            attempts += 1
+        if obstacles.blocks_point(position):  # heavily blocked die: walk out
+            position = obstacles.push_out_of_obstacles(position, die)
+        sinks.append(
+            SinkInstance(
+                name=f"{prefix}_{index}",
+                position=position,
+                capacitance=float(rng.uniform(cap_lo, cap_hi)),
+            )
+        )
+    return sinks
+
+
+# ----------------------------------------------------------------------
+# maze: serpentine routing-blocked corridors
+# ----------------------------------------------------------------------
+def _build_maze(rng: np.random.Generator, p: Dict[str, ParamValue]) -> ClockNetworkInstance:
+    size = float(p["die_um"])
+    die = Rect(0.0, 0.0, size, size)
+    walls = int(p["walls"])
+    thickness = float(p["wall_thickness"]) * size
+    opening = float(p["opening"]) * size
+    # Walls sit at pitch size/(walls+1); thicker-than-pitch walls would
+    # overlap each other (and eventually the die edge), so reject the
+    # combination with a parameter-level error instead of letting
+    # instance.validate() fail with a confusing geometry message mid-sweep.
+    pitch_fraction = 1.0 / (walls + 1)
+    if float(p["wall_thickness"]) >= pitch_fraction:
+        raise ValueError(
+            f"scenario maze: wall_thickness={p['wall_thickness']} with "
+            f"walls={walls} leaves no corridor between walls; need "
+            f"wall_thickness < 1/(walls+1) = {pitch_fraction:.4f}"
+        )
+    obstacles = ObstacleSet()
+    # Vertical walls with alternating top/bottom openings: any source-to-far-
+    # corridor route must serpentine, and no buffer may sit on a wall.
+    for index in range(walls):
+        x_center = size * (index + 1) / (walls + 1)
+        xlo, xhi = x_center - thickness / 2.0, x_center + thickness / 2.0
+        if index % 2 == 0:
+            rect = Rect(xlo, die.ylo, xhi, die.yhi - opening)
+        else:
+            rect = Rect(xlo, die.ylo + opening, xhi, die.yhi)
+        obstacles.add(Obstacle(rect=rect, name=f"wall{index}"))
+    sinks = _free_sinks(rng, die, obstacles, int(p["sinks"]), 20.0, 80.0)
+    family = MAZE  # registered below; name resolution only
+    return _finish(
+        family.instance_name(p), die, Point(0.0, size / 2.0), sinks, obstacles
+    )
+
+
+MAZE = register_family(
+    ScenarioFamily(
+        name="maze",
+        description="serpentine blockage walls forcing long obstacle detours",
+        params=(
+            ScenarioParam("sinks", 48, "sink count", minimum=4),
+            ScenarioParam("walls", 5, "number of blockage walls", minimum=1, maximum=64),
+            ScenarioParam("die_um", 8000.0, "square die edge length [um]", minimum=500.0),
+            ScenarioParam(
+                "wall_thickness", 0.06, "wall thickness as a die fraction",
+                minimum=0.005, maximum=0.2,
+            ),
+            ScenarioParam(
+                "opening", 0.18, "corridor opening as a die fraction",
+                minimum=0.05, maximum=0.6,
+            ),
+        ),
+        builder=_build_maze,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# macros: blockage-heavy die with macro-edge clock pins (ISPD'10-style)
+# ----------------------------------------------------------------------
+def _build_macros(rng: np.random.Generator, p: Dict[str, ParamValue]) -> ClockNetworkInstance:
+    size = float(p["die_um"])
+    die = Rect(0.0, 0.0, size, size)
+    macro_side = float(p["macro_size"]) * size
+    obstacles = ObstacleSet()
+    attempts = 0
+    target = int(p["macros"])
+    # Non-overlapping large macros via rejection sampling; a margin keeps a
+    # buffer-legal channel between any two macros.
+    margin = 0.02 * size
+    while len(obstacles) < target and attempts < target * 200:
+        attempts += 1
+        width = macro_side * float(rng.uniform(0.7, 1.3))
+        height = macro_side * float(rng.uniform(0.7, 1.3))
+        width = min(width, 0.45 * size)
+        height = min(height, 0.45 * size)
+        xlo = float(rng.uniform(margin, size - width - margin))
+        ylo = float(rng.uniform(margin + 0.04 * size, size - height - margin))
+        rect = Rect(xlo, ylo, xlo + width, ylo + height)
+        if any(rect.intersects(o.rect.expanded(margin)) for o in obstacles):
+            continue
+        obstacles.add(Obstacle(rect=rect, name=f"macro{len(obstacles)}"))
+
+    total = int(p["sinks"])
+    n_edge = min(int(round(total * float(p["edge_sinks"]))), total)
+    sinks = _free_sinks(rng, die, obstacles, total - n_edge, 20.0, 80.0)
+    macros = list(obstacles)
+    for index in range(n_edge):
+        rect = macros[int(rng.integers(len(macros)))].rect
+        inset = 0.04 * min(rect.width, rect.height)
+        side = int(rng.integers(4))
+        t = float(rng.uniform(0.1, 0.9))
+        # A clock pin just inside the chosen macro edge: buffers cannot reach
+        # it, so the final wire stub must cross the blockage boundary.
+        if side == 0:
+            position = Point(rect.xlo + t * rect.width, rect.ylo + inset)
+        elif side == 1:
+            position = Point(rect.xlo + t * rect.width, rect.yhi - inset)
+        elif side == 2:
+            position = Point(rect.xlo + inset, rect.ylo + t * rect.height)
+        else:
+            position = Point(rect.xhi - inset, rect.ylo + t * rect.height)
+        sinks.append(
+            SinkInstance(
+                name=f"pin_{index}",
+                position=position,
+                capacitance=float(rng.uniform(150.0, 300.0)),
+            )
+        )
+    return _finish(
+        MACROS.instance_name(p), die, Point(size / 2.0, 0.0), sinks, obstacles,
+        cap_limit_factor=2.4,
+    )
+
+
+MACROS = register_family(
+    ScenarioFamily(
+        name="macros",
+        description="large placement blockages with clock pins on macro edges",
+        params=(
+            ScenarioParam("sinks", 60, "total sink count", minimum=4),
+            ScenarioParam("macros", 6, "number of macro blockages", minimum=1, maximum=64),
+            ScenarioParam("die_um", 10000.0, "square die edge length [um]", minimum=500.0),
+            ScenarioParam(
+                "macro_size", 0.22, "nominal macro side as a die fraction",
+                minimum=0.02, maximum=0.45,
+            ),
+            ScenarioParam(
+                "edge_sinks", 0.35, "fraction of sinks placed on macro edges",
+                minimum=0.0, maximum=1.0,
+            ),
+        ),
+        builder=_build_macros,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# strip: high-aspect-ratio die
+# ----------------------------------------------------------------------
+def _build_strip(rng: np.random.Generator, p: Dict[str, ParamValue]) -> ClockNetworkInstance:
+    area_um2 = float(p["area_mm2"]) * 1.0e6
+    aspect = float(p["aspect"])
+    width = (area_um2 * aspect) ** 0.5
+    height = width / aspect
+    die = Rect(0.0, 0.0, width, height)
+    sinks = _free_sinks(rng, die, ObstacleSet(), int(p["sinks"]), 10.0, 40.0, prefix="ff")
+    # Source at the left edge: the far end of the strip is ~aspect times
+    # farther than the near end, maximally stressing latency balancing.
+    return _finish(
+        STRIP.instance_name(p), die, Point(0.0, height / 2.0), sinks, ObstacleSet(),
+        source_resistance=60.0,
+    )
+
+
+STRIP = register_family(
+    ScenarioFamily(
+        name="strip",
+        description="high-aspect-ratio die with a source at the short edge",
+        params=(
+            ScenarioParam("sinks", 64, "sink count", minimum=4),
+            ScenarioParam("aspect", 8.0, "die width / height ratio", minimum=1.0, maximum=64.0),
+            ScenarioParam("area_mm2", 9.0, "die area [mm^2]", minimum=0.01),
+        ),
+        builder=_build_strip,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# banks: clustered register banks
+# ----------------------------------------------------------------------
+def _build_banks(rng: np.random.Generator, p: Dict[str, ParamValue]) -> ClockNetworkInstance:
+    size = float(p["die_um"])
+    die = Rect(0.0, 0.0, size, size)
+    n_clusters = int(p["clusters"])
+    sigma = float(p["tightness"]) * size
+    centers = [
+        Point(
+            float(rng.uniform(0.1 * size, 0.9 * size)),
+            float(rng.uniform(0.1 * size, 0.9 * size)),
+        )
+        for _ in range(n_clusters)
+    ]
+    total = int(p["sinks"])
+    n_outliers = int(round(total * float(p["outliers"])))
+    sinks: List[SinkInstance] = []
+    for index in range(total):
+        if index < total - n_outliers:
+            center = centers[index % n_clusters]  # balanced bank occupancy
+            position = Point(
+                min(max(center.x + float(rng.normal(0.0, sigma)), die.xlo), die.xhi),
+                min(max(center.y + float(rng.normal(0.0, sigma)), die.ylo), die.yhi),
+            )
+        else:
+            position = _uniform_point(rng, die)
+        sinks.append(
+            SinkInstance(
+                name=f"reg_{index}",
+                position=position,
+                capacitance=float(rng.uniform(5.0, 20.0)),
+            )
+        )
+    return _finish(
+        BANKS.instance_name(p), die, Point(size / 2.0, 0.0), sinks, ObstacleSet(),
+        source_resistance=60.0,
+    )
+
+
+BANKS = register_family(
+    ScenarioFamily(
+        name="banks",
+        description="dense register banks with tunable cluster count/tightness",
+        params=(
+            ScenarioParam("sinks", 80, "sink count", minimum=4),
+            ScenarioParam("clusters", 8, "register-bank count", minimum=1, maximum=256),
+            ScenarioParam(
+                "tightness", 0.02, "bank spread (sigma) as a die fraction",
+                minimum=0.001, maximum=0.3,
+            ),
+            ScenarioParam(
+                "outliers", 0.1, "fraction of sinks scattered outside the banks",
+                minimum=0.0, maximum=1.0,
+            ),
+            ScenarioParam("die_um", 6000.0, "square die edge length [um]", minimum=500.0),
+        ),
+        builder=_build_banks,
+    )
+)

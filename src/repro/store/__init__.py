@@ -1,0 +1,35 @@
+"""Persistent result store: append-only JSONL runs plus query/diff helpers.
+
+``repro sweep`` streams every completed job into a :class:`RunStore`;
+``repro compare`` diffs two store selections into a per-scenario delta table.
+Runs are keyed by content-addressed fingerprints (see
+:mod:`repro.store.fingerprint`), so "did anything about this computation
+change?" is one hash comparison.
+"""
+
+from repro.store.compare import (
+    COMPARE_COLUMNS,
+    CompareTolerances,
+    ComparisonResult,
+    ComparisonRow,
+    compare_rows,
+    diff_records,
+    record_key,
+)
+from repro.store.fingerprint import canonical_json, config_digest, job_fingerprint
+from repro.store.store import STORE_SCHEMA_VERSION, RunStore
+
+__all__ = [
+    "COMPARE_COLUMNS",
+    "CompareTolerances",
+    "ComparisonResult",
+    "ComparisonRow",
+    "RunStore",
+    "STORE_SCHEMA_VERSION",
+    "canonical_json",
+    "compare_rows",
+    "config_digest",
+    "diff_records",
+    "job_fingerprint",
+    "record_key",
+]

@@ -1,0 +1,190 @@
+"""Diff two run-store selections: per-scenario metric deltas and regressions.
+
+Records are matched by their *job key* -- (instance spec, flow, engine,
+pipeline, seed) -- so a baseline store captured last week lines up with a
+fresh sweep of the same matrix even though fingerprints and timestamps
+differ.  A matched pair regresses when the candidate's skew or CLR exceeds
+the baseline by more than the tolerance (evaluation count optionally gated
+too); fingerprint changes are reported separately, because "same metrics,
+different computation" is exactly what a silent generator or config drift
+looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CompareTolerances",
+    "ComparisonRow",
+    "ComparisonResult",
+    "record_key",
+    "diff_records",
+    "COMPARE_COLUMNS",
+    "compare_rows",
+]
+
+
+def record_key(record: Dict) -> Tuple:
+    """The identity of a job across stores (content fingerprints excluded)."""
+    pipeline = record.get("pipeline")
+    return (
+        record.get("instance"),
+        record.get("flow"),
+        record.get("engine"),
+        tuple(pipeline) if pipeline else None,
+        record.get("seed"),
+    )
+
+
+@dataclass(frozen=True)
+class CompareTolerances:
+    """Regression thresholds: candidate-minus-baseline increases above these flag."""
+
+    skew_ps: float = 0.05
+    clr_ps: float = 0.05
+    #: ``None`` disables the evaluation-count gate (wall-clock never gates).
+    evaluations: Optional[int] = None
+
+
+@dataclass
+class ComparisonRow:
+    """One matched (baseline, candidate) record pair with its deltas."""
+
+    instance: str
+    flow: str
+    engine: str
+    baseline: Dict
+    candidate: Dict
+    d_skew_ps: float
+    d_clr_ps: float
+    d_evaluations: int
+    d_wall_clock_s: float
+    regressed: bool
+    fingerprint_changed: bool
+
+
+@dataclass
+class ComparisonResult:
+    """The full diff: matched rows plus the jobs present on only one side."""
+
+    rows: List[ComparisonRow] = field(default_factory=list)
+    only_baseline: List[Dict] = field(default_factory=list)
+    only_candidate: List[Dict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return [row for row in self.rows if row.regressed]
+
+
+def _metric(record: Dict, key: str) -> float:
+    return float(record.get("summary", {}).get(key) or 0.0)
+
+
+def diff_records(
+    baseline: Sequence[Dict],
+    candidate: Sequence[Dict],
+    tolerances: CompareTolerances = CompareTolerances(),
+) -> ComparisonResult:
+    """Match ``candidate`` records against ``baseline`` by job key and diff.
+
+    Error records (no ``summary``) are never matched; duplicate keys keep the
+    *last* record of each side, i.e. the most recent append wins.
+    """
+    def index(records: Sequence[Dict]) -> Dict[Tuple, Dict]:
+        return {
+            record_key(record): record
+            for record in records
+            if "summary" in record
+        }
+
+    base_index = index(baseline)
+    cand_index = index(candidate)
+    result = ComparisonResult()
+    for key, base in base_index.items():
+        cand = cand_index.get(key)
+        if cand is None:
+            result.only_baseline.append(base)
+            continue
+        d_skew = _metric(cand, "skew_ps") - _metric(base, "skew_ps")
+        d_clr = _metric(cand, "clr_ps") - _metric(base, "clr_ps")
+        d_evals = int(_metric(cand, "evaluations") - _metric(base, "evaluations"))
+        d_wall = float(cand.get("wall_clock_s") or 0.0) - float(
+            base.get("wall_clock_s") or 0.0
+        )
+        regressed = d_skew > tolerances.skew_ps or d_clr > tolerances.clr_ps
+        if tolerances.evaluations is not None:
+            regressed = regressed or d_evals > tolerances.evaluations
+        result.rows.append(
+            ComparisonRow(
+                instance=str(base.get("instance")),
+                flow=str(base.get("flow")),
+                engine=str(base.get("engine")),
+                baseline=base,
+                candidate=cand,
+                d_skew_ps=d_skew,
+                d_clr_ps=d_clr,
+                d_evaluations=d_evals,
+                d_wall_clock_s=d_wall,
+                regressed=regressed,
+                fingerprint_changed=(
+                    base.get("fingerprint") != cand.get("fingerprint")
+                    or base.get("fingerprint") is None
+                ),
+            )
+        )
+    for key, cand in cand_index.items():
+        if key not in base_index:
+            result.only_candidate.append(cand)
+    return result
+
+
+#: Delta-table columns, consumable by :func:`repro.runner.render_table`.
+COMPARE_COLUMNS = (
+    ("instance", "instance", "s"),
+    ("flow", "flow", "s"),
+    ("engine", "engine", "s"),
+    ("base_skew_ps", "base skew", ".2f"),
+    ("cand_skew_ps", "cand skew", ".2f"),
+    ("d_skew_ps", "d skew[ps]", "+.2f"),
+    ("base_clr_ps", "base CLR", ".2f"),
+    ("cand_clr_ps", "cand CLR", ".2f"),
+    ("d_clr_ps", "d CLR[ps]", "+.2f"),
+    ("d_evaluations", "d evals", "+d"),
+    ("d_wall_clock_s", "d t[s]", "+.2f"),
+    ("flag", "flag", "s"),
+)
+
+
+def compare_rows(result: ComparisonResult) -> List[Dict]:
+    """Flatten a :class:`ComparisonResult` into :data:`COMPARE_COLUMNS` rows.
+
+    The ``flag`` column highlights regressions (``REG``) and, separately,
+    matched jobs whose content fingerprints differ (``fp!``) -- the metrics
+    may agree while the computation changed.
+    """
+    rows: List[Dict] = []
+    for row in result.rows:
+        flags = []
+        if row.regressed:
+            flags.append("REG")
+        if row.fingerprint_changed:
+            flags.append("fp!")
+        rows.append(
+            {
+                "instance": row.instance,
+                "flow": row.flow,
+                "engine": row.engine,
+                "base_skew_ps": _metric(row.baseline, "skew_ps"),
+                "cand_skew_ps": _metric(row.candidate, "skew_ps"),
+                "d_skew_ps": row.d_skew_ps,
+                "base_clr_ps": _metric(row.baseline, "clr_ps"),
+                "cand_clr_ps": _metric(row.candidate, "clr_ps"),
+                "d_clr_ps": row.d_clr_ps,
+                "d_evaluations": row.d_evaluations,
+                "d_wall_clock_s": row.d_wall_clock_s,
+                "flag": " ".join(flags),
+            }
+        )
+    return rows

@@ -1,0 +1,142 @@
+"""Append-only persistent run store (one JSONL line per completed job).
+
+Layout: a store is a directory holding ``runs.jsonl``; every line is one
+envelope::
+
+    {"schema": 1, "run_id": "...", "recorded_at": "...Z",
+     "fingerprint": "<sha256>", "record": {<runner job record>}}
+
+Appending never rewrites existing lines, so concurrent sweeps from one
+process are safe and the file is a faithful experiment log -- ``repro
+compare`` and the query helpers select slices of it by run id and job axes.
+The schema version is per line; readers reject lines from a *newer* schema
+rather than misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["STORE_SCHEMA_VERSION", "RunStore"]
+
+STORE_SCHEMA_VERSION = 1
+
+
+class RunStore:
+    """An append-only JSONL store of runner job records under one directory."""
+
+    FILENAME = "runs.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    @staticmethod
+    def check_run_id(run_id: str) -> str:
+        """Validate a run id (callers use this up front, before long batches).
+
+        ``@`` is the compare-selection separator and ``all`` its select-
+        everything keyword, so neither can name a run -- it would be stored
+        fine but unaddressable (or mis-addressed) by ``repro compare``.
+        """
+        if not run_id or any(c.isspace() for c in run_id):
+            raise ValueError(
+                f"run_id must be non-empty and whitespace-free, got {run_id!r}"
+            )
+        if "@" in run_id or run_id == "all":
+            raise ValueError(
+                f"run_id {run_id!r} is not addressable by STORE[@RUN_ID] "
+                "selections ('@' and the literal 'all' are reserved)"
+            )
+        return run_id
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Dict, run_id: str) -> Dict:
+        """Append one job record under ``run_id``; returns the stored envelope.
+
+        The record is expected to carry its own ``fingerprint`` (the runner
+        computes it from the resolved instance content and config); records
+        without one -- e.g. error records -- are stored with ``null``.
+        """
+        self.check_run_id(run_id)
+        envelope = {
+            "schema": STORE_SCHEMA_VERSION,
+            "run_id": run_id,
+            "recorded_at": datetime.now(timezone.utc).isoformat(),
+            "fingerprint": record.get("fingerprint"),
+            "record": record,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(envelope, sort_keys=True) + "\n")
+        return envelope
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(
+        self,
+        run_id: Optional[str] = None,
+        instance: Optional[str] = None,
+        flow: Optional[str] = None,
+        engine: Optional[str] = None,
+    ) -> List[Dict]:
+        """Stored envelopes, in append order, filtered by the given axes."""
+        if not self.path.exists():
+            return []
+        selected: List[Dict] = []
+        for line_number, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if not line.strip():
+                continue
+            try:
+                envelope = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{self.path}:{line_number}: corrupt store line: {exc}") from exc
+            schema = envelope.get("schema")
+            if not isinstance(schema, int) or schema > STORE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path}:{line_number}: schema {schema!r} is newer than "
+                    f"supported version {STORE_SCHEMA_VERSION}"
+                )
+            record = envelope.get("record", {})
+            if run_id is not None and envelope.get("run_id") != run_id:
+                continue
+            if instance is not None and record.get("instance") != instance:
+                continue
+            if flow is not None and record.get("flow") != flow:
+                continue
+            if engine is not None and record.get("engine") != engine:
+                continue
+            selected.append(envelope)
+        return selected
+
+    def records(self, **filters) -> List[Dict]:
+        """The job-record payloads of :meth:`entries` (same filters)."""
+        return [envelope["record"] for envelope in self.entries(**filters)]
+
+    def run_ids(self) -> List[str]:
+        """Distinct run ids in first-appended order."""
+        seen: List[str] = []
+        for envelope in self.entries():
+            run_id = envelope["run_id"]
+            if run_id not in seen:
+                seen.append(run_id)
+        return seen
+
+    def latest_run_id(self) -> Optional[str]:
+        """The most recently started run id (``None`` for an empty store)."""
+        ids = self.run_ids()
+        return ids[-1] if ids else None

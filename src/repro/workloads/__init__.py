@@ -15,7 +15,12 @@ from repro.workloads.ispd09 import (
     generate_all_ispd09_benchmarks,
 )
 from repro.workloads.ti import TIBenchmarkSpec, generate_ti_benchmark, TI_SINK_COUNTS
-from repro.workloads.format import read_instance, write_instance
+from repro.workloads.format import (
+    instance_fingerprint,
+    instance_lines,
+    read_instance,
+    write_instance,
+)
 
 __all__ = [
     "ISPD09BenchmarkSpec",
@@ -25,6 +30,8 @@ __all__ = [
     "TIBenchmarkSpec",
     "generate_ti_benchmark",
     "TI_SINK_COUNTS",
+    "instance_fingerprint",
+    "instance_lines",
     "read_instance",
     "write_instance",
 ]

@@ -19,10 +19,18 @@ generated instances can be inspected, stored and reloaded:
 
 Unknown keywords raise an error rather than being silently skipped, so format
 drift is caught early.
+
+Serialization is *canonical*: :func:`instance_lines` always emits the same
+text for equal instances, so :func:`instance_fingerprint` (a SHA-256 of that
+text) is a stable content address -- the scenario registry, the run store and
+the golden fingerprint tests all key on it.  The write -> read round trip is
+bit-exact, including buffer names containing spaces (escaped as ``%20``) and
+instances without a capacitance limit (the ``cap_limit`` line is omitted).
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -34,13 +42,32 @@ from repro.geometry.obstacles import Obstacle, ObstacleSet
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
-__all__ = ["write_instance", "read_instance"]
+__all__ = [
+    "instance_lines",
+    "instance_fingerprint",
+    "write_instance",
+    "read_instance",
+]
 
 
-def write_instance(instance: ClockNetworkInstance, path: Union[str, Path]) -> None:
-    """Serialize ``instance`` to the text format described in the module docstring."""
+def _escape_name(name: str) -> str:
+    """Whitespace-free encoding of a token; inverse of :func:`_unescape_name`.
+
+    The format is whitespace-split, so spaces inside names (composite buffer
+    types like ``"2X INV_S"``) must be escaped.  Percent-encoding keeps the
+    common underscore-bearing names (``INV_L``) byte-identical, unlike the
+    historical space<->underscore swap which silently corrupted them.
+    """
+    return name.replace("%", "%25").replace(" ", "%20")
+
+
+def _unescape_name(token: str) -> str:
+    return token.replace("%20", " ").replace("%25", "%")
+
+
+def instance_lines(instance: ClockNetworkInstance) -> List[str]:
+    """The canonical record lines of ``instance`` (no comments, no newline)."""
     lines: List[str] = [
-        "# clock-network instance (ISPD'09 CNS-style dialect)",
         f"name {instance.name}",
         f"die {instance.die.xlo} {instance.die.ylo} {instance.die.xhi} {instance.die.yhi}",
         f"source {instance.source.x} {instance.source.y} {instance.source_resistance}",
@@ -55,7 +82,7 @@ def write_instance(instance: ClockNetworkInstance, path: Union[str, Path]) -> No
     for buffer in instance.buffer_library:
         lines.append(
             "buffer "
-            f"{buffer.name.replace(' ', '_')} {buffer.input_cap} {buffer.output_cap} "
+            f"{_escape_name(buffer.name)} {buffer.input_cap} {buffer.output_cap} "
             f"{buffer.output_res} {buffer.intrinsic_delay} {1 if buffer.inverting else 0}"
         )
     for sink in instance.sinks:
@@ -68,6 +95,25 @@ def write_instance(instance: ClockNetworkInstance, path: Union[str, Path]) -> No
         lines.append(
             f"obstacle {obstacle.name or 'blk'} {rect.xlo} {rect.ylo} {rect.xhi} {rect.yhi}"
         )
+    return lines
+
+
+def instance_fingerprint(instance: ClockNetworkInstance) -> str:
+    """Content-addressed SHA-256 hex digest of the canonical serialization.
+
+    Two instances fingerprint equal iff they serialize to the same records,
+    which (floats round-tripping exactly through ``repr``) means equal
+    geometry, libraries and limits.  Used by the scenario determinism tests
+    and as the instance component of the run store's job fingerprints.
+    """
+    text = "\n".join(instance_lines(instance)) + "\n"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_instance(instance: ClockNetworkInstance, path: Union[str, Path]) -> None:
+    """Serialize ``instance`` to the text format described in the module docstring."""
+    lines = ["# clock-network instance (ISPD'09 CNS-style dialect)"]
+    lines.extend(instance_lines(instance))
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
@@ -113,7 +159,7 @@ def read_instance(path: Union[str, Path]) -> ClockNetworkInstance:
             elif keyword == "buffer":
                 buffers.append(
                     BufferType(
-                        name=args[0].replace("_", " "),
+                        name=_unescape_name(args[0]),
                         input_cap=float(args[1]),
                         output_cap=float(args[2]),
                         output_res=float(args[3]),

@@ -9,15 +9,18 @@ capacitance budget.  Sink locations mix uniformly scattered flip-flops with a
 few dense clusters (register banks) and a handful of macro clock pins placed
 on blockages, which is the sink structure the contest chips exhibit.
 
-All generation is deterministic given the spec's seed, so tests and
-benchmarks are reproducible.
+All generation is deterministic given the spec's seed: the random stream is a
+:mod:`repro.seeding` generator derived from ``(seed, "ispd09")``, the same
+derivation the scenario families use, so generated-instance fingerprints are
+pinned by ``tests/golden/instance_fingerprints.json``.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.cts.bufferlib import ispd09_buffer_library
 from repro.cts.spec import ClockNetworkInstance
@@ -26,12 +29,14 @@ from repro.cts.wirelib import ispd09_wire_library
 from repro.geometry.obstacles import Obstacle, ObstacleSet
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.seeding import derive_rng
 
 __all__ = [
     "ISPD09BenchmarkSpec",
     "ISPD09_BENCHMARKS",
     "generate_ispd09_benchmark",
     "generate_all_ispd09_benchmarks",
+    "capacitance_budget",
 ]
 
 
@@ -100,12 +105,12 @@ def generate_ispd09_benchmark(
     if sink_scale is not None:
         spec = spec.scaled(sink_scale)
 
-    rng = random.Random(spec.seed)
+    rng = derive_rng(spec.seed, "ispd09")
     die = Rect(0.0, 0.0, spec.die_width, spec.die_height)
     obstacles = _generate_obstacles(rng, die, spec.obstacle_count)
     sinks = _generate_sinks(rng, die, obstacles, spec)
     source = Point(spec.die_width / 2.0, 0.0)
-    cap_limit = _capacitance_budget(spec, die, sinks)
+    cap_limit = capacitance_budget(die, sinks, spec.cap_limit_factor)
 
     instance = ClockNetworkInstance(
         name=spec.name,
@@ -134,21 +139,21 @@ def generate_all_ispd09_benchmarks(
 
 
 # ----------------------------------------------------------------------
-def _generate_obstacles(rng: random.Random, die: Rect, count: int) -> ObstacleSet:
+def _generate_obstacles(rng: np.random.Generator, die: Rect, count: int) -> ObstacleSet:
     """Random macro blockages: mostly free-standing, some abutting pairs."""
     obstacles = ObstacleSet()
     attempts = 0
     while len(obstacles) < count and attempts < count * 60:
         attempts += 1
-        width = rng.uniform(0.04, 0.16) * die.width
-        height = rng.uniform(0.04, 0.16) * die.height
-        xlo = rng.uniform(die.xlo + 0.02 * die.width, die.xhi - width - 0.02 * die.width)
-        ylo = rng.uniform(die.ylo + 0.05 * die.height, die.yhi - height - 0.02 * die.height)
+        width = float(rng.uniform(0.04, 0.16)) * die.width
+        height = float(rng.uniform(0.04, 0.16)) * die.height
+        xlo = float(rng.uniform(die.xlo + 0.02 * die.width, die.xhi - width - 0.02 * die.width))
+        ylo = float(rng.uniform(die.ylo + 0.05 * die.height, die.yhi - height - 0.02 * die.height))
         rect = Rect(xlo, ylo, xlo + width, ylo + height)
         if any(rect.intersects(o.rect.expanded(0.01 * die.width)) for o in obstacles):
             # Occasionally keep an abutting macro to exercise compound-obstacle
             # handling; otherwise retry for a free-standing location.
-            if rng.random() > 0.15:
+            if float(rng.random()) > 0.15:
                 continue
             if not die.contains_rect(rect):
                 continue
@@ -157,7 +162,7 @@ def _generate_obstacles(rng: random.Random, die: Rect, count: int) -> ObstacleSe
 
 
 def _generate_sinks(
-    rng: random.Random,
+    rng: np.random.Generator,
     die: Rect,
     obstacles: ObstacleSet,
     spec: ISPD09BenchmarkSpec,
@@ -166,8 +171,8 @@ def _generate_sinks(
     cluster_count = max(2, spec.sink_count // 40)
     clusters = [
         Point(
-            rng.uniform(die.xlo + 0.1 * die.width, die.xhi - 0.1 * die.width),
-            rng.uniform(die.ylo + 0.1 * die.height, die.yhi - 0.1 * die.height),
+            float(rng.uniform(die.xlo + 0.1 * die.width, die.xhi - 0.1 * die.width)),
+            float(rng.uniform(die.ylo + 0.1 * die.height, die.yhi - 0.1 * die.height)),
         )
         for _ in range(cluster_count)
     ]
@@ -175,16 +180,17 @@ def _generate_sinks(
     n_regular = spec.sink_count - n_macro
 
     for index in range(n_regular):
-        if rng.random() < spec.cluster_fraction and clusters:
-            center = rng.choice(clusters)
+        if float(rng.random()) < spec.cluster_fraction and clusters:
+            center = clusters[int(rng.integers(len(clusters)))]
             radius = 0.05 * min(die.width, die.height)
             position = Point(
-                min(max(center.x + rng.gauss(0.0, radius), die.xlo), die.xhi),
-                min(max(center.y + rng.gauss(0.0, radius), die.ylo), die.yhi),
+                min(max(center.x + float(rng.normal(0.0, radius)), die.xlo), die.xhi),
+                min(max(center.y + float(rng.normal(0.0, radius)), die.ylo), die.yhi),
             )
         else:
             position = Point(
-                rng.uniform(die.xlo, die.xhi), rng.uniform(die.ylo, die.yhi)
+                float(rng.uniform(die.xlo, die.xhi)),
+                float(rng.uniform(die.ylo, die.yhi)),
             )
         # Keep ordinary flip-flop sinks off the blockages; macro pins are
         # added separately below.
@@ -194,7 +200,7 @@ def _generate_sinks(
             SinkInstance(
                 name=f"sink_{index}",
                 position=position,
-                capacitance=rng.uniform(*spec.sink_cap_range),
+                capacitance=float(rng.uniform(*spec.sink_cap_range)),
             )
         )
 
@@ -209,26 +215,24 @@ def _generate_sinks(
             SinkInstance(
                 name=f"macro_sink_{index}",
                 position=position,
-                capacitance=rng.uniform(*spec.macro_cap_range),
+                capacitance=float(rng.uniform(*spec.macro_cap_range)),
             )
         )
     return sinks
 
 
-def _capacitance_budget(
-    spec: ISPD09BenchmarkSpec, die: Rect, sinks: List[SinkInstance]
-) -> float:
-    """Synthetic total-capacitance limit.
+def capacitance_budget(die: Rect, sinks: List[SinkInstance], factor: float) -> float:
+    """Synthetic total-capacitance limit (shared with the scenario families).
 
     The contest published a per-benchmark limit; here it is derived from a
     Steiner-length estimate of the wiring (``~1.2 * sqrt(n * A)`` for n sinks
-    on area A), the sink pins, and a buffering allowance, scaled by the spec's
-    ``cap_limit_factor``.  Contango's flow reserves 10% of whatever budget it
-    is given, so only the relative sizing matters for reproducing behaviour.
+    on area A), the sink pins, and a buffering allowance, scaled by
+    ``factor``.  Contango's flow reserves 10% of whatever budget it is given,
+    so only the relative sizing matters for reproducing behaviour.
     """
     wire = ispd09_wire_library().widest
     steiner_estimate = 1.2 * (len(sinks) * die.area) ** 0.5
     wire_cap = wire.capacitance(steiner_estimate)
     sink_cap = sum(s.capacitance for s in sinks)
     buffer_allowance = 60.0 * len(sinks)
-    return spec.cap_limit_factor * (wire_cap + sink_cap + buffer_allowance)
+    return factor * (wire_cap + sink_cap + buffer_allowance)

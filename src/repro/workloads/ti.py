@@ -13,9 +13,10 @@ picoseconds, slowly growing evaluation counts).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.seeding import derive_rng
 
 from repro.cts.bufferlib import ispd09_buffer_library
 from repro.cts.spec import ClockNetworkInstance
@@ -57,39 +58,41 @@ def generate_ti_benchmark(
 ) -> ClockNetworkInstance:
     """Generate a TI-style instance with ``sink_count`` sampled sinks."""
     spec = spec or TIBenchmarkSpec(sink_count=sink_count, seed=seed)
-    # Instance generation keeps its own legacy seed mixing on purpose: the
-    # (seed, sink_count) pair *defines* the benchmark instance, and golden
-    # files pin networks generated this way.  Stochastic *evaluation* (Monte
-    # Carlo sampling, gates) derives from repro.seeding instead, so changing
-    # an evaluation seed can never silently change the instance under test.
-    rng = random.Random(spec.seed * 100003 + spec.sink_count)
+    # The (seed, sink_count) pair *defines* the benchmark instance, so both
+    # feed the seed derivation: repro.seeding mixes them through a
+    # SeedSequence (no ad-hoc seed arithmetic), and the generated-instance
+    # fingerprints are pinned by tests/golden/instance_fingerprints.json.
+    # Stochastic *evaluation* (Monte Carlo sampling, gates) derives from
+    # different keys, so changing an evaluation seed can never silently
+    # change the instance under test.
+    rng = derive_rng(spec.seed, "ti", spec.sink_count)
     die = Rect(0.0, 0.0, spec.die_width, spec.die_height)
 
     # Register clusters: each cluster is a small block of placement rows.
     clusters = []
     for _ in range(spec.cluster_count):
-        cx = rng.uniform(0.05 * spec.die_width, 0.95 * spec.die_width)
-        cy = rng.uniform(0.05 * spec.die_height, 0.95 * spec.die_height)
-        width = rng.uniform(0.03, 0.12) * spec.die_width
-        height = rng.uniform(0.03, 0.12) * spec.die_height
+        cx = float(rng.uniform(0.05 * spec.die_width, 0.95 * spec.die_width))
+        cy = float(rng.uniform(0.05 * spec.die_height, 0.95 * spec.die_height))
+        width = float(rng.uniform(0.03, 0.12)) * spec.die_width
+        height = float(rng.uniform(0.03, 0.12)) * spec.die_height
         clusters.append((cx, cy, width, height))
 
     sinks: List[SinkInstance] = []
     for index in range(spec.sink_count):
-        if rng.random() < 0.75:
-            cx, cy, width, height = rng.choice(clusters)
-            x = min(max(cx + rng.uniform(-width, width) / 2.0, die.xlo), die.xhi)
-            raw_y = cy + rng.uniform(-height, height) / 2.0
+        if float(rng.random()) < 0.75:
+            cx, cy, width, height = clusters[int(rng.integers(len(clusters)))]
+            x = min(max(cx + float(rng.uniform(-width, width)) / 2.0, die.xlo), die.xhi)
+            raw_y = cy + float(rng.uniform(-height, height)) / 2.0
         else:
-            x = rng.uniform(die.xlo, die.xhi)
-            raw_y = rng.uniform(die.ylo, die.yhi)
+            x = float(rng.uniform(die.xlo, die.xhi))
+            raw_y = float(rng.uniform(die.ylo, die.yhi))
         # Snap to the placement-row grid, like standard-cell flip-flops.
         y = min(max(round(raw_y / spec.row_pitch) * spec.row_pitch, die.ylo), die.yhi)
         sinks.append(
             SinkInstance(
                 name=f"ff_{index}",
                 position=Point(x, y),
-                capacitance=rng.uniform(*spec.sink_cap_range),
+                capacitance=float(rng.uniform(*spec.sink_cap_range)),
             )
         )
 

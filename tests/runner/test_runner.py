@@ -9,9 +9,11 @@ from repro.cli import main
 from repro.runner import (
     BatchRunner,
     JobSpec,
+    McJobSpec,
     available_flows,
     resolve_instance,
     run_job,
+    sanitize_spec,
     table_iii,
     table_iv,
 )
@@ -22,6 +24,30 @@ class TestJobSpec:
         spec = JobSpec(instance="ispd09:ispd09f22:0.1", flow="contango", engine="elmore")
         assert ":" not in spec.label
         assert "/" not in spec.label
+
+    def test_sanitizer_preserves_separators(self):
+        # Stripping ':' outright mapped ti:200 and ti2:00 to the same label,
+        # so one job's result file silently overwrote the other's.
+        assert sanitize_spec("ti:200") != sanitize_spec("ti2:00")
+        assert JobSpec(instance="ti:200").label != JobSpec(instance="ti2:00").label
+        assert (
+            McJobSpec(instance="ti:200").label != McJobSpec(instance="ti2:00").label
+        )
+
+    def test_sanitizer_is_injective_over_replacement_characters(self):
+        # Literal '-', '_' and '%' must not collide with the ':' / '/'
+        # replacements; the reserved set is percent-escaped first.
+        specs = ["file:a_b", "file:a/b", "file:a-b", "file:a:b", "file:a%b"]
+        labels = {sanitize_spec(spec) for spec in specs}
+        assert len(labels) == len(specs)
+        for label in labels:
+            assert ":" not in label and "/" not in label
+
+    def test_scenario_labels_distinct_and_safe(self):
+        a = JobSpec(instance="scenario:maze:sinks=16")
+        b = JobSpec(instance="scenario:maze:sinks=1,walls=6")
+        assert a.label != b.label
+        assert ":" not in a.label and "/" not in a.label
 
     def test_resolve_ti_instance(self):
         instance = resolve_instance(JobSpec(instance="ti:40"))

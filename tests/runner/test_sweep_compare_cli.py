@@ -1,0 +1,194 @@
+"""End-to-end tests for ``repro sweep`` and ``repro compare``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import RunStore
+
+
+def run_sweep(tmp_path, run_id, extra=()):
+    return main(
+        [
+            "sweep",
+            "--family", "banks",
+            "--set", "sinks=16",
+            "--sweep", "clusters=2,4",
+            "--instance", "ti:20",
+            "--engine", "elmore",
+            "--store", str(tmp_path / "store"),
+            "--run-id", run_id,
+            *extra,
+        ]
+    )
+
+
+class TestSweep:
+    def test_sweep_streams_into_store(self, tmp_path, capsys):
+        assert run_sweep(tmp_path, "base") == 0
+        store = RunStore(tmp_path / "store")
+        records = store.records(run_id="base")
+        assert [r["instance"] for r in records] == [
+            "scenario:banks:clusters=2,sinks=16",
+            "scenario:banks:clusters=4,sinks=16",
+            "ti:20",
+        ]
+        assert all(r["fingerprint"] for r in records)
+        printed = capsys.readouterr().out
+        assert "stored 3 record(s) under run id 'base'" in printed
+        assert "CLR[ps]" in printed
+
+    def test_sweep_appends_across_runs(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        run_sweep(tmp_path, "cand")
+        store = RunStore(tmp_path / "store")
+        assert store.run_ids() == ["base", "cand"]
+        assert len(store) == 6
+
+    def test_sweep_requires_store_and_target(self, tmp_path, capsys):
+        assert main(["sweep", "--family", "banks"]) == 2
+        assert "--store" in capsys.readouterr().err
+        assert main(["sweep", "--store", str(tmp_path)]) == 2
+        assert "--family" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_family_and_params(self, tmp_path, capsys):
+        args = ["sweep", "--store", str(tmp_path)]
+        assert main(args + ["--family", "nope"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+        assert main(args + ["--family", "banks", "--sweep", "frobs=1,2"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+        assert main(args + ["--family", "banks", "--set", "sinks"]) == 2
+        assert "K=V" in capsys.readouterr().err
+
+    def test_bad_run_id_fails_fast_before_any_job_runs(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--family", "banks", "--set", "sinks=16",
+             "--store", str(tmp_path / "s"), "--run-id", "nightly run"]
+        )
+        assert code == 2
+        assert "run_id" in capsys.readouterr().err
+        assert not (tmp_path / "s").exists()  # nothing synthesized or stored
+
+    def test_set_and_sweep_conflict_rejected(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--family", "banks", "--set", "clusters=4",
+             "--sweep", "clusters=8,16", "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "both fixed and swept" in capsys.readouterr().err
+
+    def test_list_families_standalone(self, capsys):
+        assert main(["sweep", "--list-families"]) == 0
+        printed = capsys.readouterr().out
+        for name in ("maze", "macros", "strip", "banks"):
+            assert name in printed
+        assert "sinks" in printed
+
+    def test_failed_job_still_stored_and_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--instance", "nope:1", "--store", str(tmp_path / "s"),
+             "--run-id", "r"]
+        )
+        assert code == 1
+        (record,) = RunStore(tmp_path / "s").records()
+        assert "error" in record
+
+
+class TestCompare:
+    def test_identical_runs_compare_clean(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        run_sweep(tmp_path, "cand")
+        capsys.readouterr()
+        store = str(tmp_path / "store")
+        code = main(
+            ["compare", f"{store}@base", f"{store}@cand", "--fail-on-regression"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "3 matched job(s), 0 regression(s)" in printed
+        assert "d skew[ps]" in printed
+
+    def test_default_selection_is_latest_run(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        run_sweep(tmp_path, "cand")
+        capsys.readouterr()
+        store = str(tmp_path / "store")
+        assert main(["compare", f"{store}@base", store]) == 0
+        assert "3 matched job(s)" in capsys.readouterr().out
+
+    def test_regression_detected_and_gated(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        store = RunStore(tmp_path / "store")
+        for envelope in store.entries(run_id="base"):
+            record = dict(envelope["record"])
+            record["summary"] = dict(record["summary"])
+            record["summary"]["skew_ps"] += 5.0
+            store.append(record, run_id="worse")
+        capsys.readouterr()
+        path = str(tmp_path / "store")
+        code = main(
+            ["compare", f"{path}@base", f"{path}@worse", "--fail-on-regression"]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "3 regression(s)" in out.out
+        assert "REGRESSION" in out.err
+        # Without the gate the same diff only reports.
+        assert main(["compare", f"{path}@base", f"{path}@worse"]) == 0
+
+    def test_store_path_containing_at_sign_is_addressable(self, tmp_path, capsys):
+        at_dir = tmp_path / "artifacts@v2"
+        code = main(
+            ["sweep", "--instance", "ti:16", "--engine", "elmore",
+             "--store", str(at_dir / "store"), "--run-id", "base"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # Bare path (run id defaults to latest) and explicit @RUN_ID both work.
+        assert main(["compare", str(at_dir / "store"), f"{at_dir / 'store'}@base"]) == 0
+        assert "1 matched job(s)" in capsys.readouterr().out
+
+    def test_missing_store_or_run_errors_clearly(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        store = str(tmp_path / "store")
+        assert main(["compare", store, str(tmp_path / "missing")]) == 2
+        assert "no run store" in capsys.readouterr().err
+        assert main(["compare", f"{store}@nope", store]) == 2
+        assert "matches nothing" in capsys.readouterr().err
+
+    def test_missing_baseline_jobs_fail_the_gate(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        # Candidate re-validates only a subset of the baseline matrix.
+        code = main(
+            ["sweep", "--instance", "ti:20", "--engine", "elmore",
+             "--store", str(tmp_path / "store"), "--run-id", "partial"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        store = str(tmp_path / "store")
+        code = main(
+            ["compare", f"{store}@base", f"{store}@partial", "--fail-on-regression"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "missing from the candidate" in err
+        assert "scenario:banks" in err
+        # Without the gate the partial diff still renders and exits 0.
+        assert main(["compare", f"{store}@base", f"{store}@partial"]) == 0
+
+    def test_empty_overlap_fails_the_gate(self, tmp_path, capsys):
+        run_sweep(tmp_path, "base")
+        other = RunStore(tmp_path / "other")
+        other.append(
+            {"instance": "ti:999", "flow": "contango", "engine": "elmore",
+             "summary": {"skew_ps": 1.0, "clr_ps": 1.0, "evaluations": 1},
+             "fingerprint": "x"},
+            run_id="r",
+        )
+        code = main(
+            ["compare", str(tmp_path / "store"), str(tmp_path / "other"),
+             "--fail-on-regression"]
+        )
+        assert code == 1
+        assert "no matched jobs" in capsys.readouterr().err

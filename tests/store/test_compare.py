@@ -1,0 +1,122 @@
+"""Tests for run diffing and regression detection (repro.store.compare)."""
+
+import pytest
+
+from repro.runner import render_table
+from repro.store import (
+    COMPARE_COLUMNS,
+    CompareTolerances,
+    compare_rows,
+    diff_records,
+    record_key,
+)
+
+
+def record(instance="ti:30", flow="contango", engine="elmore", skew=1.0, clr=2.0,
+           evals=10, wall=0.1, fingerprint="fp", pipeline=None, seed=None):
+    return {
+        "instance": instance,
+        "flow": flow,
+        "engine": engine,
+        "pipeline": pipeline,
+        "seed": seed,
+        "fingerprint": fingerprint,
+        "summary": {"skew_ps": skew, "clr_ps": clr, "evaluations": evals},
+        "wall_clock_s": wall,
+    }
+
+
+class TestRecordKey:
+    def test_key_ignores_fingerprint_and_metrics(self):
+        assert record_key(record(skew=1.0, fingerprint="a")) == record_key(
+            record(skew=9.0, fingerprint="b")
+        )
+
+    def test_key_distinguishes_axes(self):
+        base = record_key(record())
+        assert record_key(record(flow="bounded_skew")) != base
+        assert record_key(record(seed=3)) != base
+        assert record_key(record(pipeline=["initial"])) != base
+
+
+class TestDiff:
+    def test_matched_pair_produces_deltas(self):
+        result = diff_records(
+            [record(skew=1.0, clr=2.0, evals=10, wall=0.1)],
+            [record(skew=1.5, clr=2.2, evals=12, wall=0.3)],
+        )
+        (row,) = result.rows
+        assert row.d_skew_ps == pytest.approx(0.5)
+        assert row.d_clr_ps == pytest.approx(0.2)
+        assert row.d_evaluations == 2
+        assert row.d_wall_clock_s == pytest.approx(0.2)
+
+    def test_regression_flags_respect_tolerances(self):
+        base = [record(skew=1.0, clr=2.0)]
+        within = diff_records(base, [record(skew=1.04, clr=2.0)])
+        assert not within.rows[0].regressed
+        beyond = diff_records(base, [record(skew=1.5, clr=2.0)])
+        assert beyond.rows[0].regressed
+        clr = diff_records(base, [record(skew=1.0, clr=2.5)])
+        assert clr.rows[0].regressed
+
+    def test_improvement_never_regresses(self):
+        result = diff_records([record(skew=5.0, clr=9.0)], [record(skew=1.0, clr=2.0)])
+        assert not result.rows[0].regressed
+
+    def test_evaluations_gate_only_when_enabled(self):
+        base = [record(evals=10)]
+        cand = [record(evals=20)]
+        assert not diff_records(base, cand).rows[0].regressed
+        gated = diff_records(base, cand, CompareTolerances(evaluations=5))
+        assert gated.rows[0].regressed
+
+    def test_unmatched_jobs_reported(self):
+        result = diff_records(
+            [record(instance="ti:30"), record(instance="ti:60")],
+            [record(instance="ti:30"), record(instance="scenario:maze")],
+        )
+        assert len(result.rows) == 1
+        assert [r["instance"] for r in result.only_baseline] == ["ti:60"]
+        assert [r["instance"] for r in result.only_candidate] == ["scenario:maze"]
+
+    def test_error_records_never_match(self):
+        broken = {"instance": "ti:30", "flow": "contango", "engine": "elmore",
+                  "error": "boom"}
+        result = diff_records([record()], [broken])
+        assert not result.rows
+        assert len(result.only_baseline) == 1
+
+    def test_duplicate_keys_keep_latest(self):
+        result = diff_records(
+            [record(skew=1.0), record(skew=3.0)], [record(skew=3.0)]
+        )
+        (row,) = result.rows
+        assert row.d_skew_ps == 0.0
+
+    def test_fingerprint_change_detected(self):
+        same = diff_records([record(fingerprint="a")], [record(fingerprint="a")])
+        assert not same.rows[0].fingerprint_changed
+        changed = diff_records([record(fingerprint="a")], [record(fingerprint="b")])
+        assert changed.rows[0].fingerprint_changed
+        legacy = diff_records([record(fingerprint=None)], [record(fingerprint=None)])
+        assert legacy.rows[0].fingerprint_changed
+
+
+class TestRendering:
+    def test_compare_rows_render_through_render_table(self):
+        result = diff_records(
+            [record(skew=1.0)], [record(skew=9.0, fingerprint="other")]
+        )
+        rendered = render_table(compare_rows(result), COMPARE_COLUMNS)
+        assert "d skew[ps]" in rendered
+        assert "+8.00" in rendered
+        assert "REG fp!" in rendered
+        # The engine axis is part of the match key, so multi-engine sweeps
+        # need it in the table to disambiguate otherwise-identical rows.
+        assert "engine" in rendered
+        assert "elmore" in rendered
+
+    def test_clean_rows_have_empty_flag(self):
+        result = diff_records([record()], [record()])
+        assert compare_rows(result)[0]["flag"] == ""

@@ -1,0 +1,75 @@
+"""Tests for content-addressed run fingerprints (repro.store.fingerprint)."""
+
+from repro.core import FlowConfig
+from repro.runner import JobSpec, run_job
+from repro.store import canonical_json, config_digest, job_fingerprint
+
+
+class TestCanonicalJson:
+    def test_key_order_is_canonical(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_dataclasses_and_numpy_are_jsonable(self):
+        import numpy as np
+
+        text = canonical_json(
+            {"cfg": FlowConfig(), "x": np.float64(1.5), "n": np.int64(3),
+             "arr": np.arange(2)}
+        )
+        assert '"engine":"spice"' in text
+        assert '"x":1.5' in text
+
+
+class TestConfigDigest:
+    def test_equal_configs_digest_equal(self):
+        assert config_digest(FlowConfig()) == config_digest(FlowConfig())
+
+    def test_any_knob_changes_the_digest(self):
+        base = config_digest(FlowConfig())
+        assert config_digest(FlowConfig(engine="arnoldi")) != base
+        assert config_digest(FlowConfig(sizing_max_rejections=1)) != base
+        assert config_digest(FlowConfig(pipeline=["initial"])) != base
+
+
+class TestJobFingerprint:
+    def kwargs(self, **overrides):
+        base = dict(
+            instance_fingerprint="abc",
+            flow="contango",
+            engine="arnoldi",
+            pipeline=None,
+            seed=None,
+            config_digest="cfg",
+        )
+        base.update(overrides)
+        return base
+
+    def test_stable_for_equal_inputs(self):
+        assert job_fingerprint(**self.kwargs()) == job_fingerprint(**self.kwargs())
+
+    def test_sensitive_to_every_component(self):
+        base = job_fingerprint(**self.kwargs())
+        for change in (
+            {"instance_fingerprint": "xyz"},
+            {"flow": "bounded_skew"},
+            {"engine": "elmore"},
+            {"pipeline": ["initial"]},
+            {"seed": 3},
+            {"config_digest": "other"},
+        ):
+            assert job_fingerprint(**self.kwargs(**change)) != base
+
+
+class TestRunnerIntegration:
+    def test_run_job_records_are_content_addressed(self):
+        a = run_job(JobSpec(instance="ti:20", engine="elmore"))
+        b = run_job(JobSpec(instance="ti:20", engine="elmore"))
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["instance_fingerprint"] == b["instance_fingerprint"]
+        assert a["config_digest"] == b["config_digest"]
+
+    def test_seed_changes_job_fingerprint_via_instance_content(self):
+        a = run_job(JobSpec(instance="ti:20", engine="elmore"))
+        b = run_job(JobSpec(instance="ti:20", engine="elmore", seed=11))
+        assert a["fingerprint"] != b["fingerprint"]
+        assert a["instance_fingerprint"] != b["instance_fingerprint"]

@@ -1,0 +1,126 @@
+"""Tests for the append-only run store (repro.store.store)."""
+
+import json
+
+import pytest
+
+from repro.store import STORE_SCHEMA_VERSION, RunStore
+
+
+def record(instance="ti:30", flow="contango", engine="elmore", skew=1.0, **extra):
+    payload = {
+        "job": f"{instance}-{flow}-{engine}".replace(":", "-"),
+        "instance": instance,
+        "flow": flow,
+        "engine": engine,
+        "pipeline": None,
+        "seed": None,
+        "fingerprint": f"fp-{instance}-{flow}-{engine}-{skew}",
+        "summary": {"skew_ps": skew, "clr_ps": 2 * skew, "evaluations": 10},
+        "wall_clock_s": 0.1,
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestAppend:
+    def test_append_creates_directory_and_file(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        envelope = store.append(record(), run_id="r1")
+        assert store.path.exists()
+        assert envelope["schema"] == STORE_SCHEMA_VERSION
+        assert envelope["run_id"] == "r1"
+        assert envelope["recorded_at"].startswith("20")
+        assert envelope["fingerprint"] == record()["fingerprint"]
+
+    def test_append_is_append_only(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(skew=1.0), run_id="r1")
+        first = store.path.read_text()
+        store.append(record(skew=2.0), run_id="r2")
+        assert store.path.read_text().startswith(first)
+        assert len(store) == 2
+
+    def test_error_records_store_null_fingerprint(self, tmp_path):
+        store = RunStore(tmp_path)
+        envelope = store.append(
+            {"job": "x", "instance": "nope:1", "flow": "contango",
+             "engine": "elmore", "error": "boom"},
+            run_id="r1",
+        )
+        assert envelope["fingerprint"] is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "has space", "tab\tid",
+         # '@' and 'all' are reserved by the STORE[@RUN_ID] compare syntax:
+         "v1@final", "all"],
+    )
+    def test_bad_run_ids_rejected(self, tmp_path, bad):
+        with pytest.raises(ValueError, match="run_id"):
+            RunStore(tmp_path).append(record(), run_id=bad)
+
+
+class TestQuery:
+    def make(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(instance="ti:30", flow="contango"), run_id="base")
+        store.append(record(instance="ti:30", flow="unoptimized_dme"), run_id="base")
+        store.append(record(instance="scenario:maze", flow="contango"), run_id="cand")
+        return store
+
+    def test_entries_preserve_append_order(self, tmp_path):
+        store = self.make(tmp_path)
+        flows = [e["record"]["flow"] for e in store.entries()]
+        assert flows == ["contango", "unoptimized_dme", "contango"]
+
+    def test_filter_by_run_id(self, tmp_path):
+        store = self.make(tmp_path)
+        assert len(store.records(run_id="base")) == 2
+        assert len(store.records(run_id="cand")) == 1
+        assert store.records(run_id="nope") == []
+
+    def test_filter_by_axes(self, tmp_path):
+        store = self.make(tmp_path)
+        assert len(store.records(flow="contango")) == 2
+        assert len(store.records(instance="scenario:maze")) == 1
+        assert len(store.records(run_id="base", flow="contango")) == 1
+
+    def test_run_ids_in_first_seen_order(self, tmp_path):
+        store = self.make(tmp_path)
+        assert store.run_ids() == ["base", "cand"]
+        assert store.latest_run_id() == "cand"
+
+    def test_empty_store_reads_empty(self, tmp_path):
+        store = RunStore(tmp_path / "missing")
+        assert store.entries() == []
+        assert store.latest_run_id() is None
+        assert len(store) == 0
+
+
+class TestSchema:
+    def test_newer_schema_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(), run_id="r1")
+        line = json.dumps(
+            {"schema": STORE_SCHEMA_VERSION + 1, "run_id": "r2", "record": {}}
+        )
+        with store.path.open("a") as handle:
+            handle.write(line + "\n")
+        with pytest.raises(ValueError, match="newer than supported"):
+            store.entries()
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(), run_id="r1")
+        with store.path.open("a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match="runs.jsonl:2"):
+            store.entries()
+
+    def test_blank_lines_ignored(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(), run_id="r1")
+        with store.path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(store.entries()) == 1

@@ -1,8 +1,19 @@
 """Tests for the benchmark file format reader/writer."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.workloads import generate_ispd09_benchmark, read_instance, write_instance
+from repro.cts.bufferlib import BufferLibrary, BufferType
+from repro.scenarios import generate_scenario
+from repro.workloads import (
+    generate_ispd09_benchmark,
+    generate_ti_benchmark,
+    instance_fingerprint,
+    instance_lines,
+    read_instance,
+    write_instance,
+)
 
 
 class TestRoundTrip:
@@ -38,6 +49,75 @@ class TestRoundTrip:
         path = tmp_path / "f32.cns"
         write_instance(original, path)
         read_instance(path).validate()
+
+
+def roundtrip(instance, tmp_path):
+    path = tmp_path / "instance.cns"
+    write_instance(instance, path)
+    return read_instance(path)
+
+
+class TestBitIdenticalRoundTrip:
+    """write_instance -> read_instance must reproduce the canonical lines exactly."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            # cap_limit present, obstacles, macro sinks:
+            lambda: generate_ispd09_benchmark("ispd09f22", sink_scale=0.2),
+            # cap_limit None (the line is omitted and must read back as None):
+            lambda: generate_ti_benchmark(40),
+            # scenario families: blocked corridors / macro-edge pins included.
+            lambda: generate_scenario("scenario:maze:sinks=12,walls=3"),
+            lambda: generate_scenario("scenario:macros:sinks=12,macros=2"),
+            lambda: generate_scenario("scenario:strip:sinks=12"),
+            lambda: generate_scenario("scenario:banks:sinks=12,clusters=3"),
+        ],
+        ids=["ispd09", "ti-no-cap-limit", "maze", "macros", "strip", "banks"],
+    )
+    def test_instances_roundtrip_bit_identically(self, make, tmp_path):
+        original = make()
+        loaded = roundtrip(original, tmp_path)
+        assert instance_lines(loaded) == instance_lines(original)
+        assert instance_fingerprint(loaded) == instance_fingerprint(original)
+        assert (loaded.capacitance_limit is None) == (original.capacitance_limit is None)
+
+    def test_underscore_buffer_names_survive(self, tmp_path):
+        # The historical space<->underscore escaping read INV_L back as
+        # "INV L"; percent-encoding keeps underscores untouched and still
+        # round-trips names containing real spaces.
+        original = generate_ti_benchmark(10)
+        loaded = roundtrip(original, tmp_path)
+        assert [b.name for b in loaded.buffer_library] == ["INV_L", "INV_S"]
+
+    def test_buffer_names_with_spaces_roundtrip(self, tmp_path):
+        original = generate_ti_benchmark(10)
+        original.buffer_library = BufferLibrary(
+            [BufferType("2X INV_S", 8.4, 12.2, 220.0, intrinsic_delay=8.0,
+                        inverting=True)]
+        )
+        loaded = roundtrip(original, tmp_path)
+        assert [b.name for b in loaded.buffer_library] == ["2X INV_S"]
+        assert instance_lines(loaded) == instance_lines(original)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        sinks=st.integers(min_value=4, max_value=24),
+        clusters=st.integers(min_value=1, max_value=6),
+        tightness=st.floats(min_value=0.005, max_value=0.25),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roundtrip_property_over_banks_params(
+        self, sinks, clusters, tightness, seed, tmp_path_factory
+    ):
+        spec = (
+            f"scenario:banks:sinks={sinks},clusters={clusters},"
+            f"tightness={tightness!r},seed={seed}"
+        )
+        original = generate_scenario(spec)
+        tmp_path = tmp_path_factory.mktemp("roundtrip")
+        loaded = roundtrip(original, tmp_path)
+        assert instance_fingerprint(loaded) == instance_fingerprint(original)
 
 
 class TestErrorHandling:

@@ -1,0 +1,81 @@
+"""Golden pin of generated-instance fingerprints.
+
+The benchmark generators and scenario families are the ground truth every
+golden metric file and baseline store rests on: if an instance silently
+changes, downstream numbers change for reasons that have nothing to do with
+the synthesis code.  This test locks the canonical-serialization hash of
+every workload generator and registered scenario family to
+``tests/golden/instance_fingerprints.json``.
+
+Blessed for the repro.seeding-based generators (SeedSequence-derived numpy
+streams).  If a generator change is *intended*, regenerate the file::
+
+    PYTHONPATH=src python -m tests.workloads.test_golden_fingerprints
+
+and commit it together with the change (plus any re-blessed metric goldens).
+"""
+
+import json
+from pathlib import Path
+
+from repro.runner import JobSpec, resolve_instance
+from repro.scenarios import scenario_names
+from repro.workloads import ISPD09_BENCHMARKS, instance_fingerprint
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "instance_fingerprints.json"
+
+#: Small, fast parameterizations; every registered scenario family must appear.
+SCENARIO_SPECS = [
+    "scenario:maze:sinks=16,walls=3",
+    "scenario:macros:sinks=16,macros=3",
+    "scenario:strip:sinks=16",
+    "scenario:banks:sinks=16,clusters=4",
+]
+
+PINNED_SPECS = (
+    [f"ispd09:{name}" for name in ISPD09_BENCHMARKS]
+    + ["ti:200", "ti:1000", "ti:200:seed11"]
+    + SCENARIO_SPECS
+)
+
+
+def compute_fingerprints():
+    fingerprints = {}
+    for spec in PINNED_SPECS:
+        if spec == "ti:200:seed11":  # a non-default-seed TI variant
+            instance = resolve_instance(JobSpec(instance="ti:200", seed=11))
+        else:
+            instance = resolve_instance(JobSpec(instance=spec))
+        fingerprints[spec] = instance_fingerprint(instance)
+    return fingerprints
+
+
+def test_generated_instances_match_golden_fingerprints():
+    golden = json.loads(GOLDEN_PATH.read_text())["fingerprints"]
+    assert compute_fingerprints() == golden
+
+
+def test_every_scenario_family_is_pinned():
+    covered = {spec.split(":")[1] for spec in SCENARIO_SPECS}
+    assert covered == set(scenario_names())
+
+
+def test_golden_fingerprints_are_distinct():
+    golden = json.loads(GOLDEN_PATH.read_text())["fingerprints"]
+    values = list(golden.values())
+    assert len(set(values)) == len(values)
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {
+                "description": "SHA-256 canonical-serialization fingerprints of "
+                "generated instances (repro.workloads + repro.scenarios)",
+                "fingerprints": compute_fingerprints(),
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"re-blessed {GOLDEN_PATH}")
