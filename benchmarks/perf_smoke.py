@@ -35,7 +35,7 @@ def run_flow():
     best = None
     for _ in range(REPEATS):
         record = run_job(spec)
-        if best is None or record["summary"]["runtime_s"] < best["summary"]["runtime_s"]:
+        if best is None or record.summary.runtime_s < best.summary.runtime_s:
             best = record
     return best
 
@@ -43,20 +43,20 @@ def run_flow():
 def main() -> int:
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_evaluator.json")
     record = run_flow()
-    summary = record["summary"]
+    summary = record.summary
     payload = {
         "benchmark": f"ti{SINKS}_contango_{ENGINE}",
         "sinks": SINKS,
         "engine": ENGINE,
-        "best_runtime_s": round(summary["runtime_s"], 4),
-        "evaluations": summary["evaluations"],
-        "skew_ps": round(summary["skew_ps"], 3),
-        "clr_ps": round(summary["clr_ps"], 3),
-        "max_latency_ps": round(summary["max_latency_ps"], 2),
-        "slew_violations": summary["slew_violations"],
+        "best_runtime_s": round(summary.runtime_s, 4),
+        "evaluations": summary.evaluations,
+        "skew_ps": round(summary.skew_ps, 3),
+        "clr_ps": round(summary.clr_ps, 3),
+        "max_latency_ps": round(summary.max_latency_ps, 2),
+        "slew_violations": summary.slew_violations,
         # The flow evaluator's own cache statistics: a caching regression
         # shows up here as a collapsed hit count, not just as wall-clock.
-        "cache": record["evaluator_cache"],
+        "cache": record.evaluator_cache,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))

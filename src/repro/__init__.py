@@ -7,9 +7,15 @@ The top-level package re-exports the most commonly used entry points:
 * :class:`repro.core.ContangoFlow` -- the end-to-end synthesis methodology,
 * :mod:`repro.workloads` -- ISPD'09-style and TI-style benchmark generators.
 
+The *stable, typed* entry points -- result schemas, the unified job model,
+and the long-lived :class:`~repro.api.service.SynthesisService` facade --
+live in :mod:`repro.api`; prefer them for anything programmatic.
+
 See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
 """
 
-__version__ = "1.0.0"
+#: Kept in lockstep with ``pyproject.toml``; ``repro --version`` prefers the
+#: installed distribution metadata and falls back to this constant.
+__version__ = "0.6.0"
 
 __all__ = ["__version__"]

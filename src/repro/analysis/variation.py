@@ -35,7 +35,7 @@ Carlo reproduces the nominal multi-corner evaluation bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -117,6 +117,15 @@ class VariationModel:
     anchors: Tuple[Corner, ...] = ()
     truncation: float = 3.0
 
+    #: One-slot cache of the spatial Cholesky factor (an O(stages^3)
+    #: reduction): acceptance-gate checks call sample() dozens of times on
+    #: unchanged stage geometry.  Excluded from equality/hash/repr (and from
+    #: config digests, which skip non-compare fields); ``init=False`` keeps
+    #: it out of the constructor, so the frozen dataclass still populates it.
+    _transform_cache: Dict[Tuple[Tuple[int, ...], bytes], np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
     _MIN_MULTIPLIER = 0.05
 
     def __post_init__(self) -> None:
@@ -138,11 +147,6 @@ class VariationModel:
             )
         if self.truncation <= 0.0:
             raise ValueError("truncation must be positive")
-        # One-slot cache of the spatial Cholesky factor (an O(stages^3)
-        # reduction): acceptance-gate checks call sample() dozens of times on
-        # unchanged stage geometry.  Set via object.__setattr__ because the
-        # dataclass is frozen; not a field, so equality/hashing ignore it.
-        object.__setattr__(self, "_transform_cache", {})
 
     # ------------------------------------------------------------------
     @classmethod
@@ -291,7 +295,7 @@ class VariationModel:
         factor is cached against the position set (one slot: geometry only
         changes when a tuning round is accepted).
         """
-        cache: Dict = self._transform_cache  # type: ignore[attr-defined]
+        cache = self._transform_cache
         key = (positions.shape, positions.tobytes())
         cached = cache.get(key)
         if cached is not None:

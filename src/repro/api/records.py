@@ -1,0 +1,445 @@
+"""Typed result-record schemas: the single source of truth for field names.
+
+Every JSON-able record the batch engine emits -- synthesis runs, Monte Carlo
+yield sweeps, failed jobs -- is defined here exactly once, as a dataclass
+whose ``to_record()`` / ``from_record()`` pair round-trips **bit-identically**
+to the dict shapes the runner has streamed since PR 2 (pinned by
+``tests/golden/legacy_records.json``).  Producers (:mod:`repro.runner`), the
+persistent store (:mod:`repro.store`), the diff engine
+(:mod:`repro.store.compare`) and every table renderer consume these classes
+instead of hand-rolled dicts, so adding or renaming a field is a one-line,
+type-checked change instead of a cross-module string hunt.
+
+Conventions
+-----------
+* ``to_record()`` emits keys in dataclass field order, which matches the
+  historical dict insertion order -- per-job JSON files stay byte-identical.
+* Keys that the legacy records emitted *conditionally* (``variation_gate``
+  only when a gate ran; the error-record spec envelope, which pre-dates this
+  module) are omitted again by ``to_record()`` when unset, so legacy records
+  survive a parse/serialize round trip unchanged.
+* ``from_record()`` is lenient about missing keys (old or hand-written
+  records parse with ``None`` holes) but never invents conditional keys.
+
+This module is intentionally a *leaf*: it imports nothing from the rest of
+the package, so low-level modules (e.g. :mod:`repro.core.report`) can build
+on the schemas without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "MISSING",
+    "StageRow",
+    "RunSummary",
+    "YieldSummary",
+    "RunRecord",
+    "McRecord",
+    "ErrorRecord",
+    "Record",
+    "ResultRecord",
+    "record_from_dict",
+    "STAGE_TABLE_COLUMNS",
+    "RUN_SUMMARY_COLUMNS",
+    "MC_TABLE_COLUMNS",
+]
+
+
+class _MissingType:
+    """Sentinel for 'key absent from the record' (distinct from ``None``)."""
+
+    __slots__ = ()
+    _instance: Optional["_MissingType"] = None
+
+    def __new__(cls) -> "_MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = _MissingType()
+"""Field value meaning "this key was not present in the source record".
+
+``to_record()`` skips ``MISSING`` fields entirely, which is how the error
+envelope stays backward round-trippable: legacy error records (which carried
+no ``pipeline``/``seed`` keys) parse to ``MISSING`` and serialize back without
+them, while newly produced error records carry the full spec envelope.
+"""
+
+
+@dataclass
+class StageRow:
+    """One optimization-stage snapshot (one row of a Table III stage table)."""
+
+    stage: str
+    skew_ps: float
+    clr_ps: float
+    max_latency_ps: float
+    worst_slew_ps: float
+    total_capacitance_fF: float
+    capacitance_utilization: Optional[float]
+    wirelength_um: float
+    buffer_count: int
+    evaluations: int
+    elapsed_s: float = 0.0
+
+    def to_record(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(StageRow)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "StageRow":
+        # ``elapsed_s`` was added in PR 2; rows saved before then default to
+        # 0.0 (the behavior the old ``table_iii`` setdefault provided).
+        return cls(**{f.name: record.get(f.name, 0.0 if f.name == "elapsed_s" else None)
+                      for f in fields(cls)})
+
+
+@dataclass
+class RunSummary:
+    """Final metrics of one synthesis run (one row of a Table IV comparison)."""
+
+    instance: Optional[str] = None
+    flow: Optional[str] = None
+    clr_ps: Optional[float] = None
+    skew_ps: Optional[float] = None
+    max_latency_ps: Optional[float] = None
+    capacitance_utilization: Optional[float] = None
+    total_capacitance_fF: Optional[float] = None
+    wirelength_um: Optional[float] = None
+    slew_violations: Optional[int] = None
+    evaluations: Optional[int] = None
+    runtime_s: Optional[float] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(RunSummary)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunSummary":
+        return cls(**{f.name: record.get(f.name) for f in fields(cls)})
+
+
+@dataclass
+class YieldSummary:
+    """Skew/CLR distribution statistics of one Monte Carlo yield sweep."""
+
+    n_samples: Optional[int] = None
+    engine: Optional[str] = None
+    model: Optional[Dict[str, Any]] = None
+    skew_limit_ps: Optional[float] = None
+    skew_mean_ps: Optional[float] = None
+    skew_std_ps: Optional[float] = None
+    skew_p95_ps: Optional[float] = None
+    skew_p99_ps: Optional[float] = None
+    skew_max_ps: Optional[float] = None
+    skew_yield: Optional[float] = None
+    clr_mean_ps: Optional[float] = None
+    clr_p95_ps: Optional[float] = None
+    clr_p99_ps: Optional[float] = None
+    slew_yield: Optional[float] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(YieldSummary)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "YieldSummary":
+        return cls(**{f.name: record.get(f.name) for f in fields(cls)})
+
+
+@dataclass
+class RunRecord:
+    """Complete result of one synthesis job (the ``repro run`` record shape).
+
+    Field order is the serialization order; it matches the dicts
+    :func:`repro.runner.run_job` has emitted since PR 2, so per-job JSON
+    files and store lines are byte-compatible across the typed migration.
+    """
+
+    job: Optional[str] = None
+    instance: Optional[str] = None
+    flow: Optional[str] = None
+    engine: Optional[str] = None
+    pipeline: Optional[List[str]] = None
+    seed: Optional[int] = None
+    instance_fingerprint: Optional[str] = None
+    config_digest: Optional[str] = None
+    fingerprint: Optional[str] = None
+    sinks: Optional[int] = None
+    summary: Optional[RunSummary] = None
+    stage_table: List[StageRow] = field(default_factory=list)
+    pass_notes: Dict[str, List[str]] = field(default_factory=dict)
+    evaluator_cache: Dict[str, int] = field(default_factory=dict)
+    wall_clock_s: Optional[float] = None
+    #: Present only when the pipeline ran variation-aware passes; omitted
+    #: from the serialized record otherwise (matching the legacy shape).
+    variation_gate: Optional[Dict[str, Any]] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "job": self.job,
+            "instance": self.instance,
+            "flow": self.flow,
+            "engine": self.engine,
+            "pipeline": self.pipeline,
+            "seed": self.seed,
+            "instance_fingerprint": self.instance_fingerprint,
+            "config_digest": self.config_digest,
+            "fingerprint": self.fingerprint,
+            "sinks": self.sinks,
+            "summary": self.summary.to_record() if self.summary is not None else None,
+            "stage_table": [row.to_record() for row in self.stage_table],
+            "pass_notes": self.pass_notes,
+            "evaluator_cache": self.evaluator_cache,
+            "wall_clock_s": self.wall_clock_s,
+        }
+        if self.variation_gate:
+            record["variation_gate"] = self.variation_gate
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunRecord":
+        summary = record.get("summary")
+        return cls(
+            job=record.get("job"),
+            instance=record.get("instance"),
+            flow=record.get("flow"),
+            engine=record.get("engine"),
+            pipeline=record.get("pipeline"),
+            seed=record.get("seed"),
+            instance_fingerprint=record.get("instance_fingerprint"),
+            config_digest=record.get("config_digest"),
+            fingerprint=record.get("fingerprint"),
+            sinks=record.get("sinks"),
+            summary=RunSummary.from_record(summary) if summary is not None else None,
+            stage_table=[
+                StageRow.from_record(row) for row in record.get("stage_table", [])
+            ],
+            pass_notes=record.get("pass_notes", {}),
+            evaluator_cache=record.get("evaluator_cache", {}),
+            wall_clock_s=record.get("wall_clock_s"),
+            variation_gate=record.get("variation_gate"),
+        )
+
+
+@dataclass
+class McRecord:
+    """Complete result of one Monte Carlo job (the ``repro mc`` record shape)."""
+
+    job: Optional[str] = None
+    instance: Optional[str] = None
+    flow: Optional[str] = None
+    engine: Optional[str] = None
+    samples: Optional[int] = None
+    family: Optional[str] = None
+    seed: Optional[int] = None
+    gated: Optional[bool] = None
+    sinks: Optional[int] = None
+    #: Serialized under the legacy key ``"yield"`` (a Python keyword).
+    yield_: Optional[YieldSummary] = None
+    nominal: Optional[RunSummary] = None
+    wall_clock_s: Optional[float] = None
+    variation_gate: Optional[Dict[str, Any]] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "job": self.job,
+            "instance": self.instance,
+            "flow": self.flow,
+            "engine": self.engine,
+            "samples": self.samples,
+            "family": self.family,
+            "seed": self.seed,
+            "gated": self.gated,
+            "sinks": self.sinks,
+            "yield": self.yield_.to_record() if self.yield_ is not None else None,
+            "nominal": self.nominal.to_record() if self.nominal is not None else None,
+            "wall_clock_s": self.wall_clock_s,
+        }
+        if self.variation_gate:
+            record["variation_gate"] = self.variation_gate
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "McRecord":
+        yield_payload = record.get("yield")
+        nominal = record.get("nominal")
+        return cls(
+            job=record.get("job"),
+            instance=record.get("instance"),
+            flow=record.get("flow"),
+            engine=record.get("engine"),
+            samples=record.get("samples"),
+            family=record.get("family"),
+            seed=record.get("seed"),
+            gated=record.get("gated"),
+            sinks=record.get("sinks"),
+            yield_=(
+                YieldSummary.from_record(yield_payload)
+                if yield_payload is not None
+                else None
+            ),
+            nominal=RunSummary.from_record(nominal) if nominal is not None else None,
+            wall_clock_s=record.get("wall_clock_s"),
+            variation_gate=record.get("variation_gate"),
+        )
+
+
+#: Value of an optional error-envelope field: the real value, ``None``, or
+#: :data:`MISSING` when the source record did not carry the key at all.
+_OptField = Union[Any, _MissingType]
+
+
+@dataclass
+class ErrorRecord:
+    """A failed job, with the same spec envelope as a successful record.
+
+    Legacy error records carried only ``job``/``instance``/``flow``/``engine``
+    plus the traceback; records produced by this codebase additionally carry
+    the spec envelope (``pipeline``, ``seed``, and the Monte Carlo axes for
+    MC jobs) so ``repro compare`` can line failed jobs up against their
+    baseline counterparts by the same job key as successful ones.
+    """
+
+    job: Optional[str] = None
+    instance: Optional[str] = None
+    flow: Optional[str] = None
+    engine: Optional[str] = None
+    error: Optional[str] = None
+    pipeline: _OptField = MISSING
+    seed: _OptField = MISSING
+    samples: _OptField = MISSING
+    family: _OptField = MISSING
+    gated: _OptField = MISSING
+
+    #: Envelope keys emitted only when explicitly set (legacy round-trip).
+    _OPTIONAL = ("pipeline", "seed", "samples", "family", "gated")
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "job": self.job,
+            "instance": self.instance,
+            "flow": self.flow,
+            "engine": self.engine,
+            "error": self.error,
+        }
+        for name in self._OPTIONAL:
+            value = getattr(self, name)
+            if value is not MISSING:
+                record[name] = value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "ErrorRecord":
+        return cls(
+            job=record.get("job"),
+            instance=record.get("instance"),
+            flow=record.get("flow"),
+            engine=record.get("engine"),
+            error=record.get("error"),
+            **{name: record.get(name, MISSING) for name in cls._OPTIONAL},
+        )
+
+    def envelope(self, name: str) -> Any:
+        """An optional envelope field, with absence normalized to ``None``."""
+        value = getattr(self, name)
+        return None if value is MISSING else value
+
+
+#: A record that carries results (indexed by the compare engine).
+ResultRecord = Union[RunRecord, McRecord]
+#: Anything the batch engine can emit for one job.
+Record = Union[RunRecord, McRecord, ErrorRecord]
+
+
+def record_from_dict(record: Union[Mapping[str, Any], Record]) -> Record:
+    """Parse one legacy record dict into its typed class (typed passes through).
+
+    Dispatch mirrors how consumers have always told the shapes apart:
+    ``"error"`` marks a failed job, ``"yield"`` a Monte Carlo record, and
+    anything else is a synthesis run record.
+    """
+    if isinstance(record, (RunRecord, McRecord, ErrorRecord)):
+        return record
+    if "error" in record:
+        return ErrorRecord.from_record(record)
+    if "yield" in record:
+        return McRecord.from_record(record)
+    return RunRecord.from_record(record)
+
+
+# ----------------------------------------------------------------------
+# Table column specifications (key, header, format-spec)
+# ----------------------------------------------------------------------
+#: One row per optimization stage of a single run (Table III).  Keys are
+#: :class:`StageRow` field names.
+STAGE_TABLE_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("stage", "stage", "s"),
+    ("skew_ps", "skew[ps]", ".2f"),
+    ("clr_ps", "CLR[ps]", ".2f"),
+    ("max_latency_ps", "latency[ps]", ".1f"),
+    ("worst_slew_ps", "slew[ps]", ".1f"),
+    ("total_capacitance_fF", "cap[fF]", ".0f"),
+    ("wirelength_um", "WL[um]", ".0f"),
+    ("buffer_count", "buffers", "d"),
+    ("evaluations", "evals", "d"),
+    ("elapsed_s", "t[s]", ".2f"),
+)
+
+#: One row per (instance, flow) with the final metrics (Table IV).  Keys are
+#: :class:`RunSummary` field names.
+RUN_SUMMARY_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("instance", "instance", "s"),
+    ("flow", "flow", "s"),
+    ("clr_ps", "CLR[ps]", ".2f"),
+    ("skew_ps", "skew[ps]", ".2f"),
+    ("max_latency_ps", "latency[ps]", ".1f"),
+    ("total_capacitance_fF", "cap[fF]", ".0f"),
+    ("wirelength_um", "WL[um]", ".0f"),
+    ("slew_violations", "slew viol", "d"),
+    ("evaluations", "evals", "d"),
+    ("runtime_s", "runtime[s]", ".2f"),
+)
+
+#: One row per Monte Carlo job with the distribution statistics the
+#: ISPD'10-style scoring cares about.  Keys match :func:`mc_table_row`.
+MC_TABLE_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("instance", "instance", "s"),
+    ("flow", "flow", "s"),
+    ("family", "family", "s"),
+    ("samples", "samples", "d"),
+    ("skew_mean_ps", "skew mu[ps]", ".2f"),
+    ("skew_std_ps", "sigma[ps]", ".2f"),
+    ("skew_p95_ps", "p95[ps]", ".2f"),
+    ("skew_p99_ps", "p99[ps]", ".2f"),
+    ("skew_yield_pct", "yield[%]", ".1f"),
+    ("clr_p95_ps", "CLR p95[ps]", ".2f"),
+    ("nominal_skew_ps", "nom skew[ps]", ".2f"),
+    ("wall_clock_s", "t[s]", ".2f"),
+)
+
+
+def mc_table_row(record: McRecord) -> Dict[str, Any]:
+    """Flatten one :class:`McRecord` into a :data:`MC_TABLE_COLUMNS` row."""
+    summary = record.yield_ or YieldSummary()
+    return {
+        "instance": record.instance,
+        "flow": record.flow,
+        "family": record.family,
+        "samples": record.samples,
+        "skew_mean_ps": summary.skew_mean_ps,
+        "skew_std_ps": summary.skew_std_ps,
+        "skew_p95_ps": summary.skew_p95_ps,
+        "skew_p99_ps": summary.skew_p99_ps,
+        "skew_yield_pct": 100.0 * (summary.skew_yield or 0.0),
+        "clr_p95_ps": summary.clr_p95_ps,
+        "nominal_skew_ps": record.nominal.skew_ps if record.nominal else None,
+        "wall_clock_s": record.wall_clock_s,
+    }

@@ -1,0 +1,336 @@
+"""`SynthesisService`: the long-lived, warm-pool execution facade.
+
+Where :class:`repro.runner.BatchRunner` is one-shot (spin a pool up, run one
+batch, tear it down), a :class:`SynthesisService` is built to *stay up*: it
+owns one :class:`~concurrent.futures.ProcessPoolExecutor` that is created on
+first use and reused across every subsequent call, so repeated small requests
+-- the traffic shape of a synthesis service, as opposed to a nightly sweep --
+pay the worker spawn cost once instead of per call
+(``benchmarks/service_smoke.py`` tracks the difference as
+``BENCH_service.json``).
+
+The facade speaks the typed API end to end:
+
+* :meth:`synthesize` / :meth:`monte_carlo` -- one job, returning a
+  :class:`~repro.api.records.RunRecord` / :class:`~repro.api.records.McRecord`
+  (a failed job raises :class:`~repro.runner.JobError` with the worker-side
+  traceback);
+* :meth:`sweep` -- a whole :class:`~repro.api.jobs.JobMatrix` (or keyword
+  axes), returning records in job order;
+* :meth:`stream` / :meth:`run` -- the general interface: an iterator of
+  :class:`JobEvent` (as jobs complete) or a collected :class:`ServiceBatch`
+  with an optional per-event callback;
+* :meth:`compare` -- diff two run selections of the attached store.
+
+Attach a :class:`~repro.store.RunStore` and every completed record -- errors
+included -- is appended under the service's ``run_id`` before its event is
+delivered, so being recorded and content-addressed is not something callers
+can forget.
+
+The service is a context manager; :meth:`close` shuts the pool down.  The
+CLI subcommands (``repro run`` / ``sweep`` / ``mc``) are thin adapters over
+one short-lived service each.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.jobs import Job, JobMatrix, JobSpec, McJobSpec, MonteCarloAxes
+from repro.api.records import ErrorRecord, McRecord, Record, RunRecord
+from repro.runner import JobError, dispatch_jobs, execute_job_guarded
+from repro.store import CompareTolerances, ComparisonResult, RunStore, diff_records
+
+__all__ = ["JobEvent", "ServiceBatch", "SynthesisService"]
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One completed job, delivered through the streaming interface."""
+
+    index: int
+    total: int
+    job: Job
+    record: Record
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.record, ErrorRecord)
+
+
+@dataclass
+class ServiceBatch:
+    """Outcome of one service call: typed records (in job order) plus timing."""
+
+    jobs: List[Job]
+    records: List[Record]
+    wall_clock_s: float
+    workers: int
+
+    @property
+    def failures(self) -> List[ErrorRecord]:
+        return [record for record in self.records if isinstance(record, ErrorRecord)]
+
+
+#: Event callback signature of :meth:`SynthesisService.run`.
+EventCallback = Callable[[JobEvent], None]
+
+
+class SynthesisService:
+    """Long-lived synthesis facade with a persistent warm worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count.  ``1`` executes in-process (no pool at all --
+        deterministic ordering, zero IPC overhead); higher counts create one
+        :class:`~concurrent.futures.ProcessPoolExecutor` lazily and keep it
+        warm across calls until :meth:`close`.
+    store:
+        Optional :class:`~repro.store.RunStore` (or a path understood by its
+        constructor).  When attached, every completed record of every call
+        is appended under ``run_id``.
+    run_id:
+        Store tag for this service's appends (default ``"service"``).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        store: Union[RunStore, str, None] = None,
+        run_id: str = "service",
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.store: Optional[RunStore] = (
+            store if isinstance(store, RunStore) or store is None else RunStore(store)
+        )
+        self.run_id = RunStore.check_run_id(run_id)
+        self._executor: Optional[Executor] = None
+        #: Total jobs dispatched since construction (pool-reuse telemetry).
+        self.jobs_dispatched = 0
+        #: Pools created over the service lifetime (stays at 1 across calls
+        #: unless a broken pool had to be replaced).
+        self.pools_created = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool_started(self) -> bool:
+        """True once the warm pool exists (it never exists at ``max_workers=1``)."""
+        return self._executor is not None
+
+    def _pool(self) -> Executor:
+        if self._closed:
+            raise RuntimeError("SynthesisService is closed")
+        # A worker killed mid-call (OOM, segfault) leaves a ProcessPoolExecutor
+        # permanently broken: that call's jobs already degraded to error
+        # records, but submitting to the broken pool would raise forever.  A
+        # long-lived service must recover, so discard the carcass and start a
+        # fresh pool.  (``_broken`` is private but present on every supported
+        # CPython; worst case the getattr stays False and behavior matches
+        # the old always-reuse path.)
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.pools_created += 1
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the warm pool down; the service cannot dispatch afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core streaming execution
+    # ------------------------------------------------------------------
+    def stream(self, jobs: Iterable[Job]) -> Iterator[JobEvent]:
+        """Execute ``jobs`` and yield one :class:`JobEvent` per completion.
+
+        With workers, events arrive in *completion* order (the fan-out is
+        live while you iterate); in-process execution yields in job order.
+        Every record is appended to the attached store before its event is
+        delivered.
+        """
+        job_list = list(jobs)
+        if not job_list:
+            return
+        if self._closed:
+            raise RuntimeError("SynthesisService is closed")
+        self.jobs_dispatched += len(job_list)
+        if self.max_workers == 1:
+            for index, job in enumerate(job_list):
+                record = execute_job_guarded(job)
+                self._record(record)
+                yield JobEvent(index=index, total=len(job_list), job=job, record=record)
+            return
+        for index, record in dispatch_jobs(self._pool(), job_list):
+            self._record(record)
+            yield JobEvent(
+                index=index, total=len(job_list), job=job_list[index], record=record
+            )
+
+    def _record(self, record: Record) -> None:
+        if self.store is not None:
+            self.store.append(record, run_id=self.run_id)
+
+    def run(
+        self, jobs: Iterable[Job], on_event: Optional[EventCallback] = None
+    ) -> ServiceBatch:
+        """Execute ``jobs`` and collect a :class:`ServiceBatch` in job order.
+
+        ``on_event`` fires once per completed job, in completion order,
+        while the rest of the batch is still running.
+        """
+        start = time.perf_counter()
+        job_list = list(jobs)
+        records: List[Optional[Record]] = [None] * len(job_list)
+        for event in self.stream(job_list):
+            records[event.index] = event.record
+            if on_event is not None:
+                on_event(event)
+        return ServiceBatch(
+            jobs=job_list,
+            records=[record for record in records if record is not None],
+            wall_clock_s=time.perf_counter() - start,
+            workers=self.max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    # The typed facade
+    # ------------------------------------------------------------------
+    def _single(self, job: Job) -> Record:
+        (event,) = list(self.stream([job]))
+        if isinstance(event.record, ErrorRecord):
+            raise JobError(
+                f"job {event.record.job!r} failed:\n{event.record.error}"
+            )
+        return event.record
+
+    def synthesize(
+        self,
+        instance: str,
+        flow: str = "contango",
+        engine: str = "arnoldi",
+        pipeline: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ) -> RunRecord:
+        """Run one synthesis job and return its typed record (raises on failure)."""
+        record = self._single(
+            JobSpec(
+                instance=instance,
+                flow=flow,
+                engine=engine,
+                pipeline=tuple(pipeline) if pipeline is not None else None,
+                seed=seed,
+            )
+        )
+        assert isinstance(record, RunRecord)
+        return record
+
+    def monte_carlo(
+        self,
+        instance: str,
+        flow: str = "contango",
+        engine: str = "arnoldi",
+        samples: int = 1000,
+        family: str = "independent",
+        seed: int = 7,
+        skew_limit_ps: float = 7.5,
+        gated: bool = False,
+        gate_samples: Optional[int] = None,
+        pipeline: Optional[Sequence[str]] = None,
+    ) -> McRecord:
+        """Synthesize + Monte Carlo-evaluate one instance (raises on failure)."""
+        record = self._single(
+            McJobSpec(
+                instance=instance,
+                flow=flow,
+                engine=engine,
+                pipeline=tuple(pipeline) if pipeline is not None else None,
+                seed=seed,
+                samples=samples,
+                family=family,
+                skew_limit_ps=skew_limit_ps,
+                gated=gated,
+                gate_samples=gate_samples,
+            )
+        )
+        assert isinstance(record, McRecord)
+        return record
+
+    def sweep(
+        self,
+        matrix: Optional[JobMatrix] = None,
+        *,
+        instances: Sequence[str] = (),
+        families: Sequence[str] = (),
+        fixed: Optional[Mapping[str, Any]] = None,
+        sweeps: Optional[Mapping[str, Sequence[Any]]] = None,
+        flows: Sequence[str] = ("contango",),
+        engines: Sequence[str] = ("arnoldi",),
+        pipeline: Optional[Tuple[str, ...]] = None,
+        seed: Optional[int] = None,
+        monte_carlo: Optional[MonteCarloAxes] = None,
+        on_event: Optional[EventCallback] = None,
+    ) -> ServiceBatch:
+        """Expand a job matrix and run it through the warm pool.
+
+        Pass a ready :class:`~repro.api.jobs.JobMatrix`, or describe one
+        with the keyword axes (the ``repro sweep`` vocabulary).
+        """
+        if matrix is None:
+            matrix = JobMatrix(
+                instances=instances,
+                families=families,
+                fixed=dict(fixed or {}),
+                sweeps=dict(sweeps or {}),
+                flows=flows,
+                engines=engines,
+                pipeline=pipeline,
+                seed=seed,
+                monte_carlo=monte_carlo,
+            )
+        return self.run(matrix.expand(), on_event=on_event)
+
+    def compare(
+        self,
+        baseline_run_id: str,
+        candidate_run_id: str,
+        tolerances: CompareTolerances = CompareTolerances(),
+    ) -> ComparisonResult:
+        """Diff two run ids of the attached store (requires ``store``)."""
+        if self.store is None:
+            raise ValueError("compare() needs a service with an attached RunStore")
+        return diff_records(
+            self.store.records(run_id=baseline_run_id),
+            self.store.records(run_id=candidate_run_id),
+            tolerances,
+        )

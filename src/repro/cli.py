@@ -1,7 +1,12 @@
 """The ``repro`` command line (also reachable as ``python -m repro``).
 
-Six subcommands over the :mod:`repro.runner` batch engine and the
-:mod:`repro.store` result store:
+Every subcommand is a thin adapter over the typed public API
+(:mod:`repro.api`): it parses arguments into a
+:class:`~repro.api.jobs.JobMatrix`, runs the expanded jobs through one
+:class:`~repro.api.service.SynthesisService`, and renders the streamed typed
+records (:mod:`repro.api.records`) as JSON files and text tables.
+
+Six subcommands:
 
 * ``repro run`` -- expand an instance x flow x engine matrix into jobs, fan
   them across ``--jobs`` worker processes, stream one JSON record per job
@@ -9,7 +14,7 @@ Six subcommands over the :mod:`repro.runner` batch engine and the
 * ``repro sweep`` -- the scenario lab: expand a scenario family's parameter
   sweep (``--set``/``--sweep`` over :mod:`repro.scenarios` families, plus any
   explicit ``--instance`` specs) times flows and engines, run it through the
-  batch runner, and append every completed job to a persistent
+  service, and append every completed job to a persistent
   :class:`~repro.store.RunStore` under ``--store`` tagged with ``--run-id``;
 * ``repro compare`` -- diff two store selections (``DIR`` or ``DIR@RUN_ID``)
   into a per-scenario skew/CLR/evaluations/wall-clock delta table with
@@ -21,10 +26,15 @@ Six subcommands over the :mod:`repro.runner` batch engine and the
   variation-aware pipeline (p95-skew-gated IVC rounds);
 * ``repro bench`` -- the runner's own performance smoke: a fixed 4-job
   matrix timed at ``--jobs 1`` and ``--jobs 4``, with the wall-clocks and
-  speedup written to ``BENCH_runner.json`` so parallel scaling is tracked
+  speedup written to ``--summary-json`` so parallel scaling is tracked
   across PRs;
 * ``repro table`` -- re-render saved per-job JSON records as Table IV (and,
   with ``--stages``, per-run Table III stage tables).
+
+``repro --version`` prints the installed package version.  The JSON output
+flags are uniform across subcommands: ``--output-dir DIR`` streams one
+``<job>.json`` per completed job, ``--summary-json FILE`` writes the whole
+batch as one document.
 
 Examples::
 
@@ -39,7 +49,7 @@ Examples::
     python -m repro mc --instance ti:200 --samples 1000 --seed 7 \
         --family correlated --jobs 4 --output-dir mc-results
     python -m repro mc --instance ti:200 --samples 500 --gated
-    python -m repro bench --output BENCH_runner.json
+    python -m repro bench --summary-json BENCH_runner.json
     python -m repro table --input results --stages
 """
 
@@ -54,19 +64,18 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.variation import SAMPLING_FAMILIES
+from repro.api.jobs import JobMatrix, JobSpec, MonteCarloAxes
+from repro.api.records import McRecord, Record, RunRecord
+from repro.api.service import JobEvent, SynthesisService
 from repro.core import available_passes
 from repro.runner import (
-    BatchRunner,
-    JobSpec,
-    McJobSpec,
     available_flows,
     render_table,
-    run_mc_job_guarded,
     table_iii,
     table_iv,
     table_mc,
 )
-from repro.scenarios import SCENARIO_REGISTRY, expand_sweep, get_family
+from repro.scenarios import SCENARIO_REGISTRY
 from repro.store import (
     COMPARE_COLUMNS,
     CompareTolerances,
@@ -75,13 +84,31 @@ from repro.store import (
     diff_records,
 )
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "package_version"]
+
+
+def package_version() -> str:
+    """The installed distribution version (falls back to the module version)."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro-contango")
+    except PackageNotFoundError:  # running from a checkout, not installed
+        from repro import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Contango reproduction batch runner (DATE'10 clock-network synthesis)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the installed package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -320,8 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--matrix", type=int, default=4, help="jobs in the matrix (default 4)")
     bench.add_argument("--workers", type=int, default=4, help="parallel worker count (default 4)")
     bench.add_argument(
-        "--output", default="BENCH_runner.json", metavar="FILE",
-        help="where to write the speedup record (default BENCH_runner.json)",
+        "--summary-json",
+        "--output",
+        dest="summary_json",
+        default="BENCH_runner.json",
+        metavar="FILE",
+        help="where to write the speedup record (default BENCH_runner.json; "
+        "--output is a deprecated alias)",
     )
 
     table = sub.add_parser("table", help="render saved per-job JSON as Table IV / III")
@@ -336,6 +368,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _progress_run(record: Record) -> str:
+    assert isinstance(record, RunRecord) and record.summary is not None
+    return (
+        f"skew {record.summary.skew_ps:.2f} ps, clr {record.summary.clr_ps:.2f} ps"
+    )
+
+
+def _progress_mc(record: Record) -> str:
+    assert isinstance(record, McRecord) and record.yield_ is not None
+    summary = record.yield_
+    return (
+        f"p95 skew {summary.skew_p95_ps:.2f} ps, "
+        f"yield {100.0 * (summary.skew_yield or 0.0):.1f}% "
+        f"@ {summary.skew_limit_ps:g} ps"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list_passes:
         # Importing the baselines registers their synthesis passes too.
@@ -346,63 +395,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not args.instance:
         print("repro run: at least one --instance is required", file=sys.stderr)
         return 2
-    flows = args.flow or ["contango"]
-    engines = args.engine or ["arnoldi"]
-    pipeline = tuple(p.strip() for p in args.pipeline.split(",") if p.strip()) if args.pipeline else None
-    jobs = [
-        JobSpec(instance=instance, flow=flow, engine=engine, pipeline=pipeline, seed=args.seed)
-        for instance in args.instance
-        for flow in flows
-        for engine in engines
-    ]
-    def progress(summary: Dict) -> str:
-        return (
-            f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps"
-        )
+    matrix = JobMatrix(
+        instances=args.instance,
+        flows=args.flow or ["contango"],
+        engines=args.engine or ["arnoldi"],
+        pipeline=_parse_pipeline(args.pipeline),
+        seed=args.seed,
+    )
+    return _run_batch(args, matrix.expand(), table=table_iv, progress=_progress_run)
 
-    return _run_batch(args, jobs, table=table_iv, summary_key="summary", progress=progress)
+
+def _parse_pipeline(text: Optional[str]) -> Optional[tuple]:
+    if not text:
+        return None
+    return tuple(p.strip() for p in text.split(",") if p.strip())
 
 
 def _run_batch(
     args: argparse.Namespace,
     jobs: List,
-    table: Callable[[List[Dict]], str],
-    summary_key: str,
-    progress: Callable[[Dict], str],
-    worker: Optional[Callable[..., Dict]] = None,
-    on_record: Optional[Callable[[Dict], None]] = None,
+    table: Callable[[Sequence[Record]], str],
+    progress: Callable[[Record], str],
+    store: Optional[RunStore] = None,
+    run_id: str = "service",
 ) -> int:
     """Shared batch plumbing of ``repro run`` / ``repro sweep`` / ``repro mc``.
 
-    Streams one JSON record per job into ``--output-dir``, prints a progress
-    line per completion (``progress`` renders the record's ``summary_key``
-    payload), renders the final ``table``, optionally writes the whole batch
-    as ``--summary-json``, and maps job failures to exit code 1.
-    ``on_record`` fires once per completed job (``repro sweep`` appends to
-    the run store with it).
+    Runs the expanded ``jobs`` through one :class:`SynthesisService`
+    (attached to ``store`` when given, so every record is appended under
+    ``run_id``), streams one JSON record per job into ``--output-dir``,
+    prints a progress line per completion, renders the final ``table``,
+    optionally writes the whole batch as ``--summary-json``, and maps job
+    failures to exit code 1.
     """
     output_dir: Optional[Path] = Path(args.output_dir) if args.output_dir else None
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
 
-    def on_result(index: int, record: Dict) -> None:
+    def on_event(event: JobEvent) -> None:
+        record = event.record
         if output_dir is not None:
-            path = output_dir / f"{record['job']}.json"
-            path.write_text(json.dumps(record, indent=1) + "\n")
-        if on_record is not None:
-            on_record(record)
-        if "error" in record:
-            print(f"[{index + 1}/{len(jobs)}] {record['job']}: FAILED", file=sys.stderr)
+            path = output_dir / f"{record.job}.json"
+            path.write_text(json.dumps(record.to_record(), indent=1) + "\n")
+        if event.failed:
+            print(f"[{event.index + 1}/{len(jobs)}] {record.job}: FAILED", file=sys.stderr)
         else:
             print(
-                f"[{index + 1}/{len(jobs)}] {record['job']}: "
-                f"{progress(record[summary_key])}, {record['wall_clock_s']:.2f} s"
+                f"[{event.index + 1}/{len(jobs)}] {record.job}: "
+                f"{progress(record)}, {record.wall_clock_s:.2f} s"
             )
 
-    runner_kwargs = {} if worker is None else {"worker": worker}
-    batch = BatchRunner(jobs, max_workers=args.jobs, **runner_kwargs).run(
-        on_result=on_result
-    )
+    with SynthesisService(max_workers=args.jobs, store=store, run_id=run_id) as service:
+        batch = service.run(jobs, on_event=on_event)
     print()
     print(table(batch.records))
     print(f"\n{len(jobs)} job(s), {batch.workers} worker(s), "
@@ -414,14 +458,14 @@ def _run_batch(
                     "jobs": len(jobs),
                     "workers": batch.workers,
                     "wall_clock_s": batch.wall_clock_s,
-                    "records": batch.records,
+                    "records": [record.to_record() for record in batch.records],
                 },
                 indent=1,
             )
             + "\n"
         )
     for failure in batch.failures:
-        print(f"\njob {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
+        print(f"\njob {failure.job} failed:\n{failure.error}", file=sys.stderr)
     return 1 if batch.failures else 0
 
 
@@ -465,28 +509,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("repro sweep: --store DIR is required", file=sys.stderr)
         return 2
     try:
-        sets = _parse_assignments(args.sets, "--set")
-        sweeps = {
-            key: [v for v in value.split(",") if v]
-            for key, value in _parse_assignments(args.sweeps, "--sweep").items()
-        }
-        specs: List[str] = []
-        for family_name in args.family or []:
-            get_family(family_name)  # clear unknown-family error up front
-            specs.extend(expand_sweep(family_name, sets, sweeps))
-        specs.extend(args.instance or [])
+        matrix = JobMatrix(
+            instances=args.instance or [],
+            families=args.family or [],
+            fixed=_parse_assignments(args.sets, "--set"),
+            sweeps={
+                key: [v for v in value.split(",") if v]
+                for key, value in _parse_assignments(args.sweeps, "--sweep").items()
+            },
+            flows=args.flow or ["contango"],
+            engines=args.engine or ["arnoldi"],
+            seed=args.seed,
+        )
+        # Expanding up front surfaces unknown families/parameters as clean
+        # CLI errors before any store or service is touched.
+        jobs = matrix.expand()
     except (KeyError, ValueError) as error:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
 
-    flows = args.flow or ["contango"]
-    engines = args.engine or ["arnoldi"]
-    jobs = [
-        JobSpec(instance=spec, flow=flow, engine=engine, seed=args.seed)
-        for spec in specs
-        for flow in flows
-        for engine in engines
-    ]
     store = RunStore(args.store)
     run_id = args.run_id or datetime.now(timezone.utc).strftime("sweep-%Y%m%dT%H%M%SZ")
     try:
@@ -497,16 +538,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
 
-    def progress(summary: Dict) -> str:
-        return f"skew {summary['skew_ps']:.2f} ps, clr {summary['clr_ps']:.2f} ps"
-
     code = _run_batch(
         args,
         jobs,
         table=table_iv,
-        summary_key="summary",
-        progress=progress,
-        on_record=lambda record: store.append(record, run_id=run_id),
+        progress=_progress_run,
+        store=store,
+        run_id=run_id,
     )
     print(f"\nstored {len(jobs)} record(s) under run id {run_id!r} in {store.path}")
     return code
@@ -559,6 +597,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"{len(result.only_baseline)} baseline-only, "
         f"{len(result.only_candidate)} candidate-only"
     )
+    for failure in result.candidate_failures:
+        print(
+            f"FAILED in candidate: {failure.instance} "
+            f"[{failure.flow}/{failure.engine}]",
+            file=sys.stderr,
+        )
     for row in result.regressions:
         print(
             f"REGRESSION {row.instance} [{row.flow}/{row.engine}]: "
@@ -573,7 +617,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         # A candidate that silently dropped (or errored on) baseline jobs has
         # not re-validated them; partial coverage must not pass the gate.
         missing = ", ".join(
-            str(record.get("instance")) for record in result.only_baseline
+            str(record.instance) for record in result.only_baseline
         )
         print(
             f"repro compare: {len(result.only_baseline)} baseline job(s) "
@@ -590,50 +634,27 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     if not args.instance:
         print("repro mc: at least one --instance is required", file=sys.stderr)
         return 2
-    flows = args.flow or ["contango"]
-    sample_counts = args.samples or [1000]
-    pipeline = (
-        tuple(p.strip() for p in args.pipeline.split(",") if p.strip())
-        if args.pipeline
-        else None
-    )
     try:
-        jobs = [
-            McJobSpec(
-                instance=instance,
-                flow=flow,
-                engine=args.engine,
-                samples=samples,
+        matrix = JobMatrix(
+            instances=args.instance,
+            flows=args.flow or ["contango"],
+            engines=[args.engine],
+            pipeline=_parse_pipeline(args.pipeline),
+            seed=args.seed,
+            monte_carlo=MonteCarloAxes(
+                samples=tuple(args.samples or [1000]),
                 family=args.family,
-                seed=args.seed,
                 skew_limit_ps=args.skew_limit,
                 gated=args.gated,
                 gate_samples=args.gate_samples,
-                pipeline=pipeline,
-            )
-            for instance in args.instance
-            for flow in flows
-            for samples in sample_counts
-        ]
+            ),
+        )
+        jobs = matrix.expand()  # surfaces spec validation as clean CLI errors
     except ValueError as error:
         print(f"repro mc: {error}", file=sys.stderr)
         return 2
 
-    def progress(summary: Dict) -> str:
-        return (
-            f"p95 skew {summary['skew_p95_ps']:.2f} ps, "
-            f"yield {100.0 * summary['skew_yield']:.1f}% "
-            f"@ {summary['skew_limit_ps']:g} ps"
-        )
-
-    return _run_batch(
-        args,
-        jobs,
-        table=table_mc,
-        summary_key="yield",
-        progress=progress,
-        worker=run_mc_job_guarded,
-    )
+    return _run_batch(args, jobs, table=table_mc, progress=_progress_mc)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -643,8 +664,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         JobSpec(instance=f"ti:{args.sinks}", seed=7 + offset)
         for offset in range(args.matrix)
     ]
-    serial = BatchRunner(jobs, max_workers=1).run()
-    parallel = BatchRunner(jobs, max_workers=args.workers).run()
+    with SynthesisService(max_workers=1) as service:
+        serial = service.run(jobs)
+    with SynthesisService(max_workers=args.workers) as service:
+        parallel = service.run(jobs)
     failures = serial.failures + parallel.failures
     payload = {
         "benchmark": f"runner_{args.matrix}job_ti{args.sinks}_arnoldi",
@@ -659,15 +682,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if parallel.wall_clock_s > 0
         else None,
         "job_runtimes_s": [
-            round(record.get("wall_clock_s", 0.0), 4) for record in serial.records
+            round(record.wall_clock_s or 0.0, 4)
+            for record in serial.records
+            if isinstance(record, RunRecord)
         ],
         "failures": len(failures),
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    Path(args.summary_json).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     if failures:
         for failure in failures:
-            print(f"job {failure['job']} failed:\n{failure['error']}", file=sys.stderr)
+            print(f"job {failure.job} failed:\n{failure.error}", file=sys.stderr)
         return 1
     return 0
 

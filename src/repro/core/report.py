@@ -1,4 +1,12 @@
-"""Flow result records (stage snapshots, Table III/IV/V style summaries)."""
+"""Flow result records (stage snapshots, Table III/IV/V style summaries).
+
+The serialized *shapes* of these records -- per-stage rows and the Table IV
+summary -- are owned by the typed schema layer (:mod:`repro.api.records`):
+:class:`StageRecord` extends :class:`repro.api.records.StageRow` with the
+flow-side constructor, and :meth:`FlowResult.summary` builds a
+:class:`repro.api.records.RunSummary`, so field names exist in exactly one
+place.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.evaluator import EvaluationReport
+from repro.api.records import RunSummary, StageRow
 from repro.core.tuning import PassResult
 from repro.cts.tree import ClockTree
 
@@ -13,20 +22,13 @@ __all__ = ["StageRecord", "FlowResult"]
 
 
 @dataclass
-class StageRecord:
-    """Metrics captured right after one flow stage (one row of Table III)."""
+class StageRecord(StageRow):
+    """Metrics captured right after one flow stage (one row of Table III).
 
-    stage: str
-    skew_ps: float
-    clr_ps: float
-    max_latency_ps: float
-    worst_slew_ps: float
-    total_capacitance_fF: float
-    capacitance_utilization: Optional[float]
-    wirelength_um: float
-    buffer_count: int
-    evaluations: int
-    elapsed_s: float
+    Inherits every field (and the ``to_record``/``from_record`` pair) from
+    the public :class:`~repro.api.records.StageRow` schema; this subclass
+    only adds the constructor that snapshots a live evaluation.
+    """
 
     @classmethod
     def from_report(
@@ -50,20 +52,9 @@ class StageRecord:
             elapsed_s=elapsed_s,
         )
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "stage": self.stage,
-            "skew_ps": self.skew_ps,
-            "clr_ps": self.clr_ps,
-            "max_latency_ps": self.max_latency_ps,
-            "worst_slew_ps": self.worst_slew_ps,
-            "total_capacitance_fF": self.total_capacitance_fF,
-            "capacitance_utilization": self.capacitance_utilization,
-            "wirelength_um": self.wirelength_um,
-            "buffer_count": self.buffer_count,
-            "evaluations": self.evaluations,
-            "elapsed_s": self.elapsed_s,
-        }
+    def as_dict(self) -> Dict[str, object]:
+        """Alias of :meth:`~repro.api.records.StageRow.to_record`."""
+        return self.to_record()
 
 
 @dataclass
@@ -130,23 +121,27 @@ class FlowResult:
                 return record
         raise KeyError(f"no stage named {name!r} in flow result")
 
-    def stage_table(self) -> List[Dict[str, float]]:
+    def stage_table(self) -> List[Dict[str, object]]:
         """Per-stage rows in Table III format."""
-        return [record.as_dict() for record in self.stages]
+        return [record.to_record() for record in self.stages]
 
-    def summary(self) -> Dict[str, float]:
-        """Single-row summary in Table IV format."""
+    def typed_summary(self) -> RunSummary:
+        """Single-row summary in Table IV format, as the typed schema."""
         report = self.require_report()
-        return {
-            "instance": self.instance_name,
-            "flow": self.flow_name,
-            "clr_ps": self.clr,
-            "skew_ps": self.skew,
-            "max_latency_ps": report.max_latency,
-            "capacitance_utilization": self.capacitance_utilization,
-            "total_capacitance_fF": report.total_capacitance,
-            "wirelength_um": report.wirelength,
-            "slew_violations": len(report.slew_violations),
-            "evaluations": self.total_evaluations,
-            "runtime_s": self.runtime_s,
-        }
+        return RunSummary(
+            instance=self.instance_name,
+            flow=self.flow_name,
+            clr_ps=self.clr,
+            skew_ps=self.skew,
+            max_latency_ps=report.max_latency,
+            capacitance_utilization=self.capacitance_utilization,
+            total_capacitance_fF=report.total_capacitance,
+            wirelength_um=report.wirelength,
+            slew_violations=len(report.slew_violations),
+            evaluations=self.total_evaluations,
+            runtime_s=self.runtime_s,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Single-row summary in Table IV format (legacy dict shape)."""
+        return self.typed_summary().to_record()

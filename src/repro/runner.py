@@ -3,16 +3,15 @@
 One *job* is one synthesis run -- an instance spec ("ti:200",
 "ispd09:ispd09f22", "scenario:maze:sinks=64", optionally scaled), a flow (the
 integrated Contango pipeline or one of the Table IV baselines), an evaluation
-engine, and an optional custom pass pipeline.  The runner expands a matrix of those axes
-into :class:`JobSpec` jobs, fans them across a
-:class:`~concurrent.futures.ProcessPoolExecutor`, and streams a
-JSON-serializable record per job as it completes, so ablation studies and
-Table III/IV/V-style sweeps run at the machine's core count instead of one
-flow at a time.
+engine, and an optional custom pass pipeline.  Job identity lives in the
+unified :mod:`repro.api.jobs` model (:class:`JobSpec`, :class:`McJobSpec`,
+expanded from a :class:`~repro.api.jobs.JobMatrix`); this module owns the
+*execution* side: materializing instances, running flows, and fanning jobs
+across a :class:`~concurrent.futures.ProcessPoolExecutor` while streaming one
+typed :mod:`repro.api.records` record per job as it completes.
 
-Monte Carlo variation sweeps are a second job type over the same pool:
-:class:`McJobSpec` synthesizes the network and then evaluates it under
-thousands of sampled supply/process scenarios
+Monte Carlo variation jobs (:class:`McJobSpec`) synthesize the network and
+then evaluate it under thousands of sampled supply/process scenarios
 (:meth:`~repro.analysis.evaluator.ClockNetworkEvaluator.evaluate_yield`),
 with a per-job :class:`numpy.random.Generator` derived deterministically
 from the base seed plus the job's identity (see :mod:`repro.seeding`), so a
@@ -23,24 +22,35 @@ Workers regenerate their instance from the spec (the generators are seeded
 and deterministic), so nothing heavier than a tiny dataclass crosses the
 process boundary in either direction.
 
-The module is the substrate of the ``python -m repro`` command line (see
-:mod:`repro.cli`) and of ``benchmarks/perf_smoke.py`` /
-``benchmarks/variation_smoke.py``.
+The module is the substrate of :class:`repro.api.service.SynthesisService`
+(whose warm pool streams through the shared :func:`dispatch_jobs` loop), of
+the ``python -m repro`` command line (see :mod:`repro.cli`), and of
+``benchmarks/perf_smoke.py`` / ``benchmarks/variation_smoke.py``.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
-from repro.analysis.variation import (
-    SAMPLING_FAMILIES,
-    VariationModel,
-    default_variation_model,
+from repro.analysis.variation import VariationModel, default_variation_model
+from repro.api.jobs import Job, JobSpec, McJobSpec, sanitize_spec
+from repro.api.records import (
+    MC_TABLE_COLUMNS,
+    RUN_SUMMARY_COLUMNS,
+    STAGE_TABLE_COLUMNS,
+    ErrorRecord,
+    McRecord,
+    Record,
+    RunRecord,
+    RunSummary,
+    YieldSummary,
+    mc_table_row,
+    record_from_dict,
 )
 from repro.baselines import all_baselines
 from repro.core import ContangoFlow, FlowConfig
@@ -67,65 +77,17 @@ __all__ = [
     "resolve_instance",
     "run_job",
     "run_mc_job",
+    "execute_job",
+    "execute_job_guarded",
     "run_mc_job_guarded",
+    "dispatch_jobs",
+    "error_record",
     "variation_model_for",
     "render_table",
     "table_iii",
     "table_iv",
     "table_mc",
 ]
-
-
-# ----------------------------------------------------------------------
-# Job specification and execution
-# ----------------------------------------------------------------------
-def sanitize_spec(text: str) -> str:
-    """Filesystem-safe, *injective* form of an instance spec.
-
-    ``:`` maps to ``-`` and ``/`` to ``_`` so the common specs stay readable
-    (``ti:200`` -> ``ti-200``); literal occurrences of the replacement
-    characters (and ``%``) are percent-escaped first, so no two distinct
-    specs share a label.  Stripping separators outright collided ``ti:200``
-    with a hypothetical ``ti2:00`` -- and a collision means one job's result
-    file silently overwrites another's.
-    """
-    text = text.replace("%", "%25").replace("-", "%2D").replace("_", "%5F")
-    return text.replace(":", "-").replace("/", "_")
-
-
-@dataclass(frozen=True)
-class JobSpec:
-    """One cell of the batch matrix, cheap to pickle across processes.
-
-    ``instance`` uses a ``kind:value`` spec:
-
-    * ``ti:<sinks>`` -- the TI-style scalability generator;
-    * ``ispd09:<name>`` or ``ispd09:<name>:<scale>`` -- an ISPD'09-style
-      benchmark, optionally shrunk by ``scale`` in (0, 1];
-    * ``scenario:<family>[:k=v,...]`` -- a registered scenario family from
-      :mod:`repro.scenarios` (``repro sweep --list-families`` lists them);
-    * ``file:<path>`` -- a saved instance in the plain-text format.
-
-    ``pipeline`` overrides :attr:`FlowConfig.pipeline` (pass-registry
-    names); ``seed`` overrides the TI generator's (or a scenario's) default
-    instance seed.
-    """
-
-    instance: str
-    flow: str = "contango"
-    engine: str = "arnoldi"
-    pipeline: Optional[Tuple[str, ...]] = None
-    seed: Optional[int] = None
-
-    @property
-    def label(self) -> str:
-        """Filesystem-safe identifier used for result files and log lines."""
-        parts = [sanitize_spec(self.instance), self.flow, self.engine]
-        if self.pipeline is not None:
-            parts.append("-".join(self.pipeline))
-        if self.seed is not None:
-            parts.append(f"seed{self.seed}")
-        return "__".join(parts)
 
 
 class JobError(RuntimeError):
@@ -137,7 +99,7 @@ def available_flows() -> List[str]:
     return ["contango"] + [flow.name for flow in all_baselines()]
 
 
-def resolve_instance(spec: JobSpec) -> ClockNetworkInstance:
+def resolve_instance(spec: Job) -> ClockNetworkInstance:
     """Materialize the instance a job spec names."""
     kind, _, rest = spec.instance.partition(":")
     if kind == "ti":
@@ -165,7 +127,7 @@ def resolve_instance(spec: JobSpec) -> ClockNetworkInstance:
     )
 
 
-def _make_flow(flow_name: str, config: FlowConfig):
+def _make_flow(flow_name: str, config: FlowConfig) -> object:
     if flow_name == "contango":
         return ContangoFlow(config)
     for baseline in all_baselines(config):
@@ -174,8 +136,8 @@ def _make_flow(flow_name: str, config: FlowConfig):
     raise ValueError(f"unknown flow {flow_name!r}; available: {available_flows()}")
 
 
-def run_job(spec: JobSpec) -> Dict:
-    """Execute one job and return its JSON-serializable result record.
+def run_job(spec: JobSpec) -> RunRecord:
+    """Execute one synthesis job and return its typed result record.
 
     Module-level (not a method) so the process pool can pickle it by
     reference; the instance is regenerated in the worker from the spec.
@@ -187,23 +149,23 @@ def run_job(spec: JobSpec) -> Dict:
     config = FlowConfig(engine=spec.engine, seed=spec.seed)
     if spec.pipeline is not None:
         config.pipeline = list(spec.pipeline)
-    result: FlowResult = _make_flow(spec.flow, config).run(instance)
+    result: FlowResult = _make_flow(spec.flow, config).run(instance)  # type: ignore[attr-defined]
     # Content-address the computation for the run store: the instance's
     # canonical-serialization hash (not the spec string) plus the config
     # digest, so generator or config drift changes the fingerprint even when
     # the spec text stays the same.
     instance_fp = instance_fingerprint(instance)
     config_fp = config_digest(config)
-    record = {
-        "job": spec.label,
-        "instance": spec.instance,
-        "flow": spec.flow,
-        "engine": spec.engine,
-        "pipeline": list(spec.pipeline) if spec.pipeline is not None else None,
-        "seed": spec.seed,
-        "instance_fingerprint": instance_fp,
-        "config_digest": config_fp,
-        "fingerprint": job_fingerprint(
+    return RunRecord(
+        job=spec.label,
+        instance=spec.instance,
+        flow=spec.flow,
+        engine=spec.engine,
+        pipeline=list(spec.pipeline) if spec.pipeline is not None else None,
+        seed=spec.seed,
+        instance_fingerprint=instance_fp,
+        config_digest=config_fp,
+        fingerprint=job_fingerprint(
             instance_fingerprint=instance_fp,
             flow=spec.flow,
             engine=spec.engine,
@@ -211,108 +173,43 @@ def run_job(spec: JobSpec) -> Dict:
             seed=spec.seed,
             config_digest=config_fp,
         ),
-        "sinks": instance.sink_count,
-        "summary": result.summary(),
-        "stage_table": result.stage_table(),
-        "pass_notes": {name: list(p.notes) for name, p in result.pass_results.items()},
-        "evaluator_cache": result.evaluator_cache,
-        "wall_clock_s": time.perf_counter() - start,
-    }
-    if result.variation_gate:
-        record["variation_gate"] = result.variation_gate
+        sinks=instance.sink_count,
+        summary=result.typed_summary(),
+        stage_table=list(result.stages),
+        pass_notes={name: list(p.notes) for name, p in result.pass_results.items()},
+        evaluator_cache=result.evaluator_cache,
+        wall_clock_s=time.perf_counter() - start,
+        variation_gate=result.variation_gate or None,
+    )
+
+
+def error_record(spec: Job, detail: str) -> ErrorRecord:
+    """The failure record of one job, carrying the full spec envelope.
+
+    Unlike the hand-rolled dicts of earlier revisions, error records keep the
+    job-identity axes (``pipeline``, ``seed``, the Monte Carlo dimensions) so
+    ``repro compare`` can line a failed job up against its baseline
+    counterpart instead of silently dropping it from the accounting.
+    """
+    record = ErrorRecord(
+        job=spec.label,
+        instance=spec.instance,
+        flow=spec.flow,
+        engine=spec.engine,
+        error=detail,
+        pipeline=list(spec.pipeline) if spec.pipeline is not None else None,
+        seed=spec.seed,
+    )
+    if isinstance(spec, McJobSpec):
+        record.samples = spec.samples
+        record.family = spec.family
+        record.gated = spec.gated
     return record
-
-
-def _error_record(spec: Union["JobSpec", "McJobSpec"], detail: str) -> Dict:
-    return {
-        "job": spec.label,
-        "instance": spec.instance,
-        "flow": spec.flow,
-        "engine": spec.engine,
-        "error": detail,
-    }
-
-
-def _run_job_guarded(spec: JobSpec) -> Dict:
-    """Worker entry point: never raises, so one bad job cannot kill the batch."""
-    try:
-        return run_job(spec)
-    except Exception:
-        return _error_record(spec, traceback.format_exc())
 
 
 # ----------------------------------------------------------------------
 # Monte Carlo variation jobs
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class McJobSpec:
-    """One Monte Carlo variation job: synthesize, then sample the yield.
-
-    The instance spec and flow/engine/pipeline axes mirror :class:`JobSpec`;
-    ``samples`` and ``family`` select the Monte Carlo sweep, and ``seed``
-    drives *only* the stochastic parts (sampling, gates) -- the instance
-    itself stays pinned by its spec so different seeds explore different
-    scenarios of the same network.  ``gated`` additionally switches the
-    synthesis pipeline to the variation-aware variant
-    (:data:`repro.core.config.VARIATION_PIPELINE`), so robust-optimization
-    ablations are one flag away from the nominal flow.
-    """
-
-    instance: str
-    flow: str = "contango"
-    engine: str = "arnoldi"
-    samples: int = 1000
-    family: str = "independent"
-    seed: int = 7
-    skew_limit_ps: float = 7.5
-    gated: bool = False
-    #: Scenario count per gate check during gated synthesis; ``None`` keeps
-    #: the :class:`FlowConfig` default (the gate runs once per IVC round, so
-    #: it deliberately uses fewer samples than the final reporting sweep).
-    gate_samples: Optional[int] = None
-    pipeline: Optional[Tuple[str, ...]] = None
-
-    def __post_init__(self) -> None:
-        if self.samples < 1:
-            raise ValueError("samples must be >= 1")
-        if self.gate_samples is not None and self.gate_samples < 2:
-            raise ValueError("gate_samples must be >= 2")
-        if self.family not in SAMPLING_FAMILIES:
-            raise ValueError(
-                f"unknown sampling family {self.family!r}; choose from {SAMPLING_FAMILIES}"
-            )
-        if self.engine not in ("elmore", "arnoldi"):
-            raise ValueError(
-                "Monte Carlo jobs need an analytical engine ('elmore' or 'arnoldi')"
-            )
-        if self.gated and self.flow != "contango":
-            raise ValueError(
-                "--gated selects the Contango variation-aware pipeline and is "
-                f"not available for flow {self.flow!r}"
-            )
-        if self.gated and self.pipeline is not None:
-            raise ValueError(
-                "--gated and an explicit pipeline are mutually exclusive; put "
-                "the *_mc pass variants in the pipeline instead"
-            )
-
-    @property
-    def label(self) -> str:
-        parts = [
-            sanitize_spec(self.instance),
-            self.flow,
-            self.engine,
-            f"mc{self.samples}",
-            self.family,
-            f"seed{self.seed}",
-        ]
-        if self.gated:
-            parts.append("gated")
-        if self.pipeline is not None:
-            parts.append("-".join(self.pipeline))
-        return "__".join(parts)
-
-
 def variation_model_for(spec: McJobSpec, config: FlowConfig) -> VariationModel:
     """The variation model an MC job samples from.
 
@@ -325,7 +222,7 @@ def variation_model_for(spec: McJobSpec, config: FlowConfig) -> VariationModel:
     return default_variation_model(family=spec.family)
 
 
-def run_mc_job(spec: McJobSpec) -> Dict:
+def run_mc_job(spec: McJobSpec) -> McRecord:
     """Synthesize one network and Monte Carlo-evaluate its skew yield.
 
     The sampling generator is derived from the job seed plus the job's
@@ -349,7 +246,7 @@ def run_mc_job(spec: McJobSpec) -> Dict:
         from repro.core.config import VARIATION_PIPELINE
 
         config.pipeline = list(VARIATION_PIPELINE)
-    result: FlowResult = _make_flow(spec.flow, config).run(instance)
+    result: FlowResult = _make_flow(spec.flow, config).run(instance)  # type: ignore[attr-defined]
     tree = result.require_tree()
 
     evaluator = ClockNetworkEvaluator(
@@ -365,31 +262,73 @@ def run_mc_job(spec: McJobSpec) -> Dict:
     report = evaluator.evaluate_yield(
         tree, model, samples=spec.samples, rng=rng, skew_limit_ps=spec.skew_limit_ps
     )
-    record = {
-        "job": spec.label,
-        "instance": spec.instance,
-        "flow": spec.flow,
-        "engine": spec.engine,
-        "samples": spec.samples,
-        "family": spec.family,
-        "seed": spec.seed,
-        "gated": spec.gated,
-        "sinks": instance.sink_count,
-        "yield": report.summary(),
-        "nominal": result.summary(),
-        "wall_clock_s": time.perf_counter() - start,
-    }
-    if result.variation_gate:
-        record["variation_gate"] = result.variation_gate
-    return record
+    return McRecord(
+        job=spec.label,
+        instance=spec.instance,
+        flow=spec.flow,
+        engine=spec.engine,
+        samples=spec.samples,
+        family=spec.family,
+        seed=spec.seed,
+        gated=spec.gated,
+        sinks=instance.sink_count,
+        yield_=YieldSummary.from_record(report.summary()),
+        nominal=result.typed_summary(),
+        wall_clock_s=time.perf_counter() - start,
+        variation_gate=result.variation_gate or None,
+    )
 
 
-def run_mc_job_guarded(spec: McJobSpec) -> Dict:
-    """Worker entry point of MC jobs; mirrors :func:`_run_job_guarded`."""
-    try:
+# ----------------------------------------------------------------------
+# Worker entry points
+# ----------------------------------------------------------------------
+def execute_job(spec: Job) -> Union[RunRecord, McRecord]:
+    """Run one job of either kind and return its typed record."""
+    if isinstance(spec, McJobSpec):
         return run_mc_job(spec)
+    if isinstance(spec, JobSpec):
+        return run_job(spec)
+    raise TypeError(f"not an executable job spec: {spec!r}")
+
+
+def execute_job_guarded(spec: Job) -> Record:
+    """Worker entry point: never raises, so one bad job cannot kill the batch.
+
+    Handles synthesis and Monte Carlo jobs alike -- the one default worker of
+    :class:`BatchRunner` and :class:`~repro.api.service.SynthesisService`.
+    """
+    try:
+        return execute_job(spec)
     except Exception:
-        return _error_record(spec, traceback.format_exc())
+        return error_record(spec, traceback.format_exc())
+
+
+#: Backward-compatible aliases for the historical per-kind guarded workers.
+_run_job_guarded = execute_job_guarded
+run_mc_job_guarded = execute_job_guarded
+
+
+def dispatch_jobs(
+    pool: Executor,
+    jobs: Sequence[Job],
+    worker: Callable[[Job], Record] = execute_job_guarded,
+) -> Iterator[Tuple[int, Record]]:
+    """Fan ``jobs`` across ``pool``, yielding ``(index, record)`` as each completes.
+
+    The one submit/as_completed loop shared by :class:`BatchRunner` and
+    :class:`~repro.api.service.SynthesisService`: a failure raised by the
+    pool *infrastructure* (a dead worker, a broken pipe) -- as opposed to the
+    job, which the guarded worker already catches -- is converted into an
+    :class:`~repro.api.records.ErrorRecord` for its job instead of killing
+    the whole batch.
+    """
+    futures = {pool.submit(worker, spec): index for index, spec in enumerate(jobs)}
+    for future in as_completed(futures):
+        index = futures[future]
+        try:
+            yield index, future.result()
+        except Exception:
+            yield index, error_record(jobs[index], traceback.format_exc())
 
 
 # ----------------------------------------------------------------------
@@ -397,19 +336,23 @@ def run_mc_job_guarded(spec: McJobSpec) -> Dict:
 # ----------------------------------------------------------------------
 @dataclass
 class BatchResult:
-    """Outcome of one batch: per-job records (in job order) plus timing."""
+    """Outcome of one batch: per-job typed records (in job order) plus timing."""
 
-    records: List[Dict]
+    records: List[Record]
     wall_clock_s: float
     workers: int
 
     @property
-    def failures(self) -> List[Dict]:
-        return [record for record in self.records if "error" in record]
+    def failures(self) -> List[ErrorRecord]:
+        return [record for record in self.records if isinstance(record, ErrorRecord)]
 
     @property
-    def summaries(self) -> List[Dict]:
-        return [record["summary"] for record in self.records if "summary" in record]
+    def summaries(self) -> List[RunSummary]:
+        return [
+            record.summary
+            for record in self.records
+            if isinstance(record, RunRecord) and record.summary is not None
+        ]
 
 
 class BatchRunner:
@@ -421,17 +364,20 @@ class BatchRunner:
     completed job either way -- the CLI uses it to write per-job JSON and
     print progress lines while the rest of the batch is still running.
 
-    The default ``worker`` runs synthesis jobs (:class:`JobSpec`); Monte
-    Carlo batches pass :class:`McJobSpec` jobs with
-    ``worker=run_mc_job_guarded`` -- any module-level function mapping a
-    picklable spec to a JSON-able record fits.
+    The default ``worker`` (:func:`execute_job_guarded`) runs synthesis and
+    Monte Carlo jobs alike; any module-level function mapping a picklable
+    spec to a record fits.  ``executor`` lends the runner an already-running
+    pool instead of spinning one up per :meth:`run` call (a lent executor is
+    never shut down here), so repeated batches can share warm workers just
+    like :class:`~repro.api.service.SynthesisService` does.
     """
 
     def __init__(
         self,
-        jobs: Sequence,
+        jobs: Sequence[Job],
         max_workers: int = 1,
-        worker: Callable[..., Dict] = _run_job_guarded,
+        worker: Callable[[Job], Record] = execute_job_guarded,
+        executor: Optional[Executor] = None,
     ) -> None:
         if not jobs:
             raise ValueError("a batch needs at least one job")
@@ -440,42 +386,46 @@ class BatchRunner:
         self.jobs = list(jobs)
         self.max_workers = max_workers
         self.worker = worker
+        self.executor = executor
 
-    def run(self, on_result: Optional[Callable[[int, Dict], None]] = None) -> BatchResult:
+    def run(
+        self, on_result: Optional[Callable[[int, Record], None]] = None
+    ) -> BatchResult:
         start = time.perf_counter()
-        records: List[Optional[Dict]] = [None] * len(self.jobs)
-        if self.max_workers == 1:
+        records: List[Optional[Record]] = [None] * len(self.jobs)
+        if self.executor is None and self.max_workers == 1:
             for index, spec in enumerate(self.jobs):
-                records[index] = self.worker(spec)
+                record = self.worker(spec)
+                records[index] = record
                 if on_result is not None:
-                    on_result(index, records[index])
+                    on_result(index, record)
+        elif self.executor is not None:
+            self._dispatch(self.executor, records, on_result)
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {
-                    pool.submit(self.worker, spec): index
-                    for index, spec in enumerate(self.jobs)
-                }
-                for future in as_completed(futures):
-                    index = futures[future]
-                    try:
-                        records[index] = future.result()
-                    except Exception:  # pool infrastructure failure, not the job
-                        records[index] = _error_record(
-                            self.jobs[index], traceback.format_exc()
-                        )
-                    if on_result is not None:
-                        on_result(index, records[index])
+                self._dispatch(pool, records, on_result)
         return BatchResult(
             records=[record for record in records if record is not None],
             wall_clock_s=time.perf_counter() - start,
             workers=self.max_workers,
         )
 
+    def _dispatch(
+        self,
+        pool: Executor,
+        records: List[Optional[Record]],
+        on_result: Optional[Callable[[int, Record], None]],
+    ) -> None:
+        for index, record in dispatch_jobs(pool, self.jobs, self.worker):
+            records[index] = record
+            if on_result is not None:
+                on_result(index, record)
+
 
 # ----------------------------------------------------------------------
 # Table rendering (Table III / Table IV style)
 # ----------------------------------------------------------------------
-def render_table(rows: Sequence[Dict], columns: Sequence[Tuple[str, str, str]]) -> str:
+def render_table(rows: Sequence[dict], columns: Sequence[Tuple[str, str, str]]) -> str:
     """Fixed-width text table; ``columns`` is (key, header, format-spec)."""
     rendered: List[List[str]] = [[header for _, header, _ in columns]]
     for row in rows:
@@ -493,88 +443,34 @@ def render_table(rows: Sequence[Dict], columns: Sequence[Tuple[str, str, str]]) 
     return "\n".join(lines)
 
 
-#: Table IV columns: one row per (instance, flow) with the final metrics.
-_TABLE_IV_COLUMNS = (
-    ("instance", "instance", "s"),
-    ("flow", "flow", "s"),
-    ("clr_ps", "CLR[ps]", ".2f"),
-    ("skew_ps", "skew[ps]", ".2f"),
-    ("max_latency_ps", "latency[ps]", ".1f"),
-    ("total_capacitance_fF", "cap[fF]", ".0f"),
-    ("wirelength_um", "WL[um]", ".0f"),
-    ("slew_violations", "slew viol", "d"),
-    ("evaluations", "evals", "d"),
-    ("runtime_s", "runtime[s]", ".2f"),
-)
+def table_iv(records: Sequence[object]) -> str:
+    """Render completed job records as a Table IV-style comparison.
 
-#: Table III columns: one row per optimization stage of a single run.
-_TABLE_III_COLUMNS = (
-    ("stage", "stage", "s"),
-    ("skew_ps", "skew[ps]", ".2f"),
-    ("clr_ps", "CLR[ps]", ".2f"),
-    ("max_latency_ps", "latency[ps]", ".1f"),
-    ("worst_slew_ps", "slew[ps]", ".1f"),
-    ("total_capacitance_fF", "cap[fF]", ".0f"),
-    ("wirelength_um", "WL[um]", ".0f"),
-    ("buffer_count", "buffers", "d"),
-    ("evaluations", "evals", "d"),
-    ("elapsed_s", "t[s]", ".2f"),
-)
+    Accepts typed records or legacy dicts (e.g. re-read from saved JSON).
+    """
+    rows = [
+        record.summary.to_record()
+        for record in map(record_from_dict, records)  # type: ignore[arg-type]
+        if isinstance(record, RunRecord) and record.summary is not None
+    ]
+    return render_table(rows, RUN_SUMMARY_COLUMNS)
 
 
-def table_iv(records: Sequence[Dict]) -> str:
-    """Render completed job records as a Table IV-style comparison."""
-    rows = [record["summary"] for record in records if "summary" in record]
-    return render_table(rows, _TABLE_IV_COLUMNS)
-
-
-def table_iii(record: Dict) -> str:
+def table_iii(record: object) -> str:
     """Render one job record's stage table in Table III format."""
-    rows = [dict(row) for row in record.get("stage_table", [])]
-    for row in rows:
-        row.setdefault("elapsed_s", 0.0)
-    return render_table(rows, _TABLE_III_COLUMNS)
+    parsed = record_from_dict(record)  # type: ignore[arg-type]
+    if not isinstance(parsed, RunRecord):
+        return render_table([], STAGE_TABLE_COLUMNS)
+    return render_table(
+        [row.to_record() for row in parsed.stage_table], STAGE_TABLE_COLUMNS
+    )
 
 
-#: Yield-table columns: one row per Monte Carlo job with the distribution
-#: statistics the ISPD'10-style scoring cares about.
-_TABLE_MC_COLUMNS = (
-    ("instance", "instance", "s"),
-    ("flow", "flow", "s"),
-    ("family", "family", "s"),
-    ("samples", "samples", "d"),
-    ("skew_mean_ps", "skew mu[ps]", ".2f"),
-    ("skew_std_ps", "sigma[ps]", ".2f"),
-    ("skew_p95_ps", "p95[ps]", ".2f"),
-    ("skew_p99_ps", "p99[ps]", ".2f"),
-    ("skew_yield_pct", "yield[%]", ".1f"),
-    ("clr_p95_ps", "CLR p95[ps]", ".2f"),
-    ("nominal_skew_ps", "nom skew[ps]", ".2f"),
-    ("wall_clock_s", "t[s]", ".2f"),
-)
-
-
-def table_mc(records: Sequence[Dict]) -> str:
+def table_mc(records: Sequence[object]) -> str:
     """Render completed Monte Carlo job records as a yield table."""
-    rows: List[Dict] = []
-    for record in records:
-        if "yield" not in record:
-            continue
-        summary = record["yield"]
-        rows.append(
-            {
-                "instance": record.get("instance"),
-                "flow": record.get("flow"),
-                "family": record.get("family"),
-                "samples": record.get("samples"),
-                "skew_mean_ps": summary.get("skew_mean_ps"),
-                "skew_std_ps": summary.get("skew_std_ps"),
-                "skew_p95_ps": summary.get("skew_p95_ps"),
-                "skew_p99_ps": summary.get("skew_p99_ps"),
-                "skew_yield_pct": 100.0 * summary.get("skew_yield", 0.0),
-                "clr_p95_ps": summary.get("clr_p95_ps"),
-                "nominal_skew_ps": record.get("nominal", {}).get("skew_ps"),
-                "wall_clock_s": record.get("wall_clock_s"),
-            }
-        )
-    return render_table(rows, _TABLE_MC_COLUMNS)
+    rows = [
+        mc_table_row(record)
+        for record in map(record_from_dict, records)  # type: ignore[arg-type]
+        if isinstance(record, McRecord) and record.yield_ is not None
+    ]
+    return render_table(rows, MC_TABLE_COLUMNS)

@@ -11,6 +11,7 @@ from repro.scenarios.base import (
     ScenarioFamily,
     ScenarioParam,
     canonical_scenario_spec,
+    expand_families,
     expand_sweep,
     generate_scenario,
     get_family,
@@ -26,6 +27,7 @@ __all__ = [
     "ScenarioFamily",
     "ScenarioParam",
     "canonical_scenario_spec",
+    "expand_families",
     "expand_sweep",
     "generate_scenario",
     "get_family",

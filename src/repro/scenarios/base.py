@@ -41,6 +41,7 @@ __all__ = [
     "generate_scenario",
     "canonical_scenario_spec",
     "expand_sweep",
+    "expand_families",
 ]
 
 ParamValue = Union[int, float, str]
@@ -275,4 +276,24 @@ def expand_sweep(
         point = dict(base_params)
         point.update(dict(zip(axes, values)))
         specs.append(canonical_scenario_spec(family, point, keep=keep))
+    return specs
+
+
+def expand_families(
+    families: Sequence[str],
+    base: Optional[Mapping[str, Any]] = None,
+    sweeps: Optional[Mapping[str, Sequence[Any]]] = None,
+) -> List[str]:
+    """:func:`expand_sweep` over several families, concatenated in order.
+
+    The shared ``base``/``sweeps`` apply to every family (each validates them
+    against its own parameter set); every family is looked up *before* any
+    expansion so an unknown name fails fast, ahead of long synthesis batches.
+    This is the scenario half of :meth:`repro.api.jobs.JobMatrix.expand`.
+    """
+    for name in families:
+        get_family(name)
+    specs: List[str] = []
+    for name in families:
+        specs.extend(expand_sweep(name, base, sweeps))
     return specs

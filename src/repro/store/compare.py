@@ -8,12 +8,23 @@ the baseline by more than the tolerance (evaluation count optionally gated
 too); fingerprint changes are reported separately, because "same metrics,
 different computation" is exactly what a silent generator or config drift
 looks like.
+
+Inputs may be legacy record dicts (as read back from a store) or typed
+:mod:`repro.api.records` records; everything is normalized through
+:func:`repro.api.records.record_from_dict` up front.  Failed jobs
+(:class:`~repro.api.records.ErrorRecord`) never match -- but because error
+records carry the same spec envelope as successful ones, the diff can say
+*which* side a job failed on (:attr:`ComparisonResult.baseline_failures` /
+:attr:`ComparisonResult.candidate_failures`) instead of lumping failures in
+with never-attempted jobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.records import ErrorRecord, Record, RunRecord, record_from_dict
 
 __all__ = [
     "CompareTolerances",
@@ -25,16 +36,24 @@ __all__ = [
     "compare_rows",
 ]
 
+RecordLike = Union[Mapping[str, Any], Record]
 
-def record_key(record: Dict) -> Tuple:
+
+def record_key(record: RecordLike) -> Tuple[Any, ...]:
     """The identity of a job across stores (content fingerprints excluded)."""
-    pipeline = record.get("pipeline")
+    parsed = record_from_dict(record)
+    if isinstance(parsed, ErrorRecord):
+        pipeline = parsed.envelope("pipeline")
+        seed = parsed.envelope("seed")
+    else:
+        pipeline = getattr(parsed, "pipeline", None)
+        seed = parsed.seed
     return (
-        record.get("instance"),
-        record.get("flow"),
-        record.get("engine"),
+        parsed.instance,
+        parsed.flow,
+        parsed.engine,
         tuple(pipeline) if pipeline else None,
-        record.get("seed"),
+        seed,
     )
 
 
@@ -55,8 +74,8 @@ class ComparisonRow:
     instance: str
     flow: str
     engine: str
-    baseline: Dict
-    candidate: Dict
+    baseline: RunRecord
+    candidate: RunRecord
     d_skew_ps: float
     d_clr_ps: float
     d_evaluations: int
@@ -70,38 +89,49 @@ class ComparisonResult:
     """The full diff: matched rows plus the jobs present on only one side."""
 
     rows: List[ComparisonRow] = field(default_factory=list)
-    only_baseline: List[Dict] = field(default_factory=list)
-    only_candidate: List[Dict] = field(default_factory=list)
+    only_baseline: List[RunRecord] = field(default_factory=list)
+    only_candidate: List[RunRecord] = field(default_factory=list)
+    #: Failed jobs per side (never matched; reported for accounting).
+    baseline_failures: List[ErrorRecord] = field(default_factory=list)
+    candidate_failures: List[ErrorRecord] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[ComparisonRow]:
         return [row for row in self.rows if row.regressed]
 
 
-def _metric(record: Dict, key: str) -> float:
-    return float(record.get("summary", {}).get(key) or 0.0)
+def _metric(record: RunRecord, key: str) -> float:
+    value = getattr(record.summary, key, None) if record.summary is not None else None
+    return float(value or 0.0)
 
 
 def diff_records(
-    baseline: Sequence[Dict],
-    candidate: Sequence[Dict],
+    baseline: Sequence[RecordLike],
+    candidate: Sequence[RecordLike],
     tolerances: CompareTolerances = CompareTolerances(),
 ) -> ComparisonResult:
     """Match ``candidate`` records against ``baseline`` by job key and diff.
 
-    Error records (no ``summary``) are never matched; duplicate keys keep the
-    *last* record of each side, i.e. the most recent append wins.
+    Error records (and Monte Carlo records, which carry no Table IV summary)
+    are never matched; duplicate keys keep the *last* record of each side,
+    i.e. the most recent append wins.
     """
-    def index(records: Sequence[Dict]) -> Dict[Tuple, Dict]:
-        return {
-            record_key(record): record
-            for record in records
-            if "summary" in record
-        }
-
-    base_index = index(baseline)
-    cand_index = index(candidate)
     result = ComparisonResult()
+
+    def index(
+        records: Sequence[RecordLike], failures: List[ErrorRecord]
+    ) -> Dict[Tuple[Any, ...], RunRecord]:
+        indexed: Dict[Tuple[Any, ...], RunRecord] = {}
+        for item in records:
+            record = record_from_dict(item)
+            if isinstance(record, ErrorRecord):
+                failures.append(record)
+            elif isinstance(record, RunRecord) and record.summary is not None:
+                indexed[record_key(record)] = record
+        return indexed
+
+    base_index = index(baseline, result.baseline_failures)
+    cand_index = index(candidate, result.candidate_failures)
     for key, base in base_index.items():
         cand = cand_index.get(key)
         if cand is None:
@@ -110,17 +140,15 @@ def diff_records(
         d_skew = _metric(cand, "skew_ps") - _metric(base, "skew_ps")
         d_clr = _metric(cand, "clr_ps") - _metric(base, "clr_ps")
         d_evals = int(_metric(cand, "evaluations") - _metric(base, "evaluations"))
-        d_wall = float(cand.get("wall_clock_s") or 0.0) - float(
-            base.get("wall_clock_s") or 0.0
-        )
+        d_wall = float(cand.wall_clock_s or 0.0) - float(base.wall_clock_s or 0.0)
         regressed = d_skew > tolerances.skew_ps or d_clr > tolerances.clr_ps
         if tolerances.evaluations is not None:
             regressed = regressed or d_evals > tolerances.evaluations
         result.rows.append(
             ComparisonRow(
-                instance=str(base.get("instance")),
-                flow=str(base.get("flow")),
-                engine=str(base.get("engine")),
+                instance=str(base.instance),
+                flow=str(base.flow),
+                engine=str(base.engine),
                 baseline=base,
                 candidate=cand,
                 d_skew_ps=d_skew,
@@ -129,8 +157,7 @@ def diff_records(
                 d_wall_clock_s=d_wall,
                 regressed=regressed,
                 fingerprint_changed=(
-                    base.get("fingerprint") != cand.get("fingerprint")
-                    or base.get("fingerprint") is None
+                    base.fingerprint != cand.fingerprint or base.fingerprint is None
                 ),
             )
         )
@@ -157,14 +184,14 @@ COMPARE_COLUMNS = (
 )
 
 
-def compare_rows(result: ComparisonResult) -> List[Dict]:
+def compare_rows(result: ComparisonResult) -> List[Dict[str, Any]]:
     """Flatten a :class:`ComparisonResult` into :data:`COMPARE_COLUMNS` rows.
 
     The ``flag`` column highlights regressions (``REG``) and, separately,
     matched jobs whose content fingerprints differ (``fp!``) -- the metrics
     may agree while the computation changed.
     """
-    rows: List[Dict] = []
+    rows: List[Dict[str, Any]] = []
     for row in result.rows:
         flags = []
         if row.regressed:

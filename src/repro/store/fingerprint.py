@@ -26,7 +26,13 @@ __all__ = ["canonical_json", "config_digest", "job_fingerprint"]
 def _jsonable(value: Any) -> Any:
     """Best-effort canonical JSON value; falls back to ``repr`` for opaques."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+        # Non-compare fields are derived state (caches), not identity: two
+        # configs that compare equal must digest equally.
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.compare
+        }
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):

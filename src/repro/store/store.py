@@ -20,6 +20,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.api.records import Record, record_from_dict
+
 __all__ = ["STORE_SCHEMA_VERSION", "RunStore"]
 
 STORE_SCHEMA_VERSION = 1
@@ -62,13 +64,17 @@ class RunStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def append(self, record: Dict, run_id: str) -> Dict:
+    def append(self, record: Union[Dict, Record], run_id: str) -> Dict:
         """Append one job record under ``run_id``; returns the stored envelope.
 
-        The record is expected to carry its own ``fingerprint`` (the runner
-        computes it from the resolved instance content and config); records
-        without one -- e.g. error records -- are stored with ``null``.
+        Accepts a legacy record dict or any typed :mod:`repro.api.records`
+        record (serialized via its ``to_record()``).  The record is expected
+        to carry its own ``fingerprint`` (the runner computes it from the
+        resolved instance content and config); records without one -- e.g.
+        error records -- are stored with ``null``.
         """
+        if not isinstance(record, dict):
+            record = record.to_record()
         self.check_run_id(run_id)
         envelope = {
             "schema": STORE_SCHEMA_VERSION,
@@ -126,6 +132,10 @@ class RunStore:
     def records(self, **filters) -> List[Dict]:
         """The job-record payloads of :meth:`entries` (same filters)."""
         return [envelope["record"] for envelope in self.entries(**filters)]
+
+    def typed_records(self, **filters) -> List[Record]:
+        """:meth:`records` parsed into typed :mod:`repro.api.records` classes."""
+        return [record_from_dict(record) for record in self.records(**filters)]
 
     def run_ids(self) -> List[str]:
         """Distinct run ids in first-appended order."""

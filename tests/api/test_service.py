@@ -1,0 +1,194 @@
+"""Tests for the warm-pool SynthesisService facade (repro.api.service)."""
+
+import pytest
+
+from repro.api.jobs import JobMatrix, JobSpec, McJobSpec, MonteCarloAxes
+from repro.api.records import ErrorRecord, McRecord, RunRecord
+from repro.api.service import JobEvent, SynthesisService
+from repro.runner import JobError
+from repro.store import RunStore
+
+FAST = ("initial",)  # initial-tree-only pipeline keeps service tests quick
+
+
+class TestFacadeCalls:
+    def test_synthesize_returns_typed_record(self):
+        with SynthesisService() as service:
+            record = service.synthesize("ti:30", engine="elmore", pipeline=FAST)
+        assert isinstance(record, RunRecord)
+        assert record.sinks == 30
+        assert record.pipeline == ["initial"]
+        assert record.fingerprint
+
+    def test_monte_carlo_returns_typed_record(self):
+        with SynthesisService() as service:
+            record = service.monte_carlo(
+                "ti:30", samples=16, seed=3, pipeline=FAST
+            )
+        assert isinstance(record, McRecord)
+        assert record.yield_.n_samples == 16
+
+    def test_failed_single_job_raises_job_error(self):
+        with SynthesisService() as service:
+            with pytest.raises(JobError, match="unknown instance spec"):
+                service.synthesize("nope:1")
+
+    def test_sweep_runs_a_matrix_in_job_order(self):
+        with SynthesisService() as service:
+            batch = service.sweep(
+                families=["banks"],
+                fixed={"sinks": 16},
+                sweeps={"clusters": [2, 4]},
+                engines=["elmore"],
+                pipeline=FAST,
+            )
+        assert [r.instance for r in batch.records] == [
+            "scenario:banks:clusters=2,sinks=16",
+            "scenario:banks:clusters=4,sinks=16",
+        ]
+        assert not batch.failures
+        assert batch.wall_clock_s > 0.0
+
+    def test_sweep_accepts_a_prebuilt_matrix(self):
+        matrix = JobMatrix(
+            instances=["ti:30"],
+            engines=["elmore"],
+            pipeline=FAST,
+            monte_carlo=MonteCarloAxes(samples=(8,)),
+        )
+        with SynthesisService() as service:
+            batch = service.sweep(matrix)
+        (record,) = batch.records
+        assert isinstance(record, McRecord)
+        assert record.samples == 8
+
+
+class TestStreaming:
+    def jobs(self):
+        return [
+            JobSpec(instance="ti:30", engine="elmore", pipeline=FAST),
+            JobSpec(instance="nope:1"),
+        ]
+
+    def test_stream_yields_one_event_per_job(self):
+        with SynthesisService() as service:
+            events = list(service.stream(self.jobs()))
+        assert [e.index for e in events] == [0, 1]
+        assert all(e.total == 2 for e in events)
+        assert [e.failed for e in events] == [False, True]
+        assert isinstance(events[1].record, ErrorRecord)
+
+    def test_run_fires_callback_and_collects_in_job_order(self):
+        seen = []
+        with SynthesisService() as service:
+            batch = service.run(self.jobs(), on_event=seen.append)
+        assert all(isinstance(e, JobEvent) for e in seen)
+        assert len(batch.records) == 2
+        assert isinstance(batch.records[0], RunRecord)
+        assert len(batch.failures) == 1
+
+    def test_empty_stream_is_empty(self):
+        with SynthesisService() as service:
+            assert list(service.stream([])) == []
+
+
+class TestAttachedStore:
+    def test_every_call_is_recorded_and_content_addressed(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with SynthesisService(store=store, run_id="api") as service:
+            record = service.synthesize("ti:30", engine="elmore", pipeline=FAST)
+            service.monte_carlo("ti:30", samples=8, seed=3, pipeline=FAST)
+            with pytest.raises(JobError):
+                service.synthesize("nope:1")
+        stored = store.typed_records(run_id="api")
+        assert [type(r) for r in stored] == [RunRecord, McRecord, ErrorRecord]
+        assert stored[0].to_record() == record.to_record()
+        (envelope,) = store.entries(instance="ti:30", flow="contango")[:1]
+        assert envelope["fingerprint"] == record.fingerprint
+
+    def test_store_path_is_accepted_directly(self, tmp_path):
+        with SynthesisService(store=str(tmp_path / "s")) as service:
+            service.synthesize("ti:30", engine="elmore", pipeline=FAST)
+        assert len(RunStore(tmp_path / "s").records(run_id="service")) == 1
+
+    def test_compare_diffs_two_store_runs(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        for run_id in ("base", "cand"):
+            with SynthesisService(store=store, run_id=run_id) as service:
+                service.synthesize("ti:30", engine="elmore", pipeline=FAST)
+        with SynthesisService(store=store) as service:
+            result = service.compare("base", "cand")
+        (row,) = result.rows
+        assert not row.regressed
+        assert not row.fingerprint_changed
+
+    def test_compare_without_store_is_an_error(self):
+        with SynthesisService() as service:
+            with pytest.raises(ValueError, match="attached RunStore"):
+                service.compare("a", "b")
+
+    def test_bad_run_id_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="run_id"):
+            SynthesisService(run_id="has space")
+
+
+class TestWarmPool:
+    def test_workers_are_reused_across_calls(self):
+        with SynthesisService(max_workers=2) as service:
+            assert not service.pool_started
+            service.run(
+                [JobSpec(instance="ti:20", engine="elmore", pipeline=FAST),
+                 JobSpec(instance="ti:24", engine="elmore", pipeline=FAST)]
+            )
+            assert service.pool_started
+            service.synthesize("ti:20", engine="elmore", pipeline=FAST)
+            service.run([JobSpec(instance="ti:20", engine="elmore", pipeline=FAST)])
+            assert service.pools_created == 1
+            assert service.jobs_dispatched == 4
+
+    def test_parallel_results_match_in_process_results(self):
+        jobs = [
+            JobSpec(instance="ti:20", engine="elmore", pipeline=FAST),
+            JobSpec(instance="ti:24", engine="elmore", pipeline=FAST),
+        ]
+        with SynthesisService(max_workers=1) as inproc:
+            serial = inproc.run(jobs)
+        with SynthesisService(max_workers=2) as pooled:
+            parallel = pooled.run(jobs)
+
+        def comparable(record):
+            summary = record.summary.to_record()
+            summary.pop("runtime_s")
+            return (record.job, record.fingerprint, summary)
+
+        assert [comparable(r) for r in serial.records] == [
+            comparable(r) for r in parallel.records
+        ]
+
+    def test_closed_service_refuses_work(self):
+        service = SynthesisService()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(service.stream([JobSpec(instance="ti:20", pipeline=FAST)]))
+
+    def test_broken_pool_is_replaced_not_cached(self):
+        # A worker killed mid-call (OOM/segfault) leaves the executor in the
+        # BrokenProcessPool state; a long-lived service must recover on the
+        # next call instead of raising forever.  The broken flag is forced
+        # directly (crashing a real worker deterministically is platform
+        # teardown the synthesis jobs cannot provide).
+        job = JobSpec(instance="ti:20", engine="elmore", pipeline=FAST)
+        with SynthesisService(max_workers=2) as service:
+            first = service.run([job])
+            assert not first.failures
+            service._executor._broken = "simulated worker death"
+            second = service.run([job])
+            assert not second.failures
+            assert service.pools_created == 2
+        assert first.records[0].fingerprint == second.records[0].fingerprint
+
+    def test_in_process_mode_never_starts_a_pool(self):
+        with SynthesisService(max_workers=1) as service:
+            service.synthesize("ti:20", engine="elmore", pipeline=FAST)
+            assert not service.pool_started
+            assert service.pools_created == 0

@@ -53,33 +53,33 @@ class TestMcJobSpec:
 class TestRunMcJob:
     def test_record_is_json_serializable_and_complete(self):
         record = run_mc_job(McJobSpec(instance="ti:30", samples=64, seed=3))
-        json.dumps(record)  # must not raise
-        assert record["sinks"] == 30
-        assert record["yield"]["n_samples"] == 64
-        assert 0.0 <= record["yield"]["skew_yield"] <= 1.0
-        assert record["nominal"]["flow"] == "contango"
-        assert record["wall_clock_s"] > 0.0
+        json.dumps(record.to_record())  # must not raise
+        assert record.sinks == 30
+        assert record.yield_.n_samples == 64
+        assert 0.0 <= record.yield_.skew_yield <= 1.0
+        assert record.nominal.flow == "contango"
+        assert record.wall_clock_s > 0.0
 
     def test_same_seed_is_bit_reproducible_and_seeds_differ(self):
         a = run_mc_job(McJobSpec(instance="ti:30", samples=64, seed=3))
         b = run_mc_job(McJobSpec(instance="ti:30", samples=64, seed=3))
         c = run_mc_job(McJobSpec(instance="ti:30", samples=64, seed=4))
-        assert a["yield"] == b["yield"]
-        assert a["yield"] != c["yield"]
+        assert a.yield_ == b.yield_
+        assert a.yield_ != c.yield_
 
     def test_seed_does_not_change_the_instance_or_nominal_flow(self):
         a = run_mc_job(McJobSpec(instance="ti:30", samples=16, seed=3))
         b = run_mc_job(McJobSpec(instance="ti:30", samples=16, seed=4))
-        assert a["nominal"]["skew_ps"] == b["nominal"]["skew_ps"]
-        assert a["nominal"]["wirelength_um"] == b["nominal"]["wirelength_um"]
+        assert a.nominal.skew_ps == b.nominal.skew_ps
+        assert a.nominal.wirelength_um == b.nominal.wirelength_um
 
     def test_gated_job_uses_variation_pipeline(self):
         record = run_mc_job(
             McJobSpec(instance="ti:30", samples=32, seed=3, gated=True)
         )
-        assert record["gated"] is True
-        assert record["variation_gate"]["checks"] >= 0
-        assert record["variation_gate"]["reference_p95_ps"] is not None
+        assert record.gated is True
+        assert record.variation_gate["checks"] >= 0
+        assert record.variation_gate["reference_p95_ps"] is not None
 
     def test_gated_job_gates_against_the_requested_family(self):
         # The gate must screen the same distribution the job reports, not
@@ -93,8 +93,8 @@ class TestRunMcJob:
                 family="corner_anchored",
             )
         )
-        assert record["variation_gate"]["model"]["family"] == "corner_anchored"
-        assert record["yield"]["model"]["family"] == "corner_anchored"
+        assert record.variation_gate["model"]["family"] == "corner_anchored"
+        assert record.yield_.model["family"] == "corner_anchored"
 
     def test_gate_samples_controls_gate_fidelity_only(self):
         record = run_mc_job(
@@ -102,15 +102,18 @@ class TestRunMcJob:
                 instance="ti:30", samples=48, seed=3, gated=True, gate_samples=24
             )
         )
-        assert record["variation_gate"]["samples"] == 24
-        assert record["yield"]["n_samples"] == 48
+        assert record.variation_gate["samples"] == 24
+        assert record.yield_.n_samples == 48
         with pytest.raises(ValueError, match="gate_samples"):
             McJobSpec(instance="ti:30", gated=True, gate_samples=1)
 
     def test_guarded_worker_reports_errors(self):
         record = run_mc_job_guarded(McJobSpec(instance="nope:1", samples=8))
-        assert "error" in record
-        assert "unknown instance spec" in record["error"]
+        assert record.error is not None
+        assert "unknown instance spec" in record.error
+        # The failure envelope keeps the job-identity axes for compare.
+        assert record.samples == 8
+        assert record.seed == 7
 
 
 class TestMcBatchAndTable:
@@ -123,8 +126,8 @@ class TestMcBatchAndTable:
     def test_parallel_matches_serial_bit_for_bit(self):
         serial = BatchRunner(self.jobs(), max_workers=1, worker=run_mc_job_guarded).run()
         parallel = BatchRunner(self.jobs(), max_workers=2, worker=run_mc_job_guarded).run()
-        assert [r["yield"] for r in serial.records] == [
-            r["yield"] for r in parallel.records
+        assert [r.yield_ for r in serial.records] == [
+            r.yield_ for r in parallel.records
         ]
 
     def test_table_mc_renders_yield_columns(self):

@@ -79,20 +79,20 @@ class TestJobSpec:
 class TestRunJob:
     def test_record_is_json_serializable_and_complete(self):
         record = run_job(JobSpec(instance="ti:30", engine="elmore"))
-        json.dumps(record)  # must not raise
-        assert record["sinks"] == 30
-        assert record["summary"]["flow"] == "contango"
-        assert [row["stage"] for row in record["stage_table"]] == [
+        json.dumps(record.to_record())  # must not raise
+        assert record.sinks == 30
+        assert record.summary.flow == "contango"
+        assert [row.stage for row in record.stage_table] == [
             "INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN",
         ]
-        assert record["wall_clock_s"] > 0.0
+        assert record.wall_clock_s > 0.0
 
     def test_custom_pipeline_travels_through_the_spec(self):
         record = run_job(
             JobSpec(instance="ti:30", engine="elmore", pipeline=("initial", "twsz"))
         )
-        assert [row["stage"] for row in record["stage_table"]] == ["INITIAL", "TWSZ"]
-        assert record["pipeline"] == ["initial", "twsz"]
+        assert [row.stage for row in record.stage_table] == ["INITIAL", "TWSZ"]
+        assert record.pipeline == ["initial", "twsz"]
 
     def test_unknown_flow_raises(self):
         with pytest.raises(ValueError, match="unknown flow"):
@@ -108,7 +108,7 @@ class TestBatchRunner:
 
     def test_serial_batch_preserves_job_order(self):
         batch = BatchRunner(self.jobs(), max_workers=1).run()
-        assert [r["flow"] for r in batch.records] == ["contango", "unoptimized_dme"]
+        assert [r.flow for r in batch.records] == ["contango", "unoptimized_dme"]
         assert not batch.failures
 
     def test_parallel_batch_matches_serial_results(self):
@@ -116,9 +116,9 @@ class TestBatchRunner:
         parallel = BatchRunner(self.jobs(), max_workers=2).run()
 
         def comparable(record):
-            summary = dict(record["summary"])
+            summary = record.summary.to_record()
             summary.pop("runtime_s")
-            return (record["job"], summary)
+            return (record.job, summary)
 
         assert [comparable(r) for r in serial.records] == [
             comparable(r) for r in parallel.records
@@ -132,11 +132,21 @@ class TestBatchRunner:
         )
         assert sorted(events) == [0, 1]
         assert len(batch.failures) == 1
-        assert "unknown instance spec" in batch.failures[0]["error"]
+        assert "unknown instance spec" in batch.failures[0].error
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
             BatchRunner([], max_workers=1)
+
+    def test_lent_executor_is_reused_and_never_shut_down(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = BatchRunner(self.jobs(), max_workers=2, executor=pool).run()
+            # A second batch on the same pool proves run() did not shut it down.
+            second = BatchRunner(self.jobs(), max_workers=2, executor=pool).run()
+        assert not first.failures and not second.failures
+        assert [r.job for r in first.records] == [r.job for r in second.records]
 
 
 class TestTables:
@@ -215,7 +225,7 @@ class TestCli:
         output = tmp_path / "BENCH_runner.json"
         code = main(
             ["bench", "--sinks", "30", "--matrix", "2", "--workers", "2",
-             "--output", str(output)]
+             "--summary-json", str(output)]
         )
         assert code == 0
         payload = json.loads(output.read_text())
@@ -227,3 +237,29 @@ class TestCli:
             # With real cores available the parallel matrix must win; on a
             # starved CI box we only require it recorded both timings.
             assert payload["speedup"] > 1.0
+
+    def test_bench_output_flag_is_a_compatible_alias(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_runner.json"
+        code = main(
+            ["bench", "--sinks", "20", "--matrix", "1", "--workers", "1",
+             "--output", str(output)]
+        )
+        assert code == 0
+        assert json.loads(output.read_text())["jobs"] == 1
+
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        printed = capsys.readouterr().out
+        assert printed.startswith("repro ")
+        assert package_version() in printed
+
+    def test_version_matches_module_fallback(self):
+        # pyproject and repro.__version__ must not drift apart again.
+        import repro
+        from repro.cli import package_version
+
+        assert package_version() == repro.__version__

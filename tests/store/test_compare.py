@@ -77,8 +77,8 @@ class TestDiff:
             [record(instance="ti:30"), record(instance="scenario:maze")],
         )
         assert len(result.rows) == 1
-        assert [r["instance"] for r in result.only_baseline] == ["ti:60"]
-        assert [r["instance"] for r in result.only_candidate] == ["scenario:maze"]
+        assert [r.instance for r in result.only_baseline] == ["ti:60"]
+        assert [r.instance for r in result.only_candidate] == ["scenario:maze"]
 
     def test_error_records_never_match(self):
         broken = {"instance": "ti:30", "flow": "contango", "engine": "elmore",
@@ -86,6 +86,9 @@ class TestDiff:
         result = diff_records([record()], [broken])
         assert not result.rows
         assert len(result.only_baseline) == 1
+        # The failed candidate job is accounted for, not silently dropped.
+        assert [r.instance for r in result.candidate_failures] == ["ti:30"]
+        assert not result.baseline_failures
 
     def test_duplicate_keys_keep_latest(self):
         result = diff_records(

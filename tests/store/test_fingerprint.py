@@ -64,12 +64,12 @@ class TestRunnerIntegration:
     def test_run_job_records_are_content_addressed(self):
         a = run_job(JobSpec(instance="ti:20", engine="elmore"))
         b = run_job(JobSpec(instance="ti:20", engine="elmore"))
-        assert a["fingerprint"] == b["fingerprint"]
-        assert a["instance_fingerprint"] == b["instance_fingerprint"]
-        assert a["config_digest"] == b["config_digest"]
+        assert a.fingerprint == b.fingerprint
+        assert a.instance_fingerprint == b.instance_fingerprint
+        assert a.config_digest == b.config_digest
 
     def test_seed_changes_job_fingerprint_via_instance_content(self):
         a = run_job(JobSpec(instance="ti:20", engine="elmore"))
         b = run_job(JobSpec(instance="ti:20", engine="elmore", seed=11))
-        assert a["fingerprint"] != b["fingerprint"]
-        assert a["instance_fingerprint"] != b["instance_fingerprint"]
+        assert a.fingerprint != b.fingerprint
+        assert a.instance_fingerprint != b.instance_fingerprint
