@@ -1,0 +1,144 @@
+"""Core lintkit types: findings, severities, rules and the rule registry.
+
+The registry mirrors the :data:`repro.core.pipeline.PASS_REGISTRY` idiom --
+rule classes register themselves under their ``name`` via the
+:func:`register_rule` class decorator, and consumers (the engine, the CLI,
+the reporters) resolve rules by name.  Each rule carries a default severity
+and a ``defaults`` option mapping; both can be overridden per run through
+:class:`repro.lintkit.engine.LintSettings` without touching the rule class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Mapping, Type
+
+if TYPE_CHECKING:  # import cycle: context needs Finding for parse errors
+    from repro.lintkit.context import LintProject, ModuleContext
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintRule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "available_rules",
+    "resolve_rules",
+]
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors gate, warnings inform."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Field order doubles as the deterministic sort order of every report
+    (path, then line, then column, then rule), so repeated runs over an
+    unchanged tree emit byte-identical output.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = Severity.ERROR.value
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-reporter shape of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class LintRule:
+    """One named, registrable invariant check.
+
+    Subclasses set ``name`` (the registry key), ``description`` (one line,
+    shown by ``repro lint --list-rules``), optionally ``default_severity``
+    and ``defaults`` -- the rule's option mapping, overridable per run via
+    :attr:`repro.lintkit.engine.LintSettings.rule_options`.  ``check``
+    yields :class:`Finding` objects for one module; the shared
+    :class:`~repro.lintkit.context.LintProject` gives rules cross-module
+    context (import graph, reachability) when they need it.
+    """
+
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+    defaults: Mapping[str, Any] = {}
+
+    def check(
+        self,
+        ctx: "ModuleContext",
+        project: "LintProject",
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "ModuleContext",
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity,
+    ) -> Finding:
+        """Build one finding anchored in ``ctx`` with this rule's name."""
+        return Finding(
+            path=str(ctx.path),
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+            severity=severity.value,
+        )
+
+
+#: Registered rule classes, keyed by rule name.
+RULE_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(rule_cls: Type[LintRule]) -> Type[LintRule]:
+    """Register a rule class under its ``name`` (class-decorator style).
+
+    Raises on a missing or duplicate name so a typo cannot silently shadow
+    an existing rule -- the same contract as ``register_pass``.
+    """
+    name = rule_cls.name
+    if not name:
+        raise ValueError("a lint rule needs a non-empty 'name' to register")
+    if name in RULE_REGISTRY:
+        raise ValueError(f"a lint rule named {name!r} is already registered")
+    RULE_REGISTRY[name] = rule_cls
+    return rule_cls
+
+
+def available_rules() -> List[str]:
+    """Sorted names currently in the registry."""
+    return sorted(RULE_REGISTRY)
+
+
+def resolve_rules(names: List[str]) -> List[LintRule]:
+    """Instantiate rules by name; unknown names raise with the valid set."""
+    rules: List[LintRule] = []
+    for name in names:
+        rule_cls = RULE_REGISTRY.get(name)
+        if rule_cls is None:
+            raise KeyError(
+                f"unknown lint rule {name!r}; registered: {available_rules()}"
+            )
+        rules.append(rule_cls())
+    return rules

@@ -129,11 +129,11 @@ class RunStore:
             selected.append(envelope)
         return selected
 
-    def records(self, **filters) -> List[Dict]:
+    def records(self, **filters: Optional[str]) -> List[Dict]:
         """The job-record payloads of :meth:`entries` (same filters)."""
         return [envelope["record"] for envelope in self.entries(**filters)]
 
-    def typed_records(self, **filters) -> List[Record]:
+    def typed_records(self, **filters: Optional[str]) -> List[Record]:
         """:meth:`records` parsed into typed :mod:`repro.api.records` classes."""
         return [record_from_dict(record) for record in self.records(**filters)]
 

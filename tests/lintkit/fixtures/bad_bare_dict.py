@@ -1,0 +1,15 @@
+"""Fixture: hand-rolled result dicts carrying the record signature keys."""
+
+
+def run_payload(job, instance):
+    return {
+        "job": job,
+        "instance": instance,
+        "flow": "contango",
+        "engine": "elmore",
+        "skew_ps": 12.5,
+    }
+
+
+def error_payload(job, exc):
+    return {"job": job, "error": str(exc)}

@@ -1,0 +1,12 @@
+"""Fixture: compare=False fields breaking every derived-state convention."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Summary:
+    name: str
+    cached_total: float = field(compare=False)  # required input + bare name
+
+    def to_record(self):
+        return {"name": self.name, "cached_total": self.cached_total}

@@ -1,0 +1,25 @@
+"""Fixture: unpicklable callables crossing the process-pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runner import BatchRunner, dispatch_jobs
+
+
+def run_all(jobs):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        for job in jobs:
+            results.append(pool.submit(lambda spec: spec.run(), job))
+    return results
+
+
+def run_batch(jobs):
+    def local_worker(spec):
+        return spec.run()
+
+    return BatchRunner(jobs, 4, worker=local_worker)
+
+
+def run_dispatch(pool, jobs):
+    handler = lambda spec: spec.run()  # noqa: E731
+    return dispatch_jobs(pool, jobs, handler)

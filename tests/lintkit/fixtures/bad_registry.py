@@ -1,0 +1,19 @@
+"""Fixture: registrable definitions that never reach their registries."""
+
+from repro.core.pipeline import OptimizationPass, register_pass
+from repro.scenarios.base import ScenarioFamily, register_family
+
+
+class ForgottenPass(OptimizationPass):
+    name = "forgotten"
+
+    def run(self, tree, context):
+        return tree
+
+
+ORPHAN = ScenarioFamily(
+    name="orphan",
+    description="defined but never registered",
+    defaults={},
+    build=None,
+)

@@ -1,0 +1,16 @@
+"""Fixture: asymmetric to_record/from_record literal key sets."""
+
+
+class LossyRecord:
+    def __init__(self, job, seed, notes):
+        self.job = job
+        self.seed = seed
+        self.notes = notes
+
+    def to_record(self):
+        return {"job": self.job, "seed": self.seed, "notes": self.notes}
+
+    @classmethod
+    def from_record(cls, record):
+        # "notes" is silently dropped; "extra" can never be carried.
+        return cls(record["job"], record.get("seed"), record.get("extra"))

@@ -1,0 +1,12 @@
+"""Fixture: direct tree-node attribute writes outside the mutator APIs."""
+
+from repro.cts import tree
+
+
+def rewire(node, wide):
+    node.wire_type = wide
+    node.snake_length += 10.0
+
+
+def reroot(parent, child):
+    child.parent = parent

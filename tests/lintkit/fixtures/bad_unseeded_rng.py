@@ -1,0 +1,19 @@
+"""Fixture: every kind of direct RNG construction the rule must flag."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def legacy_stream():
+    rng = random.Random(3)
+    jitter = random.gauss(0.0, 1.0)
+    return rng, jitter
+
+
+def numpy_streams():
+    a = np.random.default_rng(7)
+    b = np.random.normal(0.0, 1.0, 8)
+    c = default_rng(11)
+    return a, b, c

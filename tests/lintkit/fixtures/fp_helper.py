@@ -1,0 +1,15 @@
+"""Fixture: transitively reachable from fp_root; the wallclock call is bad."""
+
+import time
+import uuid
+from datetime import datetime
+
+stamp = 0.0
+
+
+def impure_payload():
+    return {
+        "at": time.time(),
+        "when": datetime.now(),
+        "token": uuid.uuid4(),
+    }

@@ -1,0 +1,10 @@
+"""Fixture: a fingerprint root importing a helper with a wallclock call."""
+
+import hashlib
+
+import fp_helper
+
+
+def digest(lines):
+    text = "\n".join(lines) + "\n"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest(), fp_helper.stamp

@@ -1,0 +1,16 @@
+"""Fixture: typed records (or non-signature dicts) -- nothing to flag."""
+
+from repro.api.records import ErrorRecord, RunRecord
+
+
+def run_payload(job, instance):
+    return RunRecord(job=job, instance=instance, flow="contango", engine="elmore")
+
+
+def error_payload(job, exc):
+    return ErrorRecord(job=job, error=str(exc)).to_record()
+
+
+def summary_payload(count):
+    # Missing the signature keys: an ordinary dict, not a smuggled record.
+    return {"jobs": count, "flow": "contango"}

@@ -1,0 +1,14 @@
+"""Fixture: conforming compare=False cache fields."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Summary:
+    name: str
+    _total: Optional[float] = field(default=None, compare=False)
+    _length: float = field(init=False, default=0.0, compare=False)
+
+    def to_record(self):
+        return {"name": self.name}

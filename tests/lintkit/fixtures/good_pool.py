@@ -1,0 +1,25 @@
+"""Fixture: module-level workers only -- picklable by reference."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runner import BatchRunner, dispatch_jobs
+
+
+def worker(spec):
+    return spec.run()
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, job) for job in jobs]
+    return futures
+
+
+def run_batch(jobs):
+    return BatchRunner(jobs, 4, worker=worker)
+
+
+def run_dispatch(pool, jobs):
+    # Lambdas outside the pool boundary stay legal.
+    ordered = sorted(jobs, key=lambda job: job.seed)
+    return dispatch_jobs(pool, ordered, worker)

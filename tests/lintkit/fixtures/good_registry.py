@@ -1,0 +1,34 @@
+"""Fixture: every registrable definition reaches its registry."""
+
+from repro.core.pipeline import OptimizationPass, register_pass
+from repro.scenarios.base import ScenarioFamily, register_family
+
+
+@register_pass
+class RegisteredPass(OptimizationPass):
+    name = "registered"
+
+    def run(self, tree, context):
+        return tree
+
+
+class AbstractHelperPass(OptimizationPass):
+    """No concrete ``name``: an intermediate base, not a registrable pass."""
+
+
+DIRECT = register_family(
+    ScenarioFamily(
+        name="direct",
+        description="registered at construction",
+        defaults={},
+        build=None,
+    )
+)
+
+LATER = ScenarioFamily(
+    name="later",
+    description="registered through its binding",
+    defaults={},
+    build=None,
+)
+register_family(LATER)

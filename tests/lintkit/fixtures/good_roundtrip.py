@@ -1,0 +1,29 @@
+"""Fixture: symmetric round trips, literal and dynamic both."""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TidyRecord:
+    job: str
+    seed: int
+
+    def to_record(self):
+        return {"job": self.job, "seed": self.seed}
+
+    @classmethod
+    def from_record(cls, record):
+        return cls(job=record["job"], seed=record["seed"])
+
+
+@dataclass
+class DynamicRecord:
+    job: str
+    seed: int
+
+    def to_record(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_record(cls, record):
+        return cls(job=record["job"], seed=record["seed"])

@@ -1,0 +1,22 @@
+"""Fixture: journal-disciplined tree edits -- mutators or journal_node first."""
+
+from repro.cts import tree
+
+
+def rewire(clock_tree, node, wide):
+    clock_tree.set_wire_type(node, wide)
+
+
+def surgical(clock_tree, node, wide):
+    clock_tree.journal_node(node)
+    node.wire_type = wide
+    clock_tree.touch(node)
+
+
+class LocalState:
+    def __init__(self):
+        self.route = []
+
+    def reset(self):
+        # self-writes are this class's own business, not tree mutation
+        self.route = []

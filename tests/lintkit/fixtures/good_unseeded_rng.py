@@ -1,0 +1,16 @@
+"""Fixture: RNG derived through repro.seeding -- nothing to flag."""
+
+import numpy as np
+
+from repro.seeding import derive_rng, derive_seed
+
+
+def sampled(seed, job):
+    rng = derive_rng(seed, job)
+    child = derive_seed(seed, job, "mc")
+    return rng.normal(0.0, 1.0, 4), child
+
+
+def annotations_are_fine(rng: "np.random.Generator") -> "np.random.Generator":
+    # Mentioning np.random.Generator in types must not fire the rule.
+    return rng

@@ -1,0 +1,8 @@
+"""Fixture: wallclock use outside any fingerprint root -- not flagged."""
+
+import time
+
+
+def metadata_timestamp():
+    # Fine: this module is not reachable from the configured roots.
+    return time.time()

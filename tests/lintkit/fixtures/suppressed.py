@@ -1,0 +1,25 @@
+"""Fixture: suppression-comment semantics."""
+
+import random
+
+
+def same_line():
+    return random.Random(1)  # repro: lint-ok[unseeded-rng] fixture stream
+
+
+def line_above():
+    # repro: lint-ok[unseeded-rng] fixture stream
+    return random.Random(2)
+
+
+def bare_marker_silences_everything():
+    return random.Random(3)  # repro: lint-ok legacy carve-out
+
+
+def wrong_rule_does_not_silence():
+    return random.Random(4)  # repro: lint-ok[pool-unpicklable] mismatched
+
+
+def not_comment_only_above():
+    x = 1  # repro: lint-ok[unseeded-rng] applies to THIS line only
+    return x, random.Random(5)

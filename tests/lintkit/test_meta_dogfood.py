@@ -1,0 +1,26 @@
+"""Meta-test: the linter's own source tree (all of src/repro) lints clean.
+
+This is the same gate CI runs (``repro lint src/``); keeping it in the test
+suite means a rule regression or a new invariant violation fails locally
+before it fails the CI job.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lintkit import lint_paths, render_text
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_repro_source_tree_is_lint_clean():
+    result = lint_paths([SRC_ROOT])
+    assert result.findings == [], "\n" + render_text(result)
+    # The gate is meaningful: the whole tree was checked with every rule.
+    assert result.files_checked >= 70
+    assert len(result.rules_run) >= 8
+
+
+def test_lintkit_dogfoods_itself():
+    result = lint_paths([SRC_ROOT / "lintkit"])
+    assert result.findings == [], "\n" + render_text(result)

@@ -1,0 +1,78 @@
+"""Reporter tests: the JSON document is schema-stable and byte-deterministic."""
+
+import json
+from pathlib import Path
+
+from repro.lintkit import (
+    JSON_SCHEMA_VERSION,
+    LintSettings,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_bad_rng():
+    return lint_paths(
+        [FIXTURES / "bad_unseeded_rng.py"], LintSettings(select=["unseeded-rng"])
+    )
+
+
+class TestJsonReport:
+    def test_schema_and_required_keys(self):
+        document = json.loads(render_json(lint_bad_rng()))
+        assert document["schema"] == JSON_SCHEMA_VERSION == 1
+        assert document["tool"] == "repro-lintkit"
+        assert set(document) == {
+            "schema",
+            "tool",
+            "files_checked",
+            "rules_run",
+            "summary",
+            "findings",
+        }
+        assert document["summary"] == {"errors": 5, "warnings": 0}
+        assert document["files_checked"] == 1
+        assert document["rules_run"] == ["unseeded-rng"]
+
+    def test_finding_record_shape(self):
+        document = json.loads(render_json(lint_bad_rng()))
+        finding = document["findings"][0]
+        assert set(finding) == {"path", "line", "col", "rule", "severity", "message"}
+        assert finding["rule"] == "unseeded-rng"
+        assert finding["severity"] == "error"
+        assert isinstance(finding["line"], int)
+
+    def test_output_is_byte_deterministic(self):
+        assert render_json(lint_bad_rng()) == render_json(lint_bad_rng())
+
+    def test_no_timestamps_or_environment_detail(self):
+        text = render_json(lint_bad_rng())
+        for needle in ("time", "date", "host", "version"):
+            assert f'"{needle}"' not in text
+
+    def test_findings_sorted_by_location(self):
+        document = json.loads(render_json(lint_bad_rng()))
+        keys = [
+            (f["path"], f["line"], f["col"], f["rule"])
+            for f in document["findings"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestTextReport:
+    def test_line_shape_and_summary(self):
+        text = render_text(lint_bad_rng())
+        lines = text.strip().splitlines()
+        assert lines[0].endswith("via repro.seeding.derive_rng/derive_seed")
+        assert ": error [unseeded-rng]" in lines[0]
+        assert lines[-1] == "1 files checked, 1 rules, 5 errors, 0 warnings"
+
+    def test_clean_run_is_just_the_summary(self):
+        result = lint_paths(
+            [FIXTURES / "good_unseeded_rng.py"],
+            LintSettings(select=["unseeded-rng"]),
+        )
+        assert render_text(result) == "1 files checked, 1 rules, 0 errors, 0 warnings\n"

@@ -1,0 +1,106 @@
+"""Per-rule fixture tests: every rule fires on its bad fixture, stays quiet
+on the good one, and suppressions silence real findings."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import LintSettings, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Extra per-rule options needed to anchor fixtures outside the repro tree.
+FIXTURE_OPTIONS = {
+    "wallclock-in-fingerprint-path": {"roots": ("fp_root",)},
+}
+
+
+def findings_for(rule, *files):
+    settings = LintSettings(
+        select=[rule],
+        rule_options={rule: FIXTURE_OPTIONS.get(rule, {})},
+    )
+    result = lint_paths([FIXTURES / name for name in files], settings)
+    return [f for f in result.findings if f.rule == rule]
+
+
+CASES = [
+    ("unseeded-rng", "bad_unseeded_rng.py", "good_unseeded_rng.py", 5),
+    ("wallclock-in-fingerprint-path", "fp_helper.py", "good_wallclock.py", 3),
+    ("unjournaled-mutation", "bad_unjournaled.py", "good_unjournaled.py", 3),
+    ("pool-unpicklable", "bad_pool.py", "good_pool.py", 3),
+    ("fingerprint-compare-field", "bad_compare_field.py", "good_compare_field.py", 3),
+    ("registry-drift", "bad_registry.py", "good_registry.py", 2),
+    ("record-roundtrip-symmetry", "bad_roundtrip.py", "good_roundtrip.py", 2),
+    ("bare-dict-record", "bad_bare_dict.py", "good_bare_dict.py", 2),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,bad,good,expected", CASES, ids=[case[0] for case in CASES]
+)
+class TestRuleFixturePairs:
+    def test_bad_fixture_fires(self, rule, bad, good, expected):
+        files = (bad,) if rule != "wallclock-in-fingerprint-path" else (
+            "fp_root.py",
+            bad,
+        )
+        findings = findings_for(rule, *files)
+        assert len(findings) == expected, [f.message for f in findings]
+        assert all(f.rule == rule for f in findings)
+
+    def test_good_fixture_is_clean(self, rule, bad, good, expected):
+        files = (good,) if rule != "wallclock-in-fingerprint-path" else (
+            "fp_root.py",
+            good,
+        )
+        assert findings_for(rule, *files) == []
+
+
+class TestFindingAnchors:
+    def test_unseeded_rng_points_at_the_call(self):
+        (first, *_rest) = findings_for("unseeded-rng", "bad_unseeded_rng.py")
+        assert first.path.endswith("bad_unseeded_rng.py")
+        assert first.line == 10  # random.Random(3)
+        assert "repro.seeding" in first.message
+
+    def test_wallclock_names_the_reaching_module(self):
+        findings = findings_for(
+            "wallclock-in-fingerprint-path", "fp_root.py", "fp_helper.py"
+        )
+        assert {f.path.split("/")[-1] for f in findings} == {"fp_helper.py"}
+        assert any("time.time" in f.message for f in findings)
+
+    def test_roundtrip_reports_both_directions(self):
+        findings = findings_for("record-roundtrip-symmetry", "bad_roundtrip.py")
+        messages = " ".join(f.message for f in findings)
+        assert "'notes'" in messages  # written, never read
+        assert "'extra'" in messages  # read, never written
+
+
+class TestSuppressionsInPractice:
+    def test_suppressed_fixture_keeps_only_unsilenced_findings(self):
+        findings = findings_for("unseeded-rng", "suppressed.py")
+        # Five RNG calls, three suppressed: the mismatched-rule marker and
+        # the non-comment-line-above case must still fire.
+        assert len(findings) == 2
+        assert sorted(f.line for f in findings) == [20, 25]
+
+
+class TestRuleConfiguration:
+    def test_severity_override_downgrades_to_warning(self):
+        settings = LintSettings(
+            select=["unseeded-rng"],
+            severity_overrides={"unseeded-rng": "warning"},
+        )
+        result = lint_paths([FIXTURES / "bad_unseeded_rng.py"], settings)
+        assert result.errors == []
+        assert len(result.warnings) == 5
+
+    def test_allow_modules_option_exempts_a_module(self):
+        settings = LintSettings(
+            select=["unseeded-rng"],
+            rule_options={"unseeded-rng": {"allow_modules": ("bad_unseeded_rng",)}},
+        )
+        result = lint_paths([FIXTURES / "bad_unseeded_rng.py"], settings)
+        assert result.findings == []

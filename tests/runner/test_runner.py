@@ -233,6 +233,9 @@ class TestCli:
         assert payload["serial_wall_clock_s"] > 0.0
         assert payload["parallel_wall_clock_s"] > 0.0
         assert payload["failures"] == 0
+        # The single-CPU annotation must always be present and truthful, so
+        # downstream gates can trust it instead of re-deriving it.
+        assert payload["speedup_meaningful"] == ((os.cpu_count() or 1) > 1)
         if (os.cpu_count() or 1) >= 4:
             # With real cores available the parallel matrix must win; on a
             # starved CI box we only require it recorded both timings.
