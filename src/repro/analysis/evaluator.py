@@ -20,11 +20,7 @@ are stored under **content keys** derived from the mutation journal of
 revision), so re-evaluating a tree re-extracts and re-analyzes only the
 stages whose RC content actually changed since any previous evaluation --
 including evaluations of clones, probes and rolled-back snapshots, which
-share revisions with the tree they were copied from.  Arrival/slew
-propagation over the cached per-stage results is cheap dictionary arithmetic
-and is re-run in full, so downstream effects of a dirty stage (changed input
-slews at later stages) are always reflected exactly: an incremental
-evaluation returns bit-identical results to a cold one.
+share revisions with the tree they were copied from.
 
 For the analytical engines (``elmore``/``arnoldi``) each stage is reduced
 once per content revision to a few base vectors
@@ -33,13 +29,58 @@ sums over all segments at once) from which delays and slews at *every* corner
 and transition are produced in one batched array operation -- no per-corner
 network rebuilds.  The transient (``spice``) engine caches the per-corner
 stage networks and per-input-slew waveform analyses instead.
+
+Dirty-region propagation
+------------------------
+Stage analysis being cached still left arrival/slew propagation itself as a
+full walk over every stage at every corner and transition.  With
+``EvaluatorConfig.dirty_region`` enabled (the default) the evaluator also
+snapshots, per corner, the per-stage propagation *fragments* it produced last
+time (:class:`_StageFrag`: the stage's latency/slew contributions plus the
+arrival/slew/direction state it handed to downstream buffer taps) together
+with the content keys it propagated them from.  On the next evaluation it
+diffs the content keys, closes the dirty set over the stage topology
+(:class:`~repro.analysis.rcnetwork.StageTopology` children -- every stage
+downstream of a changed driver sees changed input slews), re-propagates only
+that region and splices the retained fragments back in verbatim.  Because a
+retained stage provably has only retained ancestors, its inputs are
+bit-identical to a cold evaluation, so the spliced result is too -- the
+goldens and the hypothesis suite in ``tests/analysis`` enforce exactly that.
+
+Batched candidate evaluation
+----------------------------
+:meth:`ClockNetworkEvaluator.evaluate_candidates` scores K independent
+candidate moves in one numpy pass by extending the corners x transitions
+batch axis of the analytical engines to candidates -- the same axis extension
+:meth:`evaluate_yield` applies to Monte Carlo samples.  Each move is applied
+under a journal checkpoint, its dirty stages are captured from
+:meth:`~repro.cts.tree.ClockTree.touched_since`, and the move is rolled back;
+the batched pass then propagates all candidates at once, with per-stage rows
+``[rise x K, fall x K]`` and the operation order mirrored from the scalar
+path so every :class:`CandidateScore` is bit-identical to a full
+:meth:`evaluate` of the same move.  Candidates that change the tree structure
+or a driver's polarity fall back to an honest full evaluation (counted in
+``cache_stats()['candidate_fallbacks']``).  Disable with
+``EvaluatorConfig.candidate_batching`` for A/B measurement; the serial path
+produces the same scores one full evaluation at a time.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -54,20 +95,25 @@ from repro.analysis.elmore import StageTiming
 from repro.analysis.rcnetwork import (
     Stage,
     StageNetwork,
+    StageTopology,
     build_base_stage_network,
     build_stage_network,
+    build_stage_topology,
     extract_stages,
 )
 from repro.analysis.spice import TransientSolverConfig, transient_stage_timing
 from repro.analysis.units import LN9
 from repro.analysis.variation import VariationModel, VariationSamples, YieldReport
-from repro.cts.tree import ClockTree
+from repro.cts.bufferlib import BufferType
+from repro.cts.tree import ClockTree, TreeNode
 from repro.seeding import derive_rng
 
 __all__ = [
     "EvaluatorConfig",
     "CornerTiming",
     "EvaluationReport",
+    "CandidateScore",
+    "CandidateBatch",
     "StageCache",
     "ClockNetworkEvaluator",
 ]
@@ -110,6 +156,17 @@ class EvaluatorConfig:
         re-analyze stages whose RC content changed.  Results are identical to
         cold evaluation; disable only for debugging or memory-constrained
         runs.
+    dirty_region:
+        Restrict arrival/slew propagation to the stages whose content keys
+        changed since the previous evaluation plus everything downstream of
+        them, splicing retained per-stage results back in verbatim (see the
+        module docstring).  Requires ``incremental``; results are bit-identical
+        to a full propagation.  Disable for A/B measurement.
+    candidate_batching:
+        Let :meth:`ClockNetworkEvaluator.evaluate_candidates` score all
+        candidate moves in one batched numpy pass (analytical engines only).
+        When disabled the same API scores candidates one full evaluation at a
+        time, with identical results.  Disable for A/B measurement.
     """
 
     engine: str = "spice"
@@ -122,6 +179,8 @@ class EvaluatorConfig:
     pull_down_factor: float = 0.95
     solver: TransientSolverConfig = field(default_factory=TransientSolverConfig)
     incremental: bool = True
+    dirty_region: bool = True
+    candidate_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ("elmore", "arnoldi", "spice"):
@@ -255,8 +314,277 @@ class EvaluationReport:
         }
 
 
+@dataclass(frozen=True)
+class CandidateScore:
+    """Timing score of one candidate move from :meth:`evaluate_candidates`.
+
+    Exposes the same objective fields (``skew``, ``clr``, ``max_latency``,
+    ``worst_slew``, ``total_capacitance``, ``wirelength``) and constraint
+    predicates (``has_slew_violation``, ``within_capacitance_limit``) as
+    :class:`EvaluationReport`, so objective functions and IVC constraint
+    callables accept either.  ``changed`` is the move's reported edge count
+    (0 means the move was vacuous and the score fields are meaningless);
+    ``batched`` records whether the score came from the batched numpy pass or
+    from a full fallback evaluation.
+    """
+
+    index: int
+    changed: int
+    skew: float
+    clr: float
+    max_latency: float
+    worst_slew: float
+    total_capacitance: float
+    wirelength: float
+    slew_limit: float
+    capacitance_limit: Optional[float]
+    batched: bool
+
+    @property
+    def has_slew_violation(self) -> bool:
+        return self.worst_slew > self.slew_limit
+
+    @property
+    def within_capacitance_limit(self) -> bool:
+        if self.capacitance_limit is None:
+            return True
+        return self.total_capacitance <= self.capacitance_limit
+
+
+@dataclass
+class CandidateBatch:
+    """Scores of one :meth:`evaluate_candidates` call, in move order.
+
+    ``batched`` counts candidates scored by the batched numpy pass and
+    ``fallbacks`` those that required a full evaluation (structure or driver
+    polarity changed); vacuous candidates (``changed == 0``) count in neither.
+    """
+
+    scores: List[CandidateScore]
+    batched: int
+    fallbacks: int
+
+    def __iter__(self) -> Iterator[CandidateScore]:
+        return iter(self.scores)
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __getitem__(self, index: int) -> CandidateScore:
+        return self.scores[index]
+
+
 # Content key of one stage: (driver head, ((edge id, edge revision), ...)).
 _StageKey = Tuple[tuple, tuple]
+# Per-stage analytical model: {(corner, transition): {tap: (delay, sigma)}}.
+_TapModel = Dict[Tuple[str, str], Dict[int, Tuple[float, float]]]
+_Driver = Optional[BufferType]
+# Engine adapter handed to _propagate_corner: (index, stage, output_dir,
+# drive_slew) -> iterable of (tap, delay, slew) triples.
+_StageTimingFn = Callable[[int, Stage, str, float], Iterable[Tuple[int, float, float]]]
+
+
+class _StageFrag:
+    """One stage's contribution to a corner's propagated timing.
+
+    ``latency``/``slew``/``tap_slew`` are the stage's slices of the
+    corresponding :class:`CornerTiming` dicts (both transitions); ``outputs``
+    maps each launch transition to the ``(tap, arrival, slew, direction)``
+    state the stage handed to downstream buffer taps.  Fragments are spliced
+    into later partial propagations by reference, so the dicts are shared
+    between the snapshot and every report built from it -- treat report
+    timing dicts as read-only (nothing in the tree mutates them today).
+    """
+
+    __slots__ = ("latency", "slew", "tap_slew", "outputs")
+
+    def __init__(
+        self,
+        latency: Dict[int, Dict[str, float]],
+        slew: Dict[int, Dict[str, float]],
+        tap_slew: Dict[int, Dict[str, float]],
+        outputs: Dict[str, List[Tuple[int, float, float, str]]],
+    ) -> None:
+        self.latency = latency
+        self.slew = slew
+        self.tap_slew = tap_slew
+        self.outputs = outputs
+
+
+class _PropagationState:
+    """Snapshot of the last full/partial propagation (dirty-region baseline).
+
+    ``keys`` are the per-stage content keys the fragments were computed from;
+    ``fragments`` maps corner name to the per-stage fragment list.  Valid only
+    while the tree's structure revision matches (the stage decomposition, and
+    hence the index alignment, is a function of it).
+    """
+
+    __slots__ = ("structure_revision", "keys", "fragments")
+
+    def __init__(
+        self,
+        structure_revision: int,
+        keys: List[Optional[_StageKey]],
+        fragments: Dict[str, List[_StageFrag]],
+    ) -> None:
+        self.structure_revision = structure_revision
+        self.keys = keys
+        self.fragments = fragments
+
+
+class _CandidateCapture:
+    """What one applied-then-rolled-back candidate move left behind.
+
+    ``dirty_moments``/``dirty_drivers`` hold the re-reduced base moments and
+    the live driver for each stage the move touched; every other stage reuses
+    the shared base-tree reduction in the batched pass.
+    """
+
+    __slots__ = (
+        "index",
+        "changed",
+        "dirty_moments",
+        "dirty_drivers",
+        "total_capacitance",
+        "wirelength",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        changed: int,
+        dirty_moments: Dict[int, BaseTapMoments],
+        dirty_drivers: Dict[int, _Driver],
+        total_capacitance: float,
+        wirelength: float,
+    ) -> None:
+        self.index = index
+        self.changed = changed
+        self.dirty_moments = dirty_moments
+        self.dirty_drivers = dirty_drivers
+        self.total_capacitance = total_capacitance
+        self.wirelength = wirelength
+
+
+def _node_contribution(node: TreeNode) -> Tuple[float, float, float, float]:
+    """One node's (wire cap, buffer cap, sink cap, edge length) contributions.
+
+    Mirrors the accumulation conditions of
+    :meth:`~repro.cts.tree.ClockTree.total_capacitance` and
+    :meth:`~repro.cts.tree.ClockTree.total_wirelength` exactly.
+    """
+    if node.parent is not None and node.wire_type is not None:
+        wire = node.wire_type.capacitance(node.route_length() + node.snake_length)
+    else:
+        wire = 0.0
+    buffers = node.buffer.total_cap if node.buffer is not None else 0.0
+    sinks = node.sink.capacitance if node.sink is not None and node.is_sink else 0.0
+    length = node.edge_length() if node.parent is not None else 0.0
+    return wire, buffers, sinks, length
+
+
+class _CandidateTotals:
+    """Per-node contribution template for candidate capacitance/wirelength.
+
+    ``total_capacitance``/``total_wirelength`` walk every node, but a
+    candidate move touches a handful.  The template records every node's
+    contributions in node-table order once per batch; a candidate's totals
+    substitute the touched nodes' current contributions and re-sum in the
+    same order, which is bit-identical to the full walk (untouched nodes
+    contribute the exact same floats, non-contributing nodes exact zeros,
+    and adding 0.0 is exact).
+    """
+
+    __slots__ = ("pos", "wire", "buffers", "sinks", "lengths")
+
+    def __init__(self, tree: ClockTree) -> None:
+        self.pos: Dict[int, int] = {}
+        self.wire: List[float] = []
+        self.buffers: List[float] = []
+        self.sinks: List[float] = []
+        self.lengths: List[float] = []
+        for index, node in enumerate(tree.nodes()):
+            self.pos[node.node_id] = index
+            wire, buffers, sinks, length = _node_contribution(node)
+            self.wire.append(wire)
+            self.buffers.append(buffers)
+            self.sinks.append(sinks)
+            self.lengths.append(length)
+
+    def candidate_totals(
+        self, tree: ClockTree, touched: Iterable[int]
+    ) -> Tuple[float, float]:
+        """(total capacitance, wirelength) of ``tree`` with a move applied."""
+        saved: List[Tuple[int, float, float, float, float]] = []
+        for node_id in touched:
+            index = self.pos.get(node_id)
+            if index is None:
+                continue
+            saved.append(
+                (
+                    index,
+                    self.wire[index],
+                    self.buffers[index],
+                    self.sinks[index],
+                    self.lengths[index],
+                )
+            )
+            wire, buffers, sinks, length = _node_contribution(tree.node(node_id))
+            self.wire[index] = wire
+            self.buffers[index] = buffers
+            self.sinks[index] = sinks
+            self.lengths[index] = length
+        try:
+            total_capacitance = sum(self.wire) + sum(self.buffers) + sum(self.sinks)
+            wirelength = sum(self.lengths)
+        finally:
+            for index, wire, buffers, sinks, length in saved:
+                self.wire[index] = wire
+                self.buffers[index] = buffers
+                self.sinks[index] = sinks
+                self.lengths[index] = length
+        return total_capacitance, wirelength
+
+
+class _BatchPlan:
+    """Corner-independent precompute for one batched candidate scoring pass.
+
+    Holds, per closure stage, the variant delay/sigma row stacks covering
+    every (corner, transition) combination, the per-candidate variant index,
+    the per-candidate intrinsic delays, and the sink/buffer tap columns --
+    everything the per-corner propagation only has to slice, so no moment
+    reduction runs more than once per stage variant.
+    """
+
+    __slots__ = (
+        "n",
+        "closure",
+        "closure_set",
+        "boundary",
+        "seed_stages",
+        "delay",
+        "sigma",
+        "variant_of",
+        "intrinsic",
+        "sink_cols",
+        "buffer_cols",
+        "tap_ids",
+    )
+
+    def __init__(self, n: int, closure: List[int]) -> None:
+        self.n = n
+        self.closure = closure
+        self.closure_set: Set[int] = set(closure)
+        self.boundary: Set[int] = set()
+        self.seed_stages: List[int] = []
+        self.delay: Dict[int, np.ndarray] = {}
+        self.sigma: Dict[int, np.ndarray] = {}
+        self.variant_of: Dict[int, np.ndarray] = {}
+        self.intrinsic: Dict[int, Optional[np.ndarray]] = {}
+        self.sink_cols: Dict[int, List[int]] = {}
+        self.buffer_cols: Dict[int, List[int]] = {}
+        self.tap_ids: Dict[int, Tuple[int, ...]] = {}
 
 
 class StageCache:
@@ -268,7 +596,9 @@ class StageCache:
     identical RC content, no matter which tree object they live in.  The
     cache stores
 
-    * ``stage lists`` per tree structure revision (the stage decomposition),
+    * ``stage topologies`` per tree structure revision (the stage
+      decomposition plus its downstream-adjacency and tap-flag indexes, see
+      :class:`~repro.analysis.rcnetwork.StageTopology`),
     * ``tap models`` per stage content (batched delay/sigma for every corner
       and transition; analytical engines),
     * ``networks`` per (stage content, corner, transition) and ``timings``
@@ -282,8 +612,8 @@ class StageCache:
 
     def __init__(self, max_entries: int = 200_000) -> None:
         self.max_entries = max_entries
-        self._stage_lists: "OrderedDict[int, List[Stage]]" = OrderedDict()
-        self._tap_models: Dict[_StageKey, Dict] = {}
+        self._topologies: "OrderedDict[int, StageTopology]" = OrderedDict()
+        self._tap_models: Dict[_StageKey, _TapModel] = {}
         self._base_moments: Dict[tuple, BaseTapMoments] = {}
         self._networks: Dict[tuple, StageNetwork] = {}
         self._timings: Dict[tuple, StageTiming] = {}
@@ -292,21 +622,32 @@ class StageCache:
         self.evictions = 0
 
     # -- stage decomposition ------------------------------------------------
+    def topology(self, tree: ClockTree) -> StageTopology:
+        """The tree's stage topology, cached by structure revision.
+
+        Safe to share across trees with equal structure revisions: the
+        decomposition, downstream adjacency and (is_sink, has_buffer) tap
+        flags are all functions of the structure revision alone (buffer
+        *presence* changes always bump it; same-site replacement is a
+        content-only change that keeps both flags).
+        """
+        revision = tree.structure_revision
+        topo = self._topologies.get(revision)
+        if topo is None:
+            topo = build_stage_topology(tree)
+            if len(self._topologies) >= 16:
+                self._topologies.popitem(last=False)
+            self._topologies[revision] = topo
+        else:
+            self._topologies.move_to_end(revision)
+        return topo
+
     def stage_list(self, tree: ClockTree) -> List[Stage]:
         """The tree's stage decomposition, cached by structure revision."""
-        revision = tree.structure_revision
-        stages = self._stage_lists.get(revision)
-        if stages is None:
-            stages = extract_stages(tree)
-            if len(self._stage_lists) >= 16:
-                self._stage_lists.popitem(last=False)
-            self._stage_lists[revision] = stages
-        else:
-            self._stage_lists.move_to_end(revision)
-        return stages
+        return self.topology(tree).stages
 
     # -- analytical-engine models ------------------------------------------
-    def tap_model(self, key: _StageKey):
+    def tap_model(self, key: _StageKey) -> Optional[_TapModel]:
         model = self._tap_models.get(key)
         if model is None:
             self.misses += 1
@@ -314,7 +655,7 @@ class StageCache:
             self.hits += 1
         return model
 
-    def store_tap_model(self, key: _StageKey, model) -> None:
+    def store_tap_model(self, key: _StageKey, model: _TapModel) -> None:
         self._bound()
         self._tap_models[key] = model
 
@@ -378,7 +719,7 @@ class StageCache:
 
     def clear(self) -> None:
         """Drop every cached entry (stats are kept)."""
-        self._stage_lists.clear()
+        self._topologies.clear()
         self._tap_models.clear()
         self._base_moments.clear()
         self._networks.clear()
@@ -393,7 +734,7 @@ class StageCache:
             "base_moments": len(self._base_moments),
             "networks": len(self._networks),
             "timings": len(self._timings),
-            "stage_lists": len(self._stage_lists),
+            "stage_lists": len(self._topologies),
         }
 
 
@@ -404,7 +745,11 @@ class ClockNetworkEvaluator:
     stands in for the paper's "number of SPICE runs" metric in Table V, and a
     :class:`StageCache` making repeated evaluations incremental: only stages
     whose RC content changed since *any* earlier evaluation (of this tree or
-    of a snapshot sharing its revisions) are re-analyzed.
+    of a snapshot sharing its revisions) are re-analyzed.  With
+    ``dirty_region`` enabled, arrival/slew propagation is likewise restricted
+    to the changed stages and their downstream cone (see the module
+    docstring); :meth:`evaluate_candidates` scores whole batches of moves in
+    one numpy pass.  All three layers are bit-identical to cold evaluation.
     """
 
     def __init__(
@@ -428,6 +773,22 @@ class ClockNetworkEvaluator:
         self._fast = max(corner_list, key=lambda c: c.vdd).name
         self._slow = min(corner_list, key=lambda c: c.vdd).name
         self.cache = StageCache()
+        # Dirty-region propagation snapshot plus attribution counters
+        # (surfaced through cache_stats() so reported speedups stay
+        # attributable to the layer that produced them).
+        self._prop: Optional[_PropagationState] = None
+        # Candidate-totals template, reusable while the tree content (stage
+        # keys) and structure are unchanged between evaluate_candidates calls.
+        self._totals_cache: Optional[
+            Tuple[int, List[Optional[_StageKey]], _CandidateTotals]
+        ] = None
+        self._propagations_full = 0
+        self._propagations_partial = 0
+        self._stages_propagated = 0
+        self._stages_total = 0
+        self.candidate_batches = 0
+        self.candidates_scored = 0
+        self.candidate_fallbacks = 0
         # One batched scaling row per (corner, transition) combination.
         self._combos: List[Tuple[str, str]] = []
         driver_scales: List[float] = []
@@ -463,30 +824,87 @@ class ClockNetworkEvaluator:
         use_cache = self.config.incremental if incremental is None else incremental
         # Driver buffers are read live from the tree: cached stage lists may
         # pre-date a same-site buffer re-sizing.
-        stages, keys, drivers = self._stages_and_keys(tree, use_cache)
-        # (is_sink, has_buffer) per tap, shared by every corner/launch sweep.
-        tap_flags: Dict[int, Tuple[bool, bool]] = {}
-        for stage in stages:
-            for tap in stage.taps:
-                node = tree.node(tap)
-                tap_flags[tap] = (node.is_sink, node.buffer is not None)
-        if self.config.engine in ("elmore", "arnoldi"):
-            models = [
-                self._tap_model(tree, stage, key) for stage, key in zip(stages, keys)
-            ]
-            corner_results = {
-                corner.name: self._corner_from_models(
-                    stages, models, drivers, tap_flags, corner
-                )
-                for corner in self.corners
-            }
+        topo: Optional[StageTopology] = None
+        if use_cache:
+            topo = self.cache.topology(tree)
+            stages = topo.stages
+            keys, drivers = self._stage_keys(tree, stages)
+            # (is_sink, has_buffer) per tap: a function of the structure
+            # revision (see StageCache.topology), so the cached index is safe.
+            tap_flags = topo.tap_flags
         else:
-            corner_results = {
-                corner.name: self._corner_transient(
-                    tree, stages, keys, drivers, tap_flags, corner
+            stages = extract_stages(tree)
+            keys = [None] * len(stages)
+            drivers = [tree.node(stage.driver_id).buffer for stage in stages]
+            tap_flags = {}
+            for stage in stages:
+                for tap in stage.taps:
+                    node = tree.node(tap)
+                    tap_flags[tap] = (node.is_sink, node.buffer is not None)
+        collect = use_cache and self.config.dirty_region
+        recompute: Optional[Set[int]] = None
+        prior: Optional[_PropagationState] = None
+        if collect and topo is not None:
+            recompute, prior = self._dirty_frontier(tree, keys, topo)
+        total = len(stages)
+        self._stages_total += total
+        if recompute is None:
+            self._propagations_full += 1
+            self._stages_propagated += total
+        else:
+            self._propagations_partial += 1
+            self._stages_propagated += len(recompute)
+            # Retained stages are exactly the cache hits the propagation no
+            # longer has to look up: credit them so hit rates stay comparable
+            # with dirty_region disabled.
+            self.cache.hits += total - len(recompute)
+        fragments: Dict[str, List[_StageFrag]] = {}
+        corner_results: Dict[str, CornerTiming] = {}
+        if self.config.engine in ("elmore", "arnoldi"):
+            models: List[Optional[_TapModel]] = [
+                None
+                if (recompute is not None and index not in recompute)
+                else self._tap_model(tree, stage, key)
+                for index, (stage, key) in enumerate(zip(stages, keys))
+            ]
+            for corner in self.corners:
+                prior_frags = prior.fragments[corner.name] if prior is not None else None
+                timing, frags = self._corner_from_models(
+                    stages,
+                    models,
+                    drivers,
+                    tap_flags,
+                    corner,
+                    recompute=recompute,
+                    prior=prior_frags,
+                    collect=collect,
                 )
-                for corner in self.corners
-            }
+                corner_results[corner.name] = timing
+                if frags is not None:
+                    fragments[corner.name] = frags
+        else:
+            for corner in self.corners:
+                prior_frags = prior.fragments[corner.name] if prior is not None else None
+                timing, frags = self._corner_transient(
+                    tree,
+                    stages,
+                    keys,
+                    drivers,
+                    tap_flags,
+                    corner,
+                    recompute=recompute,
+                    prior=prior_frags,
+                    collect=collect,
+                )
+                corner_results[corner.name] = timing
+                if frags is not None:
+                    fragments[corner.name] = frags
+        if collect:
+            self._prop = _PropagationState(
+                structure_revision=tree.structure_revision,
+                keys=list(keys),
+                fragments=fragments,
+            )
         return EvaluationReport(
             corners=corner_results,
             fast_corner=self._fast,
@@ -500,12 +918,553 @@ class ClockNetworkEvaluator:
         )
 
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss/size statistics of the stage cache."""
-        return self.cache.stats()
+        """Hit/miss/size statistics of the stage cache plus propagation and
+        candidate-batching attribution counters (see the module docstring)."""
+        stats = self.cache.stats()
+        stats["propagations_full"] = self._propagations_full
+        stats["propagations_partial"] = self._propagations_partial
+        stats["stages_propagated"] = self._stages_propagated
+        stats["stages_total"] = self._stages_total
+        stats["candidate_batches"] = self.candidate_batches
+        stats["candidates_scored"] = self.candidates_scored
+        stats["candidate_fallbacks"] = self.candidate_fallbacks
+        return stats
 
     def clear_cache(self) -> None:
         """Drop all cached stage analyses (results are unaffected)."""
         self.cache.clear()
+        self._prop = None
+        self._totals_cache = None
+
+    # ------------------------------------------------------------------
+    # Batched candidate evaluation
+    # ------------------------------------------------------------------
+    def evaluate_candidates(
+        self, tree: ClockTree, moves: Sequence[Callable[[], int]]
+    ) -> CandidateBatch:
+        """Score independent candidate moves against the current tree.
+
+        Each ``move`` is a callable that mutates ``tree`` and returns the
+        number of edges it changed (0 for a vacuous move).  Every move is
+        applied under a journal checkpoint and rolled back before the next
+        one, so ``tree`` is returned unchanged; the scores say what *would*
+        happen if the move were committed, bit-identical to applying the move
+        and calling :meth:`evaluate`.
+
+        With ``candidate_batching`` enabled and an analytical engine, all
+        structure-preserving moves are scored in one numpy pass over the
+        candidates axis (see the module docstring); moves that change the
+        tree structure or a driver's polarity fall back to a full evaluation.
+        Otherwise every move is scored by a full evaluation -- same results,
+        one evaluation per candidate.
+        """
+        if not moves:
+            return CandidateBatch(scores=[], batched=0, fallbacks=0)
+        cfg = self.config
+        batchable = (
+            cfg.candidate_batching
+            and cfg.incremental
+            and cfg.engine in ("elmore", "arnoldi")
+        )
+        if not batchable:
+            return CandidateBatch(
+                scores=[
+                    self._serial_candidate(tree, index, move)
+                    for index, move in enumerate(moves)
+                ],
+                batched=0,
+                fallbacks=0,
+            )
+        topo = self.cache.topology(tree)
+        stages = topo.stages
+        keys, drivers = self._stage_keys(tree, stages)
+        # Candidate scoring piggybacks on the dirty-region snapshot: with a
+        # fragment list for the base tree, only the union of the candidates'
+        # dirty closures has to be propagated K-wide and the retained
+        # extremes come from the snapshot.  Refresh the snapshot if the tree
+        # moved since the last evaluate (cheap -- itself a partial pass).
+        prior = self._prop
+        if cfg.dirty_region and (
+            prior is None
+            or prior.structure_revision != tree.structure_revision
+            or prior.keys != keys
+        ):
+            self.evaluate(tree)
+            prior = self._prop
+        if prior is not None and (
+            prior.structure_revision != tree.structure_revision
+            or prior.keys != keys
+        ):
+            prior = None  # snapshot could not be refreshed (dirty_region off)
+        base_revision = tree.structure_revision
+        cached_totals = self._totals_cache
+        if (
+            cached_totals is not None
+            and cached_totals[0] == base_revision
+            and cached_totals[1] == keys
+        ):
+            totals = cached_totals[2]
+        else:
+            totals = _CandidateTotals(tree)
+            self._totals_cache = (base_revision, keys, totals)
+        results: List[Optional[CandidateScore]] = [None] * len(moves)
+        captures: List[_CandidateCapture] = []
+        fallbacks = 0
+        for index, move in enumerate(moves):
+            token = tree.checkpoint()
+            try:
+                changed = move()
+                if changed == 0:
+                    results[index] = self._vacuous_score(index)
+                    continue
+                capture = self._capture_candidate(
+                    tree, token, index, changed, stages, drivers, base_revision,
+                    topo, totals,
+                )
+                if capture is None:
+                    # Structure or driver polarity changed: score honestly
+                    # with a full evaluation while the move is applied.
+                    fallbacks += 1
+                    self.candidate_fallbacks += 1
+                    report = self.evaluate(tree)
+                    results[index] = self._score_from_report(
+                        index, changed, report, batched=False
+                    )
+                else:
+                    captures.append(capture)
+            finally:
+                tree.rollback_to(token)
+        if captures:
+            self.candidate_batches += 1
+            self.candidates_scored += len(captures)
+            # K-wide propagation only has to walk the union of the captured
+            # dirty frontiers closed downstream; with a snapshot available the
+            # retained remainder is spliced in as scalars.  Without one (the
+            # dirty_region toggle is off) the closure is the whole tree.
+            union_dirty: Set[int] = set()
+            for capture in captures:
+                union_dirty.update(capture.dirty_moments)
+            if prior is not None:
+                closure = self._downstream_closure(union_dirty, topo)
+            else:
+                closure = list(range(len(stages)))
+            base_moments = {
+                index: self._stage_base_moments(
+                    tree, stages[index], keys[index], self._split_caps, count=False
+                )
+                for index in closure
+            }
+            for capture, score in zip(
+                captures,
+                self._batched_scores(
+                    stages,
+                    drivers,
+                    topo,
+                    closure,
+                    base_moments,
+                    captures,
+                    None if prior is None else prior.fragments,
+                ),
+            ):
+                results[capture.index] = score
+        scores: List[CandidateScore] = []
+        for result in results:
+            assert result is not None  # every index filled above
+            scores.append(result)
+        return CandidateBatch(scores=scores, batched=len(captures), fallbacks=fallbacks)
+
+    def _serial_candidate(
+        self, tree: ClockTree, index: int, move: Callable[[], int]
+    ) -> CandidateScore:
+        token = tree.checkpoint()
+        try:
+            changed = move()
+            if changed == 0:
+                return self._vacuous_score(index)
+            report = self.evaluate(tree)
+            return self._score_from_report(index, changed, report, batched=False)
+        finally:
+            tree.rollback_to(token)
+
+    def _vacuous_score(self, index: int) -> CandidateScore:
+        return CandidateScore(
+            index=index,
+            changed=0,
+            skew=0.0,
+            clr=0.0,
+            max_latency=0.0,
+            worst_slew=0.0,
+            total_capacitance=0.0,
+            wirelength=0.0,
+            slew_limit=self.config.slew_limit,
+            capacitance_limit=self.capacitance_limit,
+            batched=False,
+        )
+
+    def _score_from_report(
+        self, index: int, changed: int, report: EvaluationReport, batched: bool
+    ) -> CandidateScore:
+        return CandidateScore(
+            index=index,
+            changed=changed,
+            skew=report.skew,
+            clr=report.clr,
+            max_latency=report.max_latency,
+            worst_slew=report.worst_slew,
+            total_capacitance=report.total_capacitance,
+            wirelength=report.wirelength,
+            slew_limit=report.slew_limit,
+            capacitance_limit=report.capacitance_limit,
+            batched=batched,
+        )
+
+    def _capture_candidate(
+        self,
+        tree: ClockTree,
+        token: int,
+        index: int,
+        changed: int,
+        stages: List[Stage],
+        drivers: List[_Driver],
+        base_revision: int,
+        topo: StageTopology,
+        totals: _CandidateTotals,
+    ) -> Optional[_CandidateCapture]:
+        """Capture an applied move's dirty stages, or None to force fallback."""
+        if tree.structure_revision != base_revision:
+            return None
+        touched = tree.touched_since(token)
+        dirty_stages: Set[int] = set()
+        for node_id in touched:
+            stage_index = topo.stage_of_edge.get(node_id)
+            if stage_index is not None:
+                dirty_stages.add(stage_index)
+            stage_index = topo.stage_of_driver.get(node_id)
+            if stage_index is not None:
+                dirty_stages.add(stage_index)
+        revisions = tree.node_revisions
+        dirty_moments: Dict[int, BaseTapMoments] = {}
+        dirty_drivers: Dict[int, _Driver] = {}
+        for stage_index in dirty_stages:
+            stage = stages[stage_index]
+            base_buffer = drivers[stage_index]
+            key, buffer = self._stage_key(tree, stage, revisions)
+            if (buffer is None) != (base_buffer is None):
+                return None
+            if (
+                buffer is not None
+                and base_buffer is not None
+                and buffer.inverting != base_buffer.inverting
+            ):
+                return None
+            dirty_moments[stage_index] = self._stage_base_moments(
+                tree, stage, key, self._split_caps, count=False
+            )
+            dirty_drivers[stage_index] = buffer
+        total_capacitance, wirelength = totals.candidate_totals(tree, touched)
+        return _CandidateCapture(
+            index=index,
+            changed=changed,
+            dirty_moments=dirty_moments,
+            dirty_drivers=dirty_drivers,
+            total_capacitance=total_capacitance,
+            wirelength=wirelength,
+        )
+
+    def _batched_scores(
+        self,
+        stages: List[Stage],
+        drivers: List[_Driver],
+        topo: StageTopology,
+        closure: List[int],
+        base_moments: Dict[int, BaseTapMoments],
+        captures: List[_CandidateCapture],
+        prior_frags: Optional[Dict[str, List[_StageFrag]]],
+    ) -> List[CandidateScore]:
+        """Score every captured candidate in one batched pass per corner.
+
+        The skew/CLR/latency/slew extraction below mirrors the corresponding
+        :class:`EvaluationReport` properties operation for operation, so the
+        resulting floats are bit-identical to a full evaluation of each move.
+        """
+        plan = self._batch_plan(
+            stages, drivers, topo, closure, base_moments, captures,
+            retained=prior_frags is not None,
+        )
+        per_corner = {
+            corner.name: self._candidate_corner(
+                stages,
+                drivers,
+                corner,
+                2 * position,
+                plan,
+                None if prior_frags is None else prior_frags[corner.name],
+            )
+            for position, corner in enumerate(self.corners)
+        }
+        fast = per_corner[self._fast]
+        slow = per_corner[self._slow]
+        skew = np.maximum(
+            fast["max"][RISE] - fast["min"][RISE], fast["max"][FALL] - fast["min"][FALL]
+        )
+        clr = np.maximum(
+            slow["max"][RISE] - fast["min"][RISE], slow["max"][FALL] - fast["min"][FALL]
+        )
+        max_latency = np.maximum(slow["max"][RISE], slow["max"][FALL])
+        worst_slew = per_corner[self.corners[0].name]["slew"]
+        for corner in self.corners[1:]:
+            worst_slew = np.maximum(worst_slew, per_corner[corner.name]["slew"])
+        return [
+            CandidateScore(
+                index=capture.index,
+                changed=capture.changed,
+                skew=float(skew[column]),
+                clr=float(clr[column]),
+                max_latency=float(max_latency[column]),
+                worst_slew=float(worst_slew[column]),
+                total_capacitance=capture.total_capacitance,
+                wirelength=capture.wirelength,
+                slew_limit=self.config.slew_limit,
+                capacitance_limit=self.capacitance_limit,
+                batched=True,
+            )
+            for column, capture in enumerate(captures)
+        ]
+
+    def _downstream_closure(
+        self, dirty: Set[int], topo: StageTopology
+    ) -> List[int]:
+        """Dirty stage indices closed over downstream stages, in stage order.
+
+        The stage list is topological (parents before children), so the
+        sorted closure can be propagated by increasing index.
+        """
+        closure: Set[int] = set()
+        stack = list(dirty)
+        while stack:
+            index = stack.pop()
+            if index in closure:
+                continue
+            closure.add(index)
+            stack.extend(topo.children[index])
+        return sorted(closure)
+
+    def _batch_plan(
+        self,
+        stages: List[Stage],
+        drivers: List[_Driver],
+        topo: StageTopology,
+        closure: List[int],
+        base_moments: Dict[int, BaseTapMoments],
+        captures: List[_CandidateCapture],
+        retained: bool,
+    ) -> _BatchPlan:
+        """Corner-independent precompute shared by every corner's propagation.
+
+        One moment/delay reduction per stage variant covers all (corner,
+        transition) rows at once (the same row layout as the cached tap
+        models), so the per-corner walks only slice.
+        """
+        use_d2m = self.config.engine == "arnoldi"
+        tap_flags = topo.tap_flags
+        plan = _BatchPlan(len(captures), closure)
+        n = plan.n
+        for index in closure:
+            buffer = drivers[index]
+            plan.boundary.add(stages[index].driver_id)
+            variant_moments: List[BaseTapMoments] = [base_moments[index]]
+            variant_of = np.zeros(n, dtype=np.intp)
+            for column, capture in enumerate(captures):
+                moments = capture.dirty_moments.get(index)
+                if moments is not None:
+                    variant_of[column] = len(variant_moments)
+                    variant_moments.append(moments)
+            delays: List[np.ndarray] = []
+            sigmas: List[np.ndarray] = []
+            for moments in variant_moments:
+                m1, m2 = batched_tap_moments(moments, *self._combo_scales)
+                delay_rows, sigma_rows = batched_delay_sigma(m1, m2, use_d2m=use_d2m)
+                delays.append(delay_rows)
+                sigmas.append(sigma_rows)
+            plan.delay[index] = np.stack(delays)  # (variants, combos, taps)
+            plan.sigma[index] = np.stack(sigmas)
+            plan.variant_of[index] = variant_of
+            if buffer is None:
+                plan.intrinsic[index] = None
+            else:
+                values = np.empty(n)
+                for column, capture in enumerate(captures):
+                    driver = capture.dirty_drivers.get(index, buffer)
+                    assert driver is not None  # presence is uniform (fallback)
+                    values[column] = driver.intrinsic_delay
+                plan.intrinsic[index] = values
+            tap_ids = base_moments[index].tap_ids
+            plan.tap_ids[index] = tap_ids
+            plan.sink_cols[index] = [
+                col for col, tap in enumerate(tap_ids) if tap_flags[tap][0]
+            ]
+            plan.buffer_cols[index] = [
+                col for col, tap in enumerate(tap_ids) if tap_flags[tap][1]
+            ]
+        if retained:
+            # Retained stages whose outputs feed a closure stage: the only
+            # fragments boundary seeding has to scan.
+            seen: Set[int] = set()
+            for index in closure:
+                parent = topo.stage_of_edge.get(stages[index].driver_id)
+                if (
+                    parent is not None
+                    and parent not in plan.closure_set
+                    and parent not in seen
+                ):
+                    seen.add(parent)
+                    plan.seed_stages.append(parent)
+        return plan
+
+    def _candidate_corner(
+        self,
+        stages: List[Stage],
+        drivers: List[_Driver],
+        corner: Corner,
+        rise_row: int,
+        plan: _BatchPlan,
+        prior_frags: Optional[List[_StageFrag]],
+    ) -> Dict:
+        """Vectorized arrival/slew propagation of all candidates at one corner.
+
+        The candidates axis replaces :meth:`_propagate_corner`'s scalars with
+        length-``K`` arrays, exactly like :meth:`_corner_yield` does for
+        Monte Carlo samples; the operation order matches the scalar path so
+        unit rows keep bit parity.  Only the closure stages (the union of
+        the candidates' dirty frontiers, closed downstream) are walked:
+        stages outside it time identically for every candidate, so their
+        boundary outputs seed the closure inputs and their sink/slew extremes
+        enter as scalars read off the snapshot fragments.  That splice is
+        bit-exact because the max/min over closure sinks merged with the
+        retained extremes equals the global max/min.  Stages a candidate left
+        untouched index into the shared base-tree rows; dirty stages get
+        their own variant rows.  Driver presence and polarity are uniform
+        across candidates by construction (divergent moves fell back), so
+        direction tracking stays scalar.
+        """
+        cfg = self.config
+        n = plan.n
+        fall_row = rise_row + 1
+        closure = plan.closure
+        closure_set = plan.closure_set
+        stage_delay: Dict[int, np.ndarray] = {}
+        stage_sigma: Dict[int, np.ndarray] = {}
+        for index in closure:
+            variant_of = plan.variant_of[index]
+            # Candidate rows [rise x n, fall x n], mirroring _corner_yield.
+            stage_delay[index] = np.concatenate(
+                (
+                    plan.delay[index][variant_of, rise_row, :],
+                    plan.delay[index][variant_of, fall_row, :],
+                )
+            )
+            stage_sigma[index] = np.concatenate(
+                (
+                    plan.sigma[index][variant_of, rise_row, :],
+                    plan.sigma[index][variant_of, fall_row, :],
+                )
+            )
+
+        # Retained contribution: every stage outside the closure times
+        # identically for all candidates, so its extremes are scalars.
+        ret_max = {t: -np.inf for t in _TRANSITIONS}
+        ret_min = {t: np.inf for t in _TRANSITIONS}
+        ret_slew = 0.0
+        if prior_frags is not None:
+            for index, frag in enumerate(prior_frags):
+                if index in closure_set:
+                    continue
+                for per_sink in frag.latency.values():
+                    for transition, value in per_sink.items():
+                        if value > ret_max[transition]:
+                            ret_max[transition] = value
+                        if value < ret_min[transition]:
+                            ret_min[transition] = value
+                for per_tap in frag.tap_slew.values():
+                    for value in per_tap.values():
+                        if value > ret_slew:
+                            ret_slew = value
+
+        root_id = stages[0].driver_id
+        max_lat = {t: np.full(n, ret_max[t]) for t in _TRANSITIONS}
+        min_lat = {t: np.full(n, ret_min[t]) for t in _TRANSITIONS}
+        worst_slew = np.full(n, ret_slew)
+        boundary = plan.boundary
+        for launch in _TRANSITIONS:
+            arrival_at: Dict[int, Union[float, np.ndarray]] = {root_id: 0.0}
+            slew_at: Dict[int, Union[float, np.ndarray]] = {
+                root_id: cfg.source_slew
+            }
+            direction_at: Dict[int, str] = {root_id: launch}
+            if prior_frags is not None:
+                # Closure-boundary inputs come from retained-stage outputs;
+                # scalars here broadcast against the K-wide rows below.
+                for index in plan.seed_stages:
+                    for tap, arrival, slew, output_dir in (
+                        prior_frags[index].outputs[launch]
+                    ):
+                        if tap in boundary:
+                            arrival_at[tap] = arrival
+                            slew_at[tap] = slew
+                            direction_at[tap] = output_dir
+            for index in closure:
+                stage = stages[index]
+                buffer = drivers[index]
+                input_arrival = arrival_at[stage.driver_id]
+                input_slew = slew_at[stage.driver_id]
+                input_dir = direction_at[stage.driver_id]
+                if buffer is not None and buffer.inverting:
+                    output_dir = FALL if input_dir == RISE else RISE
+                else:
+                    output_dir = input_dir
+                gate_delay: Union[float, np.ndarray]
+                stage_intrinsic = plan.intrinsic[index]
+                if buffer is None or stage_intrinsic is None:
+                    drive_slew = input_slew
+                    gate_delay = 0.0
+                else:
+                    drive_slew = cfg.buffer_slew_regeneration * input_slew
+                    gate_delay = (
+                        stage_intrinsic * corner.driver_scale
+                        + cfg.slew_delay_factor * input_slew
+                    )
+                row0 = 0 if output_dir == RISE else n
+                base_arrival = input_arrival + gate_delay
+                if isinstance(base_arrival, np.ndarray):
+                    base_arrival = base_arrival[:, None]
+                drive_sq = drive_slew * drive_slew
+                if isinstance(drive_sq, np.ndarray):
+                    drive_sq = drive_sq[:, None]
+                delay = stage_delay[index][row0 : row0 + n, :]
+                sigma = stage_sigma[index][row0 : row0 + n, :]
+                tap_arrival = base_arrival + delay  # (n, taps)
+                wire_slew = LN9 * sigma
+                tap_slew_value = (wire_slew * wire_slew + drive_sq) ** 0.5
+                if tap_slew_value.shape[1]:
+                    np.maximum(
+                        worst_slew, tap_slew_value.max(axis=1), out=worst_slew
+                    )
+                cols = plan.sink_cols[index]
+                if cols:
+                    sinks = tap_arrival[:, cols]
+                    np.maximum(
+                        max_lat[output_dir], sinks.max(axis=1), out=max_lat[output_dir]
+                    )
+                    np.minimum(
+                        min_lat[output_dir], sinks.min(axis=1), out=min_lat[output_dir]
+                    )
+                tap_ids = plan.tap_ids[index]
+                for col in plan.buffer_cols[index]:
+                    tap = tap_ids[col]
+                    arrival_at[tap] = tap_arrival[:, col]
+                    slew_at[tap] = tap_slew_value[:, col]
+                    direction_at[tap] = output_dir
+        return {"max": max_lat, "min": min_lat, "slew": worst_slew}
 
     # ------------------------------------------------------------------
     # Monte Carlo variation evaluation
@@ -605,7 +1564,7 @@ class ClockNetworkEvaluator:
         self,
         stages: List[Stage],
         moments: List[BaseTapMoments],
-        drivers: List,
+        drivers: List[_Driver],
         tap_flags: Dict[int, Tuple[bool, bool]],
         corner: Corner,
         draws: VariationSamples,
@@ -628,7 +1587,7 @@ class ClockNetworkEvaluator:
         driver_mult = draws.driver * supply_mult
 
         # One batched moment pass per stage: rows are [rise x n, fall x n].
-        stage_models = []
+        stage_models: List[Tuple[np.ndarray, np.ndarray]] = []
         for index in range(len(stages)):
             stage_driver = driver_mult[:, index]
             d_rows = np.concatenate((up_scale * stage_driver, down_scale * stage_driver))
@@ -654,6 +1613,7 @@ class ClockNetworkEvaluator:
                     output_dir = FALL if input_dir == RISE else RISE
                 else:
                     output_dir = input_dir
+                gate_delay: Union[float, np.ndarray]
                 if buffer is None:
                     drive_slew = input_slew
                     gate_delay = 0.0
@@ -685,30 +1645,80 @@ class ClockNetworkEvaluator:
     # ------------------------------------------------------------------
     # Stage bookkeeping
     # ------------------------------------------------------------------
-    def _stages_and_keys(self, tree: ClockTree, use_cache: bool):
+    def _stages_and_keys(
+        self, tree: ClockTree, use_cache: bool
+    ) -> Tuple[List[Stage], List[Optional[_StageKey]], List[_Driver]]:
         if not use_cache:
             stages = extract_stages(tree)
             drivers = [tree.node(stage.driver_id).buffer for stage in stages]
             return stages, [None] * len(stages), drivers
         stages = self.cache.stage_list(tree)
+        keys, drivers = self._stage_keys(tree, stages)
+        return stages, keys, drivers
+
+    def _stage_keys(
+        self, tree: ClockTree, stages: List[Stage]
+    ) -> Tuple[List[Optional[_StageKey]], List[_Driver]]:
         revisions = tree.node_revisions
         keys: List[Optional[_StageKey]] = []
-        drivers = []
+        drivers: List[_Driver] = []
         for stage in stages:
-            driver_id = stage.driver_id
-            driver_buffer = tree.node(driver_id).buffer
-            drivers.append(driver_buffer)
-            if driver_buffer is None:
-                head = (driver_id, revisions[driver_id], tree.source_resistance)
-            else:
-                head = (driver_id, revisions[driver_id])
-            keys.append((head, tuple((e, revisions[e]) for e in stage.edges)))
-        return stages, keys, drivers
+            key, buffer = self._stage_key(tree, stage, revisions)
+            keys.append(key)
+            drivers.append(buffer)
+        return keys, drivers
+
+    def _stage_key(
+        self, tree: ClockTree, stage: Stage, revisions: Dict[int, int]
+    ) -> Tuple[_StageKey, _Driver]:
+        driver_id = stage.driver_id
+        buffer = tree.node(driver_id).buffer
+        if buffer is None:
+            # The source stage is driven through the source resistance, which
+            # is not covered by any node revision.
+            head: tuple = (driver_id, revisions[driver_id], tree.source_resistance)
+        else:
+            head = (driver_id, revisions[driver_id])
+        return (head, tuple((edge, revisions[edge]) for edge in stage.edges)), buffer
+
+    def _dirty_frontier(
+        self, tree: ClockTree, keys: List[Optional[_StageKey]], topo: StageTopology
+    ) -> Tuple[Optional[Set[int]], Optional[_PropagationState]]:
+        """Stages to re-propagate, or (None, None) to force a full walk.
+
+        The dirty set is the content-key mismatches against the last
+        propagation snapshot, closed over downstream stages (a changed stage
+        changes the input arrival/slew of everything below its taps).  The
+        complement -- retained stages -- then provably has only retained
+        ancestors, which is what makes fragment splicing bit-identical.
+        """
+        prop = self._prop
+        if (
+            prop is None
+            or prop.structure_revision != tree.structure_revision
+            or len(prop.keys) != len(keys)
+        ):
+            return None, None
+        recompute: Set[int] = set()
+        stack = [
+            index
+            for index, (old, new) in enumerate(zip(prop.keys, keys))
+            if old != new
+        ]
+        while stack:
+            index = stack.pop()
+            if index in recompute:
+                continue
+            recompute.add(index)
+            stack.extend(topo.children[index])
+        return recompute, prop
 
     # ------------------------------------------------------------------
     # Analytical engines: batched per-stage tap models
     # ------------------------------------------------------------------
-    def _tap_model(self, tree: ClockTree, stage: Stage, key: Optional[_StageKey]):
+    def _tap_model(
+        self, tree: ClockTree, stage: Stage, key: Optional[_StageKey]
+    ) -> _TapModel:
         """Per-stage ``{(corner, transition): {tap: (delay, sigma)}}`` mapping.
 
         ``delay`` is the wire delay from the driver switching instant and
@@ -726,7 +1736,7 @@ class ClockNetworkEvaluator:
         delay, sigma = batched_delay_sigma(
             m1, m2, use_d2m=(self.config.engine == "arnoldi")
         )
-        model = {}
+        model: _TapModel = {}
         for row, combo in enumerate(self._combos):
             delays = delay[row]
             sigmas = sigma[row]
@@ -748,10 +1758,11 @@ class ClockNetworkEvaluator:
     ) -> BaseTapMoments:
         """The stage's corner-independent moment reduction, cached by content.
 
-        Shared by the per-corner tap models of :meth:`evaluate` and the
-        Monte Carlo batches of :meth:`evaluate_yield`, so whichever runs
-        first pays for the numpy reduction and the other reuses it for every
-        stage whose RC content is unchanged.
+        Shared by the per-corner tap models of :meth:`evaluate`, the Monte
+        Carlo batches of :meth:`evaluate_yield` and the candidate batches of
+        :meth:`evaluate_candidates`, so whichever runs first pays for the
+        numpy reduction and the others reuse it for every stage whose RC
+        content is unchanged.
         """
         cache_key = (key, split) if key is not None else None
         if cache_key is not None:
@@ -767,18 +1778,27 @@ class ClockNetworkEvaluator:
     def _corner_from_models(
         self,
         stages: List[Stage],
-        models: List[dict],
-        drivers: List,
+        models: List[Optional[_TapModel]],
+        drivers: List[_Driver],
         tap_flags: Dict[int, Tuple[bool, bool]],
         corner: Corner,
-    ) -> CornerTiming:
-        def stage_timing(index, stage, output_dir, drive_slew):
+        recompute: Optional[Set[int]] = None,
+        prior: Optional[List[_StageFrag]] = None,
+        collect: bool = False,
+    ) -> Tuple[CornerTiming, Optional[List[_StageFrag]]]:
+        def stage_timing(
+            index: int, stage: Stage, output_dir: str, drive_slew: float
+        ) -> Iterator[Tuple[int, float, float]]:
+            model = models[index]
+            assert model is not None  # retained stages are never re-timed
             drive_sq = drive_slew * drive_slew
-            for tap, (delay, sigma) in models[index][(corner.name, output_dir)].items():
+            for tap, (delay, sigma) in model[(corner.name, output_dir)].items():
                 wire_slew = LN9 * sigma
                 yield tap, delay, (wire_slew * wire_slew + drive_sq) ** 0.5
 
-        return self._propagate_corner(stages, drivers, tap_flags, corner, stage_timing)
+        return self._propagate_corner(
+            stages, drivers, tap_flags, corner, stage_timing, recompute, prior, collect
+        )
 
     # ------------------------------------------------------------------
     # Transient (SPICE-substitute) engine
@@ -788,17 +1808,24 @@ class ClockNetworkEvaluator:
         tree: ClockTree,
         stages: List[Stage],
         keys: List[Optional[_StageKey]],
-        drivers: List,
+        drivers: List[_Driver],
         tap_flags: Dict[int, Tuple[bool, bool]],
         corner: Corner,
-    ) -> CornerTiming:
-        def stage_timing(index, stage, output_dir, drive_slew):
+        recompute: Optional[Set[int]] = None,
+        prior: Optional[List[_StageFrag]] = None,
+        collect: bool = False,
+    ) -> Tuple[CornerTiming, Optional[List[_StageFrag]]]:
+        def stage_timing(
+            index: int, stage: Stage, output_dir: str, drive_slew: float
+        ) -> List[Tuple[int, float, float]]:
             timing = self._transient_stage_timing(
                 tree, stage, keys[index], corner, output_dir, drive_slew
             )
             return [(tap, timing.delay[tap], timing.slew[tap]) for tap in stage.taps]
 
-        return self._propagate_corner(stages, drivers, tap_flags, corner, stage_timing)
+        return self._propagate_corner(
+            stages, drivers, tap_flags, corner, stage_timing, recompute, prior, collect
+        )
 
     # ------------------------------------------------------------------
     # Shared arrival/slew propagation
@@ -806,32 +1833,77 @@ class ClockNetworkEvaluator:
     def _propagate_corner(
         self,
         stages: List[Stage],
-        drivers: List,
+        drivers: List[_Driver],
         tap_flags: Dict[int, Tuple[bool, bool]],
         corner: Corner,
-        stage_timing,
-    ) -> CornerTiming:
+        stage_timing: _StageTimingFn,
+        recompute: Optional[Set[int]] = None,
+        prior: Optional[List[_StageFrag]] = None,
+        collect: bool = False,
+    ) -> Tuple[CornerTiming, Optional[List[_StageFrag]]]:
         """Propagate both launch transitions through the ordered stages.
 
         ``stage_timing(index, stage, output_dir, drive_slew)`` yields
         ``(tap, delay, slew)`` triples for one stage; everything else --
         inversion tracking, gate delay, slew regeneration, sink/buffer
         bookkeeping -- is engine-independent and lives only here.
+
+        The walk is stage-major with both launch transitions carried side by
+        side, so that a stage outside ``recompute`` can be skipped entirely:
+        its fragment from ``prior`` (same content key, hence bit-identical
+        inputs and outputs) is spliced into the result dicts and its
+        downstream state re-seeded from the recorded outputs.  With
+        ``recompute=None`` every stage is computed -- a full propagation.
+        ``collect=True`` additionally returns the per-stage fragment list for
+        the next dirty-region diff.
         """
         cfg = self.config
         root_id = stages[0].driver_id
         latency: Dict[int, Dict[str, float]] = {}
         slew: Dict[int, Dict[str, float]] = {}
         tap_slew: Dict[int, Dict[str, float]] = {}
-        for launch in _TRANSITIONS:
-            arrival_at: Dict[int, float] = {root_id: 0.0}
-            slew_at: Dict[int, float] = {root_id: cfg.source_slew}
-            direction_at: Dict[int, str] = {root_id: launch}
-            for index, (stage, buffer) in enumerate(zip(stages, drivers)):
-                driver_id = stage.driver_id
-                input_arrival = arrival_at[driver_id]
-                input_slew = slew_at[driver_id]
-                input_dir = direction_at[driver_id]
+        arrival_at: Dict[str, Dict[int, float]] = {
+            launch: {root_id: 0.0} for launch in _TRANSITIONS
+        }
+        slew_at: Dict[str, Dict[int, float]] = {
+            launch: {root_id: cfg.source_slew} for launch in _TRANSITIONS
+        }
+        direction_at: Dict[str, Dict[int, str]] = {
+            launch: {root_id: launch} for launch in _TRANSITIONS
+        }
+        frags: Optional[List[_StageFrag]] = [] if collect else None
+        for index, (stage, buffer) in enumerate(zip(stages, drivers)):
+            if recompute is not None and index not in recompute:
+                assert prior is not None
+                frag = prior[index]
+                latency.update(frag.latency)
+                slew.update(frag.slew)
+                tap_slew.update(frag.tap_slew)
+                for launch in _TRANSITIONS:
+                    arrivals = arrival_at[launch]
+                    slews = slew_at[launch]
+                    directions = direction_at[launch]
+                    for tap, tap_arrival, tap_slew_value, output_dir in frag.outputs[
+                        launch
+                    ]:
+                        arrivals[tap] = tap_arrival
+                        slews[tap] = tap_slew_value
+                        directions[tap] = output_dir
+                if frags is not None:
+                    frags.append(frag)
+                continue
+            frag_latency: Dict[int, Dict[str, float]] = {}
+            frag_slew: Dict[int, Dict[str, float]] = {}
+            frag_tap_slew: Dict[int, Dict[str, float]] = {}
+            frag_outputs: Dict[str, List[Tuple[int, float, float, str]]] = {
+                RISE: [],
+                FALL: [],
+            }
+            driver_id = stage.driver_id
+            for launch in _TRANSITIONS:
+                input_arrival = arrival_at[launch][driver_id]
+                input_slew = slew_at[launch][driver_id]
+                input_dir = direction_at[launch][driver_id]
                 if buffer is not None and buffer.inverting:
                     output_dir = FALL if input_dir == RISE else RISE
                 else:
@@ -845,20 +1917,33 @@ class ClockNetworkEvaluator:
                         buffer.intrinsic_delay * corner.driver_scale
                         + cfg.slew_delay_factor * input_slew
                     )
+                arrivals = arrival_at[launch]
+                slews = slew_at[launch]
+                directions = direction_at[launch]
+                outputs = frag_outputs[launch]
                 for tap, delay, tap_slew_value in stage_timing(
                     index, stage, output_dir, drive_slew
                 ):
                     tap_arrival = input_arrival + gate_delay + delay
                     is_sink, has_buffer = tap_flags[tap]
-                    tap_slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                    frag_tap_slew.setdefault(tap, {})[output_dir] = tap_slew_value
                     if is_sink:
-                        latency.setdefault(tap, {})[output_dir] = tap_arrival
-                        slew.setdefault(tap, {})[output_dir] = tap_slew_value
+                        frag_latency.setdefault(tap, {})[output_dir] = tap_arrival
+                        frag_slew.setdefault(tap, {})[output_dir] = tap_slew_value
                     if has_buffer:
-                        arrival_at[tap] = tap_arrival
-                        slew_at[tap] = tap_slew_value
-                        direction_at[tap] = output_dir
-        return CornerTiming(corner=corner, latency=latency, slew=slew, tap_slew=tap_slew)
+                        arrivals[tap] = tap_arrival
+                        slews[tap] = tap_slew_value
+                        directions[tap] = output_dir
+                        outputs.append((tap, tap_arrival, tap_slew_value, output_dir))
+            latency.update(frag_latency)
+            slew.update(frag_slew)
+            tap_slew.update(frag_tap_slew)
+            if frags is not None:
+                frags.append(
+                    _StageFrag(frag_latency, frag_slew, frag_tap_slew, frag_outputs)
+                )
+        timing = CornerTiming(corner=corner, latency=latency, slew=slew, tap_slew=tap_slew)
+        return timing, frags
 
     def _transient_stage_timing(
         self,
@@ -870,14 +1955,21 @@ class ClockNetworkEvaluator:
         drive_slew: float,
     ) -> StageTiming:
         cfg = self.config
-        timing_key = None
+        timing_key: Optional[tuple] = None
         if key is not None:
+            # The timing key embeds the raw drive_slew float on purpose: the
+            # waveform analysis is a function of the exact input slew, and
+            # quantizing the key would change results.  The cost is that any
+            # upstream slew wiggle produces a fresh key for every downstream
+            # stage ("float-key thrash") -- dirty-region propagation sidesteps
+            # the repeated lookups for retained stages, and the measured hit
+            # rates before/after are recorded by benchmarks/propagation_smoke.
             timing_key = (key, corner.name, output_dir, drive_slew)
             cached = self.cache.timing(timing_key)
             if cached is not None:
                 return cached
-        network = None
-        network_key = None
+        network: Optional[StageNetwork] = None
+        network_key: Optional[tuple] = None
         if key is not None:
             network_key = (key, corner.name, output_dir)
             network = self.cache.network(network_key)

@@ -25,9 +25,11 @@ from repro.cts.tree import ClockTree, TreeNode
 
 __all__ = [
     "Stage",
+    "StageTopology",
     "StageNetwork",
     "BaseStageNetwork",
     "extract_stages",
+    "build_stage_topology",
     "build_stage_network",
     "build_base_stage_network",
     "subtree_interval_sums",
@@ -141,6 +143,57 @@ def extract_stages(tree: ClockTree) -> List[Stage]:
             stack.extend(node.children)
         stages.append(stage)
     return stages
+
+
+@dataclass
+class StageTopology:
+    """A stage decomposition plus the per-structure-revision indexes over it.
+
+    Everything here depends only on the tree's *structure* (topology, buffer
+    sites, sink roles), never on electrical content, so one instance stays
+    valid for as long as the tree's structure revision does -- the evaluator
+    caches it next to the stage list and uses it for dirty-region closure and
+    candidate dirty-set mapping without re-walking the tree:
+
+    * ``children[i]`` -- indices of the stages driven by stage ``i``'s taps;
+    * ``stage_of_edge`` -- tree node id -> index of the stage that contains
+      the node's parent edge (tap edges belong to the stage above the tap);
+    * ``stage_of_driver`` -- driver node id -> index of the stage it drives;
+    * ``tap_flags`` -- ``(is_sink, has_buffer)`` per tap, shared by every
+      corner/launch propagation sweep.
+    """
+
+    stages: List[Stage]
+    children: List[List[int]]
+    stage_of_edge: Dict[int, int]
+    stage_of_driver: Dict[int, int]
+    tap_flags: Dict[int, Tuple[bool, bool]]
+
+
+def build_stage_topology(tree: ClockTree, stages: Optional[List[Stage]] = None) -> StageTopology:
+    """Extract the stage list (unless given) and derive its structural indexes."""
+    if stages is None:
+        stages = extract_stages(tree)
+    stage_of_driver = {stage.driver_id: index for index, stage in enumerate(stages)}
+    children: List[List[int]] = [[] for _ in stages]
+    stage_of_edge: Dict[int, int] = {}
+    tap_flags: Dict[int, Tuple[bool, bool]] = {}
+    for index, stage in enumerate(stages):
+        for edge in stage.edges:
+            stage_of_edge[edge] = index
+        for tap in stage.taps:
+            node = tree.node(tap)
+            tap_flags[tap] = (node.is_sink, node.buffer is not None)
+            downstream = stage_of_driver.get(tap)
+            if downstream is not None:
+                children[index].append(downstream)
+    return StageTopology(
+        stages=stages,
+        children=children,
+        stage_of_edge=stage_of_edge,
+        stage_of_driver=stage_of_driver,
+        tap_flags=tap_flags,
+    )
 
 
 def build_stage_network(

@@ -36,7 +36,7 @@ Carlo reproduces the nominal multi-corner evaluation bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -150,7 +150,7 @@ class VariationModel:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_corners(cls, corners: Sequence[Corner], **overrides) -> "VariationModel":
+    def from_corners(cls, corners: Sequence[Corner], **overrides: Any) -> "VariationModel":
         """A corner-anchored model spanning the given corner list.
 
         The anchors are ordered strongest supply first, so the reference
@@ -283,7 +283,9 @@ class VariationModel:
         return np.maximum(multipliers, self._MIN_MULTIPLIER)
 
     # -- shared draw helpers -------------------------------------------
-    def _truncated_normal(self, rng: np.random.Generator, shape) -> np.ndarray:
+    def _truncated_normal(
+        self, rng: np.random.Generator, shape: Union[int, Tuple[int, ...]]
+    ) -> np.ndarray:
         z = rng.standard_normal(shape)
         return np.clip(z, -self.truncation, self.truncation)
 
@@ -356,7 +358,7 @@ class VariationModel:
         )
 
 
-def default_variation_model(family: str = "independent", **overrides) -> VariationModel:
+def default_variation_model(family: str = "independent", **overrides: Any) -> VariationModel:
     """The stock variation model used by the gate, CLI and benchmarks.
 
     Sigma magnitudes follow the usual across-die budgets quoted for 45 nm

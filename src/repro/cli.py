@@ -685,6 +685,16 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return _run_batch(args, jobs, table=table_mc, progress=_progress_mc)
 
 
+def _aggregate_cache_stats(stats_iter) -> Dict[str, int]:
+    """Sum per-run integer evaluator cache counters into one dict."""
+    totals: Dict[str, int] = {}
+    for stats in stats_iter:
+        for key, value in (stats or {}).items():
+            if isinstance(value, int):
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Distinct seeds make the matrix a realistic mixed workload rather than
     # one instance computed four times.
@@ -718,6 +728,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for record in serial.records
             if isinstance(record, RunRecord)
         ],
+        # Aggregated evaluator cache/dirty-region counters across the serial
+        # runs -- the evidence trail for incremental-evaluation speedups.
+        "evaluator_cache": _aggregate_cache_stats(
+            record.evaluator_cache
+            for record in serial.records
+            if isinstance(record, RunRecord)
+        ),
         "failures": len(failures),
     }
     Path(args.summary_json).write_text(json.dumps(payload, indent=2) + "\n")

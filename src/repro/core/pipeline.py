@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.evaluator import (
     ClockNetworkEvaluator,
@@ -114,6 +114,12 @@ class OptimizationPass:
     name: str = ""
     stage: Optional[str] = None
     variation_aware: bool = False
+    #: When set, the pass's IVC loop proposes one candidate per scale and
+    #: commits the best gate-approved one via
+    #: :meth:`~repro.core.ivc.IvcEngine.run_batched` (scored in a single
+    #: batched evaluation when the evaluator allows it).  ``None`` keeps the
+    #: classic one-proposal-per-round loop.
+    candidate_scales: Optional[Tuple[float, ...]] = None
 
     def run(self, ctx: PassContext) -> None:
         raise NotImplementedError
@@ -382,7 +388,12 @@ class TrunkBufferSizingPass(OptimizationPass):
             return
         tree = ctx.require_tree()
         sliding = slide_and_interleave_trunk(
-            tree, ctx.evaluator, baseline=ctx.report, objective="clr", gate=self.gate(ctx)
+            tree,
+            ctx.evaluator,
+            baseline=ctx.report,
+            objective="clr",
+            gate=self.gate(ctx),
+            candidate_scales=self.candidate_scales,
         )
         ctx.result.pass_results["trunk_sliding"] = sliding
         sizing = iterative_buffer_sizing(
@@ -395,6 +406,7 @@ class TrunkBufferSizingPass(OptimizationPass):
             max_iterations=ctx.config.sizing_max_iterations,
             max_consecutive_rejections=ctx.config.sizing_max_rejections,
             gate=self.gate(ctx),
+            candidate_scales=self.candidate_scales,
         )
         ctx.result.pass_results["buffer_sizing"] = sizing
         ctx.report = sizing.final_report
@@ -420,6 +432,7 @@ class WiresizingPass(OptimizationPass):
             corners=ctx.slack_corners,
             max_rounds=ctx.config.wiresizing_max_rounds,
             gate=self.gate(ctx),
+            candidate_scales=self.candidate_scales,
         )
         ctx.result.pass_results["wiresizing"] = outcome
         ctx.report = outcome.final_report
@@ -445,6 +458,7 @@ class WiresnakingPass(OptimizationPass):
             unit_length=ctx.config.wiresnaking_unit_length,
             max_rounds=ctx.config.wiresnaking_max_rounds,
             gate=self.gate(ctx),
+            candidate_scales=self.candidate_scales,
         )
         ctx.result.pass_results["wiresnaking"] = outcome
         ctx.report = outcome.final_report
@@ -471,6 +485,7 @@ class BottomLevelPass(OptimizationPass):
             unit_length=ctx.config.bottom_unit_length,
             max_rounds=ctx.config.bottom_max_rounds,
             gate=self.gate(ctx),
+            candidate_scales=self.candidate_scales,
         )
         ctx.result.pass_results["bottom_level"] = outcome
         ctx.report = outcome.final_report
@@ -515,3 +530,49 @@ class VariationAwareBottomLevelPass(BottomLevelPass):
 
     name = "bwsn_mc"
     variation_aware = True
+
+
+# ----------------------------------------------------------------------
+# Batched-candidate pipeline variants (best-of-K IVC rounds)
+# ----------------------------------------------------------------------
+# Each variant runs the same optimization loop, but every round proposes one
+# candidate per aggressiveness scale and commits the best gate-approved one
+# (IvcEngine.run_batched).  With EvaluatorConfig.candidate_batching enabled
+# the K candidates are scored in a single numpy evaluation along the batch
+# axis; with it disabled they fall back to serial scoring, so the variants
+# double as the A/B switch for the batched evaluator path.  Select them via
+# ``FlowConfig(pipeline=list(BATCHED_PIPELINE))`` or per stage
+# (``--pipeline initial,tbsz,twsz_k,...``).
+_BATCH_SCALES: Tuple[float, ...] = (1.0, 0.5, 0.25)
+
+
+@register_pass
+class BatchedTrunkBufferSizingPass(TrunkBufferSizingPass):
+    """TBSZ with best-of-K batched candidate rounds."""
+
+    name = "tbsz_k"
+    candidate_scales = _BATCH_SCALES
+
+
+@register_pass
+class BatchedWiresizingPass(WiresizingPass):
+    """TWSZ with best-of-K batched candidate rounds."""
+
+    name = "twsz_k"
+    candidate_scales = _BATCH_SCALES
+
+
+@register_pass
+class BatchedWiresnakingPass(WiresnakingPass):
+    """TWSN with best-of-K batched candidate rounds."""
+
+    name = "twsn_k"
+    candidate_scales = _BATCH_SCALES
+
+
+@register_pass
+class BatchedBottomLevelPass(BottomLevelPass):
+    """BWSN with best-of-K batched candidate rounds."""
+
+    name = "bwsn_k"
+    candidate_scales = _BATCH_SCALES
