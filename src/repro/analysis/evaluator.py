@@ -106,6 +106,7 @@ from repro.analysis.units import LN9
 from repro.analysis.variation import VariationModel, VariationSamples, YieldReport
 from repro.cts.bufferlib import BufferType
 from repro.cts.tree import ClockTree, TreeNode
+from repro.obs import NULL_TRACER, TracerBase
 from repro.seeding import derive_rng
 
 __all__ = [
@@ -773,6 +774,10 @@ class ClockNetworkEvaluator:
         self._fast = max(corner_list, key=lambda c: c.vdd).name
         self._slow = min(corner_list, key=lambda c: c.vdd).name
         self.cache = StageCache()
+        # Structured tracing: callers (the pipeline driver, a profiler) swap
+        # in a live Tracer; the default NULL_TRACER keeps the instrumented
+        # paths at one attribute read plus a branch.
+        self.tracer: TracerBase = NULL_TRACER
         # Dirty-region propagation snapshot plus attribution counters
         # (surfaced through cache_stats() so reported speedups stay
         # attributable to the layer that produced them).
@@ -820,6 +825,31 @@ class ClockNetworkEvaluator:
         decides whether the stage cache is used; passing ``False`` forces a
         cold evaluation (identical results, no cache reads or writes).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._evaluate_inner(tree, incremental)
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        full_before = self._propagations_full
+        partial_before = self._propagations_partial
+        stages_before = self._stages_propagated
+        with tracer.span("evaluate") as span:
+            report = self._evaluate_inner(tree, incremental)
+            if span is not None:
+                span.count("cache_hits", self.cache.hits - hits_before)
+                span.count("cache_misses", self.cache.misses - misses_before)
+                span.count("propagations_full", self._propagations_full - full_before)
+                span.count(
+                    "propagations_partial", self._propagations_partial - partial_before
+                )
+                span.count(
+                    "stages_propagated", self._stages_propagated - stages_before
+                )
+        return report
+
+    def _evaluate_inner(
+        self, tree: ClockTree, incremental: Optional[bool]
+    ) -> EvaluationReport:
         self.run_count += 1
         use_cache = self.config.incremental if incremental is None else incremental
         # Driver buffers are read live from the tree: cached stage lists may
@@ -858,6 +888,53 @@ class ClockNetworkEvaluator:
             # longer has to look up: credit them so hit rates stay comparable
             # with dirty_region disabled.
             self.cache.hits += total - len(recompute)
+        with self.tracer.span("propagate") as prop_span:
+            corner_results, fragments = self._propagate_corners(
+                tree,
+                stages,
+                keys,
+                drivers,
+                tap_flags,
+                recompute=recompute,
+                prior=prior,
+                collect=collect,
+            )
+            if prop_span is not None:
+                prop_span.count("corners", len(self.corners))
+                prop_span.count(
+                    "stages", total if recompute is None else len(recompute)
+                )
+        if collect:
+            self._prop = _PropagationState(
+                structure_revision=tree.structure_revision,
+                keys=list(keys),
+                fragments=fragments,
+            )
+        return EvaluationReport(
+            corners=corner_results,
+            fast_corner=self._fast,
+            slow_corner=self._slow,
+            engine=self.config.engine,
+            slew_limit=self.config.slew_limit,
+            total_capacitance=tree.total_capacitance(),
+            capacitance_limit=self.capacitance_limit,
+            wirelength=tree.total_wirelength(),
+            evaluation_index=self.run_count,
+        )
+
+    def _propagate_corners(
+        self,
+        tree: ClockTree,
+        stages: List[Stage],
+        keys: List[Optional[_StageKey]],
+        drivers: List[_Driver],
+        tap_flags: Dict[int, Tuple[bool, bool]],
+        *,
+        recompute: Optional[Set[int]],
+        prior: Optional[_PropagationState],
+        collect: bool,
+    ) -> Tuple[Dict[str, CornerTiming], Dict[str, List[_StageFrag]]]:
+        """Analyze and propagate every corner (the ``propagate`` span body)."""
         fragments: Dict[str, List[_StageFrag]] = {}
         corner_results: Dict[str, CornerTiming] = {}
         if self.config.engine in ("elmore", "arnoldi"):
@@ -899,23 +976,7 @@ class ClockNetworkEvaluator:
                 corner_results[corner.name] = timing
                 if frags is not None:
                     fragments[corner.name] = frags
-        if collect:
-            self._prop = _PropagationState(
-                structure_revision=tree.structure_revision,
-                keys=list(keys),
-                fragments=fragments,
-            )
-        return EvaluationReport(
-            corners=corner_results,
-            fast_corner=self._fast,
-            slow_corner=self._slow,
-            engine=self.config.engine,
-            slew_limit=self.config.slew_limit,
-            total_capacitance=tree.total_capacitance(),
-            capacitance_limit=self.capacitance_limit,
-            wirelength=tree.total_wirelength(),
-            evaluation_index=self.run_count,
-        )
+        return corner_results, fragments
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/size statistics of the stage cache plus propagation and
@@ -958,6 +1019,20 @@ class ClockNetworkEvaluator:
         Otherwise every move is scored by a full evaluation -- same results,
         one evaluation per candidate.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._evaluate_candidates_inner(tree, moves)
+        with tracer.span("candidate_batch") as span:
+            batch = self._evaluate_candidates_inner(tree, moves)
+            if span is not None:
+                span.count("candidates", len(moves))
+                span.count("batched", batch.batched)
+                span.count("fallbacks", batch.fallbacks)
+        return batch
+
+    def _evaluate_candidates_inner(
+        self, tree: ClockTree, moves: Sequence[Callable[[], int]]
+    ) -> CandidateBatch:
         if not moves:
             return CandidateBatch(scores=[], batched=0, fallbacks=0)
         cfg = self.config

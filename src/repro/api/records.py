@@ -181,6 +181,10 @@ class RunRecord:
     #: Present only when the pipeline ran variation-aware passes; omitted
     #: from the serialized record otherwise (matching the legacy shape).
     variation_gate: Optional[Dict[str, Any]] = None
+    #: Serialized :class:`repro.obs.TraceSummary`; present only when the job
+    #: ran traced, so untraced records keep their historical byte shape.
+    #: Plain dict here: this module is a dependency-free leaf.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_record(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -202,6 +206,8 @@ class RunRecord:
         }
         if self.variation_gate:
             record["variation_gate"] = self.variation_gate
+        if self.trace:
+            record["trace"] = self.trace
         return record
 
     @classmethod
@@ -226,6 +232,7 @@ class RunRecord:
             evaluator_cache=record.get("evaluator_cache", {}),
             wall_clock_s=record.get("wall_clock_s"),
             variation_gate=record.get("variation_gate"),
+            trace=record.get("trace"),
         )
 
 
@@ -247,6 +254,8 @@ class McRecord:
     nominal: Optional[RunSummary] = None
     wall_clock_s: Optional[float] = None
     variation_gate: Optional[Dict[str, Any]] = None
+    #: Serialized :class:`repro.obs.TraceSummary`; present only when traced.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_record(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -265,6 +274,8 @@ class McRecord:
         }
         if self.variation_gate:
             record["variation_gate"] = self.variation_gate
+        if self.trace:
+            record["trace"] = self.trace
         return record
 
     @classmethod
@@ -289,6 +300,7 @@ class McRecord:
             nominal=RunSummary.from_record(nominal) if nominal is not None else None,
             wall_clock_s=record.get("wall_clock_s"),
             variation_gate=record.get("variation_gate"),
+            trace=record.get("trace"),
         )
 
 

@@ -52,7 +52,12 @@ from typing import (
 
 from repro.api.jobs import Job, JobMatrix, JobSpec, McJobSpec, MonteCarloAxes
 from repro.api.records import ErrorRecord, McRecord, Record, RunRecord
-from repro.runner import JobError, dispatch_jobs, execute_job_guarded
+from repro.runner import (
+    JobError,
+    dispatch_jobs,
+    execute_job_guarded,
+    execute_job_traced,
+)
 from repro.store import CompareTolerances, ComparisonResult, RunStore, diff_records
 
 __all__ = ["JobEvent", "ServiceBatch", "SynthesisService"]
@@ -60,12 +65,23 @@ __all__ = ["JobEvent", "ServiceBatch", "SynthesisService"]
 
 @dataclass(frozen=True)
 class JobEvent:
-    """One completed job, delivered through the streaming interface."""
+    """One job lifecycle notification, delivered through the streaming interface.
+
+    ``kind`` says which moment of the job's life this is:
+
+    * ``"started"`` -- the job was handed to a worker (``record`` is
+      ``None``); long sweeps show liveness before the first completion.
+    * ``"completed"`` -- the job finished; ``record`` carries its typed
+      result (an :class:`~repro.api.records.ErrorRecord` on failure).
+    * ``"progress"`` is reserved for future mid-job heartbeats (live span
+      summaries); no current producer emits it.
+    """
 
     index: int
     total: int
     job: Job
-    record: Record
+    record: Optional[Record] = None
+    kind: str = "completed"
 
     @property
     def failed(self) -> bool:
@@ -106,6 +122,10 @@ class SynthesisService:
         is appended under ``run_id``.
     run_id:
         Store tag for this service's appends (default ``"service"``).
+    trace:
+        When true, every job runs under a fresh :class:`~repro.obs.Tracer`
+        (in the worker process) and its record carries the ``trace``
+        summary.  Results are bit-identical to untraced runs.
     """
 
     def __init__(
@@ -113,10 +133,13 @@ class SynthesisService:
         max_workers: int = 1,
         store: Union[RunStore, str, None] = None,
         run_id: str = "service",
+        trace: bool = False,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.trace = trace
+        self._worker = execute_job_traced if trace else execute_job_guarded
         self.store: Optional[RunStore] = (
             store if isinstance(store, RunStore) or store is None else RunStore(store)
         )
@@ -172,11 +195,14 @@ class SynthesisService:
     # Core streaming execution
     # ------------------------------------------------------------------
     def stream(self, jobs: Iterable[Job]) -> Iterator[JobEvent]:
-        """Execute ``jobs`` and yield one :class:`JobEvent` per completion.
+        """Execute ``jobs``, yielding ``started`` and ``completed`` events.
 
-        With workers, events arrive in *completion* order (the fan-out is
-        live while you iterate); in-process execution yields in job order.
-        Every record is appended to the attached store before its event is
+        Every job produces a ``kind="started"`` event when it is handed to a
+        worker and a ``kind="completed"`` event when it finishes.  With
+        workers, all jobs are submitted up front (so every ``started`` event
+        arrives first) and completions stream in *completion* order; in-process
+        execution interleaves started/completed in job order.  Every completed
+        record is appended to the attached store before its event is
         delivered.
         """
         job_list = list(jobs)
@@ -185,16 +211,21 @@ class SynthesisService:
         if self._closed:
             raise RuntimeError("SynthesisService is closed")
         self.jobs_dispatched += len(job_list)
+        total = len(job_list)
         if self.max_workers == 1:
             for index, job in enumerate(job_list):
-                record = execute_job_guarded(job)
+                yield JobEvent(index=index, total=total, job=job, kind="started")
+                record = self._worker(job)
                 self._record(record)
-                yield JobEvent(index=index, total=len(job_list), job=job, record=record)
+                yield JobEvent(index=index, total=total, job=job, record=record)
             return
-        for index, record in dispatch_jobs(self._pool(), job_list):
+        pool = self._pool()
+        for index, job in enumerate(job_list):
+            yield JobEvent(index=index, total=total, job=job, kind="started")
+        for index, record in dispatch_jobs(pool, job_list, self._worker):
             self._record(record)
             yield JobEvent(
-                index=index, total=len(job_list), job=job_list[index], record=record
+                index=index, total=total, job=job_list[index], record=record
             )
 
     def _record(self, record: Record) -> None:
@@ -206,20 +237,22 @@ class SynthesisService:
     ) -> ServiceBatch:
         """Execute ``jobs`` and collect a :class:`ServiceBatch` in job order.
 
-        ``on_event`` fires once per completed job, in completion order,
-        while the rest of the batch is still running.
+        ``on_event`` fires for every event (``started`` and ``completed``)
+        while the rest of the batch is still running; the batch collects the
+        completed records.
         """
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
         job_list = list(jobs)
         records: List[Optional[Record]] = [None] * len(job_list)
         for event in self.stream(job_list):
-            records[event.index] = event.record
+            if event.kind == "completed":
+                records[event.index] = event.record
             if on_event is not None:
                 on_event(event)
         return ServiceBatch(
             jobs=job_list,
             records=[record for record in records if record is not None],
-            wall_clock_s=time.perf_counter() - start,
+            wall_clock_s=time.perf_counter() - start,  # repro: lint-ok[untimed-wallclock]
             workers=self.max_workers,
         )
 
@@ -227,11 +260,12 @@ class SynthesisService:
     # The typed facade
     # ------------------------------------------------------------------
     def _single(self, job: Job) -> Record:
-        (event,) = list(self.stream([job]))
+        (event,) = [e for e in self.stream([job]) if e.kind == "completed"]
         if isinstance(event.record, ErrorRecord):
             raise JobError(
                 f"job {event.record.job!r} failed:\n{event.record.error}"
             )
+        assert event.record is not None  # completed events always carry one
         return event.record
 
     def synthesize(

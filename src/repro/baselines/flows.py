@@ -44,6 +44,7 @@ from repro.cts.dme import build_zero_skew_tree
 from repro.cts.obstacle_avoid import repair_obstacle_violations
 from repro.cts.spec import ClockNetworkInstance
 from repro.cts.tree import ClockTree
+from repro.obs import TracerBase
 
 __all__ = [
     "BaselineSynthesisPass",
@@ -205,10 +206,14 @@ class BaselineFlow:
         """The pass list this baseline runs (registry names or instances)."""
         return [self.name]
 
-    def run(self, instance: ClockNetworkInstance) -> FlowResult:
+    def run(
+        self,
+        instance: ClockNetworkInstance,
+        tracer: Optional[TracerBase] = None,
+    ) -> FlowResult:
         """Synthesize a buffered clock tree for ``instance`` and evaluate it."""
         driver = PipelineDriver(self._pipeline(), flow_name=self.name)
-        return driver.run(instance, self.config)
+        return driver.run(instance, self.config, tracer=tracer)
 
 
 class GreedyBufferedBaseline(BaselineFlow):

@@ -29,7 +29,14 @@ Six subcommands:
   speedup written to ``--summary-json`` so parallel scaling is tracked
   across PRs;
 * ``repro table`` -- re-render saved per-job JSON records as Table IV (and,
-  with ``--stages``, per-run Table III stage tables).
+  with ``--stages``, per-run Table III stage tables);
+* ``repro profile`` -- run one job under a live :class:`repro.obs.Tracer`
+  and print its span tree (per-span total/self times and counters), with
+  optional schema-1 trace-artifact (``--json``) and Chrome trace-event
+  (``--chrome``, opens in Perfetto) exports;
+* ``repro trace`` -- read the compact trace summaries back out of a run
+  store selection (``STORE[@RUN_ID]``): top spans by self-time plus the
+  merged counters of each traced record.
 
 ``repro --version`` prints the installed package version.  The JSON output
 flags are uniform across subcommands: ``--output-dir DIR`` streams one
@@ -51,6 +58,8 @@ Examples::
     python -m repro mc --instance ti:200 --samples 500 --gated
     python -m repro bench --summary-json BENCH_runner.json
     python -m repro table --input results --stages
+    python -m repro profile scenario:banks:clusters=8 --flow contango
+    python -m repro trace results/store@nightly
 """
 
 from __future__ import annotations
@@ -68,9 +77,18 @@ from repro.api.jobs import JobMatrix, JobSpec, MonteCarloAxes
 from repro.api.records import McRecord, Record, RunRecord
 from repro.api.service import JobEvent, SynthesisService
 from repro.core import available_passes
+from repro.obs import (
+    Tracer,
+    TraceSummary,
+    chrome_trace,
+    render_span_tree,
+    trace_artifact,
+    write_trace,
+)
 from repro.runner import (
     available_flows,
     render_table,
+    run_job,
     table_iii,
     table_iv,
     table_mc,
@@ -78,6 +96,7 @@ from repro.runner import (
 from repro.scenarios import SCENARIO_REGISTRY
 from repro.store import (
     COMPARE_COLUMNS,
+    COUNTER_COLUMNS,
     CompareTolerances,
     RunStore,
     compare_rows,
@@ -150,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-json",
         metavar="FILE",
         help="write the whole batch (records + wall-clock) as one JSON file",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every job under a tracer and attach its trace summary to "
+        "the record (results stay bit-identical; read back with 'repro trace')",
     )
     run.add_argument(
         "--list-passes",
@@ -228,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the whole batch (records + wall-clock) as one JSON file",
     )
     sweep.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every job under a tracer and attach its trace summary to "
+        "the stored records (read back with 'repro trace')",
+    )
+    sweep.add_argument(
         "--list-families",
         action="store_true",
         help="print the registered scenario families with their parameters and exit",
@@ -260,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--evals-tol", type=int, default=None, metavar="N",
         help="also flag jobs whose evaluation count grew by more than N "
         "(default: evaluations reported but not gated)",
+    )
+    compare.add_argument(
+        "--counters",
+        action="store_true",
+        help="add evaluator-cache and variation-gate counter delta columns "
+        "(cache hits/misses, gate checks/rejections)",
     )
     compare.add_argument(
         "--fail-on-regression",
@@ -339,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the whole batch (records + wall-clock) as one JSON file",
     )
+    mc.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every job under a tracer and attach its trace summary to "
+        "the record (read back with 'repro trace')",
+    )
 
     bench = sub.add_parser(
         "bench", help="time a fixed 4-job matrix at --jobs 1 vs --jobs 4"
@@ -363,6 +406,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table.add_argument(
         "--stages", action="store_true", help="also print each run's Table III stage table"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run one job under a live tracer and print its span tree"
+    )
+    profile.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="instance spec: ti:<sinks>, ispd09:<name>[:<scale>], "
+        "scenario:<family>[:k=v,...], file:<path>",
+    )
+    profile.add_argument(
+        "--flow",
+        default="contango",
+        help=f"flow to profile (default contango); one of {available_flows()}",
+    )
+    profile.add_argument(
+        "--engine",
+        default="arnoldi",
+        help="evaluation engine (default arnoldi; also: spice, elmore)",
+    )
+    profile.add_argument(
+        "--pipeline",
+        metavar="P1,P2,...",
+        help="explicit pass-registry pipeline override (see 'repro run --list-passes')",
+    )
+    profile.add_argument("--seed", type=int, help="job seed override")
+    profile.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full schema-1 trace artifact (sorted-key JSON)",
+    )
+    profile.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="write Chrome trace-event JSON (open in chrome://tracing or Perfetto)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="print the trace summaries stored in a run-store selection"
+    )
+    trace.add_argument(
+        "selection",
+        metavar="STORE[@RUN_ID]",
+        help="store selection: a store directory, optionally @RUN_ID "
+        "(default: the latest run; @all selects every record)",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        metavar="N",
+        help="span names shown per record, heaviest self-time first (default 8)",
     )
 
     lint = sub.add_parser(
@@ -461,7 +557,13 @@ def _run_batch(
         output_dir.mkdir(parents=True, exist_ok=True)
 
     def on_event(event: JobEvent) -> None:
+        if event.kind != "completed":
+            # Liveness only: started events carry no record to write.
+            if event.kind == "started":
+                print(f"[{event.index + 1}/{len(jobs)}] {event.job.label}: started")
+            return
         record = event.record
+        assert record is not None  # completed events always carry a record
         if output_dir is not None:
             path = output_dir / f"{record.job}.json"
             path.write_text(json.dumps(record.to_record(), indent=1) + "\n")
@@ -473,7 +575,12 @@ def _run_batch(
                 f"{progress(record)}, {record.wall_clock_s:.2f} s"
             )
 
-    with SynthesisService(max_workers=args.jobs, store=store, run_id=run_id) as service:
+    with SynthesisService(
+        max_workers=args.jobs,
+        store=store,
+        run_id=run_id,
+        trace=getattr(args, "trace", False),
+    ) as service:
         batch = service.run(jobs, on_event=on_event)
     print()
     print(table(batch.records))
@@ -618,7 +725,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             skew_ps=args.skew_tol, clr_ps=args.clr_tol, evaluations=args.evals_tol
         ),
     )
-    print(render_table(compare_rows(result), COMPARE_COLUMNS))
+    columns = COMPARE_COLUMNS
+    if args.counters:
+        # Keep the flag column last; counters slot in just before it.
+        columns = COMPARE_COLUMNS[:-1] + COUNTER_COLUMNS + COMPARE_COLUMNS[-1:]
+    print(render_table(compare_rows(result, counters=args.counters), columns))
     print(
         f"\n{len(result.rows)} matched job(s), "
         f"{len(result.regressions)} regression(s), "
@@ -774,6 +885,91 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+_TRACE_COLUMNS = (
+    ("name", "span", "s"),
+    ("count", "count", "d"),
+    ("total_s", "total[s]", ".4f"),
+    ("self_s", "self[s]", ".4f"),
+)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    spec = JobSpec(
+        instance=args.spec,
+        flow=args.flow,
+        engine=args.engine,
+        pipeline=_parse_pipeline(args.pipeline),
+        seed=args.seed,
+    )
+    tracer = Tracer()
+    try:
+        record = run_job(spec, tracer=tracer)
+    except Exception as error:  # surface job failures as CLI errors, not tracebacks
+        print(f"repro profile: {spec.label}: {error}", file=sys.stderr)
+        return 1
+    print(render_span_tree(tracer))
+    total = tracer.total_s()
+    self_sum = sum(span.self_s for span in tracer.spans())
+    wall = record.wall_clock_s or 0.0
+    print(
+        f"\n{record.job}: wall-clock {wall:.3f} s, traced {total:.3f} s "
+        f"(self-time sum {self_sum:.3f} s), "
+        f"{sum(1 for _ in tracer.spans())} span(s)"
+    )
+    meta = {
+        "instance": spec.instance,
+        "flow": spec.flow,
+        "engine": spec.engine,
+        "label": spec.label,
+        "seed": spec.seed,
+    }
+    artifact = trace_artifact(tracer, meta=meta)
+    if args.json:
+        write_trace(args.json, artifact)
+        print(f"trace artifact: {args.json}")
+    if args.chrome:
+        Path(args.chrome).write_text(
+            json.dumps(chrome_trace(artifact), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"chrome trace: {args.chrome}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        records = _resolve_selection(args.selection)
+    except ValueError as error:
+        print(f"repro trace: {error}", file=sys.stderr)
+        return 2
+    traced = [r for r in records if isinstance(r, dict) and r.get("trace")]
+    if not traced:
+        print(
+            "repro trace: no traced records in the selection; run jobs with "
+            "tracing on (repro profile, or SynthesisService(trace=True))",
+            file=sys.stderr,
+        )
+        return 1
+    for record in traced:
+        try:
+            summary = TraceSummary.from_record(record["trace"])
+        except (TypeError, ValueError) as error:
+            print(f"repro trace: {record.get('job')}: {error}", file=sys.stderr)
+            continue
+        print(f"== {record.get('job')} ==")
+        print(
+            f"schema {summary.schema}, {summary.spans} span(s), "
+            f"traced {summary.total_s:.3f} s"
+        )
+        print(render_table(summary.top[: args.top], _TRACE_COLUMNS))
+        if summary.counters:
+            packed = ", ".join(
+                f"{key}={value}" for key, value in sorted(summary.counters.items())
+            )
+            print(f"counters: {packed}")
+        print()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lintkit import (
         RULE_REGISTRY,
@@ -818,6 +1014,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mc(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_table(args)

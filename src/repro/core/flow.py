@@ -35,6 +35,7 @@ from repro.core.config import FlowConfig
 from repro.core.pipeline import PipelineDriver
 from repro.core.report import FlowResult
 from repro.cts.spec import ClockNetworkInstance
+from repro.obs import TracerBase
 
 __all__ = ["ContangoFlow"]
 
@@ -51,7 +52,11 @@ class ContangoFlow:
     def __init__(self, config: Optional[FlowConfig] = None) -> None:
         self.config = config or FlowConfig()
 
-    def run(self, instance: ClockNetworkInstance) -> FlowResult:
+    def run(
+        self,
+        instance: ClockNetworkInstance,
+        tracer: Optional[TracerBase] = None,
+    ) -> FlowResult:
         """Synthesize and optimize the clock network for ``instance``."""
         driver = PipelineDriver(self.config.pipeline_names(), flow_name="contango")
-        return driver.run(instance, self.config)
+        return driver.run(instance, self.config, tracer=tracer)

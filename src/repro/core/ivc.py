@@ -36,6 +36,7 @@ from repro.analysis.evaluator import (
 )
 from repro.core.tuning import PassResult, objective_value
 from repro.cts.tree import ClockTree
+from repro.obs import METRICS
 
 __all__ = [
     "REASON_SLEW",
@@ -202,6 +203,43 @@ def ivc_round(
     rollback, so the evaluator's stage cache still recognises every stage of
     the restored state.
     """
+    tracer = evaluator.tracer
+    if not tracer.enabled:
+        return _ivc_round_inner(
+            tree,
+            evaluator,
+            propose,
+            objective=objective,
+            best_objective=best_objective,
+            constraints=constraints,
+            gate=gate,
+        )
+    with tracer.span("ivc_round") as span:
+        outcome = _ivc_round_inner(
+            tree,
+            evaluator,
+            propose,
+            objective=objective,
+            best_objective=best_objective,
+            constraints=constraints,
+            gate=gate,
+        )
+        if span is not None:
+            span.count("changed", outcome.changed)
+            span.count("accepted" if outcome.accepted else "rejected")
+    return outcome
+
+
+def _ivc_round_inner(
+    tree: ClockTree,
+    evaluator: ClockNetworkEvaluator,
+    propose: Callable[[], int],
+    *,
+    objective: str,
+    best_objective: float,
+    constraints: Optional[Constraints] = None,
+    gate: Optional[IvcGate] = None,
+) -> IvcOutcome:
     check = constraints or default_constraints
     with Transaction(tree) as txn:
         changed = propose()
@@ -321,11 +359,13 @@ class IvcEngine:
                 self.result.notes.append(
                     reject_note.format(reason=outcome.reason, iteration=state.iteration)
                 )
+                METRICS.count("ivc.rounds_rejected")
                 state.consecutive_rejections += 1
                 state.aggressiveness *= rejection_decay
                 if state.consecutive_rejections >= max_consecutive_rejections:
                     break
                 continue
+            METRICS.count("ivc.rounds_accepted")
             state.consecutive_rejections = 0
             self.report = outcome.report
             best_objective = objective_value(outcome.report, self.objective)
@@ -433,11 +473,13 @@ class IvcEngine:
                 self.result.notes.append(
                     reject_note.format(reason=outcome.reason, iteration=state.iteration)
                 )
+                METRICS.count("ivc.rounds_rejected")
                 state.consecutive_rejections += 1
                 state.aggressiveness *= rejection_decay
                 if state.consecutive_rejections >= max_consecutive_rejections:
                     break
                 continue
+            METRICS.count("ivc.rounds_accepted")
             state.consecutive_rejections = 0
             self.report = outcome.report
             best_objective = objective_value(outcome.report, self.objective)

@@ -51,6 +51,7 @@ from repro.cts.dme import build_zero_skew_tree
 from repro.cts.obstacle_avoid import repair_obstacle_violations
 from repro.cts.spec import ClockNetworkInstance
 from repro.cts.tree import ClockTree
+from repro.obs import METRICS, NULL_TRACER, TracerBase
 
 __all__ = [
     "PassContext",
@@ -198,9 +199,16 @@ class PipelineDriver:
         self.flow_name = flow_name
 
     # ------------------------------------------------------------------
-    def run(self, instance: ClockNetworkInstance, config: FlowConfig) -> FlowResult:
+    def run(
+        self,
+        instance: ClockNetworkInstance,
+        config: FlowConfig,
+        tracer: Optional[TracerBase] = None,
+    ) -> FlowResult:
         instance.validate()
-        start = time.perf_counter()
+        active = tracer if tracer is not None else NULL_TRACER
+        # Record-level wall-clock field; attribution flows through the tracer.
+        start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
         evaluator = ClockNetworkEvaluator(
             config=EvaluatorConfig(
                 engine=config.engine,
@@ -211,6 +219,7 @@ class PipelineDriver:
             corners=config.corners,
             capacitance_limit=instance.capacitance_limit,
         )
+        evaluator.tracer = active
         result = FlowResult(instance_name=instance.name, flow_name=self.flow_name)
         ctx = PassContext(
             instance=instance,
@@ -220,19 +229,27 @@ class PipelineDriver:
             start_time=start,
             variation_gate=self._build_gate(config, evaluator),
         )
-        for optimization_pass in self.passes:
-            optimization_pass.run(ctx)
-            if optimization_pass.stage is not None:
-                self._record_stage(ctx, optimization_pass.stage)
-        if ctx.report is None:
-            ctx.report = evaluator.evaluate(ctx.require_tree())
+        with active.span(f"flow:{self.flow_name}") as flow_span:
+            for optimization_pass in self.passes:
+                with active.span(f"pass:{optimization_pass.name}"):
+                    optimization_pass.run(ctx)
+                if optimization_pass.stage is not None:
+                    self._record_stage(ctx, optimization_pass.stage)
+            if ctx.report is None:
+                ctx.report = evaluator.evaluate(ctx.require_tree())
+            if flow_span is not None:
+                flow_span.count("passes", len(self.passes))
+                flow_span.count("evaluations", evaluator.run_count)
         result.tree = ctx.tree
         result.final_report = ctx.report
         result.total_evaluations = evaluator.run_count
         result.evaluator_cache = evaluator.cache_stats()
+        METRICS.absorb("evaluator", result.evaluator_cache)
+        METRICS.count("pipeline.flows")
         if ctx.variation_gate is not None:
             result.variation_gate = ctx.variation_gate.stats()
-        result.runtime_s = time.perf_counter() - start
+            METRICS.absorb("variation_gate", result.variation_gate)
+        result.runtime_s = time.perf_counter() - start  # repro: lint-ok[untimed-wallclock]
         return result
 
     def _build_gate(
@@ -262,7 +279,11 @@ class PipelineDriver:
         if ctx.report is None:
             ctx.report = ctx.evaluator.evaluate(tree)
         record = StageRecord.from_report(
-            stage, tree, ctx.report, elapsed_s=time.perf_counter() - ctx.start_time
+            stage,
+            tree,
+            ctx.report,
+            # Cumulative Table III elapsed column, not span attribution.
+            elapsed_s=time.perf_counter() - ctx.start_time,  # repro: lint-ok[untimed-wallclock]
         )
         ctx.result.stages.append(record)
 

@@ -37,6 +37,7 @@ __all__ = [
     "RegistryDriftRule",
     "RecordRoundtripSymmetryRule",
     "BareDictRecordRule",
+    "UntimedWallclockRule",
 ]
 
 
@@ -896,5 +897,72 @@ class BareDictRecordRule(LintRule):
                 "dict literal carries the job-record signature keys "
                 f"({', '.join(sorted(matched))}); build a typed "
                 "repro.api.records record and serialize via to_record()",
+                severity,
+            )
+
+
+# ----------------------------------------------------------------------
+# 9. untimed-wallclock
+# ----------------------------------------------------------------------
+@register_rule
+class UntimedWallclockRule(LintRule):
+    """Timing measurements must flow through :mod:`repro.obs`, not raw timers.
+
+    A bare ``time.perf_counter()`` produces a number that never reaches the
+    trace artifact, the ``TraceSummary`` on records, or ``repro profile`` --
+    an invisible measurement the observability layer cannot aggregate or
+    quarantine from deterministic outputs.  Wrap the region in
+    ``tracer.span(...)`` instead; the few legitimate raw-timer sites (batch
+    wall-clock totals reported on records, the tracer's own clock) carry a
+    ``# repro: lint-ok[untimed-wallclock]`` annotation.
+    """
+
+    name = "untimed-wallclock"
+    description = (
+        "raw monotonic-timer call outside repro.obs (use tracer spans)"
+    )
+    defaults: Mapping[str, Any] = {
+        "allow_modules": (
+            "repro.obs",
+            "repro.obs.trace",
+            "repro.obs.metrics",
+        ),
+        #: Path components that exempt a file wholesale (benchmark harnesses
+        #: measure overhead of the tracer itself, so they need raw timers).
+        "allow_path_parts": ("benchmarks",),
+        "forbidden": (
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+        ),
+    }
+
+    def check(
+        self,
+        ctx: ModuleContext,
+        project: LintProject,
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        if _in_allowed_module(ctx, options):
+            return
+        allowed_parts = set(_option_names(options, "allow_path_parts"))
+        if allowed_parts.intersection(ctx.path.parts):
+            return
+        forbidden = frozenset(_option_names(options, "forbidden"))
+        severity = _severity(self, options)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified is None or qualified not in forbidden:
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"raw timer {qualified}() outside repro.obs; measure the "
+                "region with tracer.span(...) so the timing reaches trace "
+                "artifacts and repro profile",
                 severity,
             )

@@ -1,0 +1,62 @@
+"""``repro.obs`` -- the observability plane: structured tracing + metrics.
+
+Two complementary instruments, both dependency-free so every layer of the
+package (including the strict-typed leaves) can use them without cycles:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` produces one nested span tree per
+  job (``flow`` -> ``pass`` -> ``ivc_round`` -> ``evaluate`` ->
+  ``propagate`` / ``candidate_batch``) with per-span counters;
+  :data:`NULL_TRACER` is the shared disabled tracer whose spans are cached
+  no-ops, so instrumentation left in place costs one attribute check on the
+  hot paths.  :func:`trace_artifact` / :func:`write_trace` /
+  :func:`read_trace` persist the schema-1 JSON artifact (wall-clock confined
+  to the ``timings`` block so the structural remainder is byte-stable);
+  :func:`chrome_trace` exports to the Chrome trace-event format Perfetto
+  reads; :class:`TraceSummary` is the compact record-attachable digest.
+* :mod:`repro.obs.metrics` -- :class:`Metrics`, a process-wide registry of
+  counters, gauges and histograms; :data:`METRICS` is the shared instance
+  the pipeline driver and IVC engine feed (evaluator cache hits/misses,
+  dirty-region propagation counts, candidate fallbacks, gate accept/reject,
+  IVC retries).
+
+Timing attribution flows through the tracer *only*: the ``untimed-wallclock``
+lint rule flags direct ``time.perf_counter``/``time.monotonic`` calls outside
+this package (record-level wall-clock fields carry explicit suppressions).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS, Metrics
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceSummary,
+    Tracer,
+    TracerBase,
+    chrome_trace,
+    read_trace,
+    render_span_tree,
+    strip_timings,
+    summarize,
+    trace_artifact,
+    write_trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TracerBase",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSummary",
+    "summarize",
+    "trace_artifact",
+    "write_trace",
+    "read_trace",
+    "strip_timings",
+    "chrome_trace",
+    "render_span_tree",
+    "Metrics",
+    "METRICS",
+]

@@ -1,0 +1,410 @@
+"""Structured tracing: nested spans, JSON artifacts, Chrome export, summaries.
+
+One :class:`Tracer` records one job's execution as a tree of named
+:class:`Span` objects.  The span *structure* (names, nesting, per-span
+counters) is deterministic for a deterministic computation; wall-clock lives
+in separate per-span timing fields, and the persisted artifact keeps every
+timing in its own ``timings`` block so two traces of the same job are
+byte-identical outside it (the property ``tests/obs`` pins).
+
+Design constraints, in order:
+
+1. **Disabled tracing is near-free.**  Hot call sites guard with
+   ``tracer.enabled`` and skip their counter bookkeeping entirely;
+   :data:`NULL_TRACER` hands out one cached no-op context manager, so an
+   instrumented-but-untraced call costs an attribute read and a branch
+   (``benchmarks/trace_smoke.py`` holds the ti:200 flow to <2% overhead).
+2. **Traces never feed fingerprints.**  Content addresses come from job
+   identity (:mod:`repro.store.fingerprint`), records attach only the
+   compact :class:`TraceSummary`, and the full artifact quarantines
+   wall-clock in the ``timings`` envelope.
+3. **No repro imports.**  The module is a stdlib-only leaf, usable from the
+   evaluator and the IVC engine without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ContextManager, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Span",
+    "TracerBase",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSummary",
+    "summarize",
+    "trace_artifact",
+    "write_trace",
+    "read_trace",
+    "strip_timings",
+    "chrome_trace",
+    "render_span_tree",
+]
+
+#: Version number of the persisted trace artifact; readers reject newer
+#: schemas instead of misparsing them (the run-store convention).
+TRACE_SCHEMA = 1
+
+#: Spans kept in a :class:`TraceSummary`'s ``top`` list.
+SUMMARY_TOP_N = 8
+
+
+class Span:
+    """One named region of execution: children, counters, and timing.
+
+    ``start_s``/``total_s`` are relative to the owning tracer's origin;
+    ``self_s`` is derived (total minus the children's totals).  Counters are
+    plain int accumulators -- deterministic payload, never wall-clock.
+    """
+
+    __slots__ = ("name", "children", "counters", "start_s", "total_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: List["Span"] = []
+        self.counters: Dict[str, int] = {}
+        self.start_s = 0.0
+        self.total_s = 0.0
+
+    @property
+    def self_s(self) -> float:
+        return self.total_s - sum(child.total_s for child in self.children)
+
+    def count(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, total_s={self.total_s:.6f})"
+
+
+class _NullSpan:
+    """The one reusable no-op context manager of the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Optional[Span]:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager that opens one real span on ``__enter__``."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> Optional[Span]:
+        return self._tracer._open(self._name)
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._close()
+        return False
+
+
+class TracerBase:
+    """Shared interface of :class:`Tracer` and :class:`NullTracer`.
+
+    Instrumented code holds a ``TracerBase`` and guards any bookkeeping
+    beyond the span itself with :attr:`enabled`::
+
+        with self.tracer.span("evaluate") as span:
+            ...
+            if span is not None:
+                span.count("stages", len(stages))
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str) -> ContextManager[Optional[Span]]:
+        raise NotImplementedError
+
+    def count(self, key: str, amount: int = 1) -> None:
+        raise NotImplementedError
+
+
+class NullTracer(TracerBase):
+    """The disabled tracer: every span is the same cached no-op."""
+
+    enabled = False
+
+    def span(self, name: str) -> ContextManager[Optional[Span]]:
+        return _NULL_SPAN
+
+    def count(self, key: str, amount: int = 1) -> None:
+        return None
+
+
+#: The shared disabled tracer; instrumented modules default to it so tracing
+#: is opt-in per call, never ambient state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(TracerBase):
+    """Records one nested span tree (typically: one traced job)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._origin = time.perf_counter()
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str) -> ContextManager[Optional[Span]]:
+        return _OpenSpan(self, name)
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Increment a counter on the innermost open span (no-op at root)."""
+        if self._stack:
+            self._stack[-1].count(key, amount)
+
+    def _open(self, name: str) -> Span:
+        span = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start_s = time.perf_counter() - self._origin
+        return span
+
+    def _close(self) -> None:
+        span = self._stack.pop()
+        span.total_s = time.perf_counter() - self._origin - span.start_s
+
+    # -- reading --------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, pre-order across the root forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def total_s(self) -> float:
+        return sum(root.total_s for root in self.roots)
+
+
+# ----------------------------------------------------------------------
+# The compact record-attachable digest
+# ----------------------------------------------------------------------
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace, small enough to ride on a job record.
+
+    ``top`` holds the :data:`SUMMARY_TOP_N` span *names* heaviest by
+    aggregated self-time (one entry per distinct name, not per span);
+    ``counters`` merges every span's counters.  Serialized under the
+    record key ``"trace"`` -- conditionally, so untraced runs stay
+    byte-identical to their historical shapes.
+    """
+
+    schema: int = TRACE_SCHEMA
+    spans: int = 0
+    total_s: float = 0.0
+    top: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "spans": self.spans,
+            "total_s": self.total_s,
+            "top": self.top,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TraceSummary":
+        schema = int(record.get("schema", TRACE_SCHEMA))
+        if schema > TRACE_SCHEMA:
+            raise ValueError(
+                f"trace summary schema {schema} is newer than supported "
+                f"schema {TRACE_SCHEMA}"
+            )
+        return cls(
+            schema=schema,
+            spans=int(record.get("spans", 0)),
+            total_s=float(record.get("total_s", 0.0)),
+            top=list(record.get("top", [])),
+            counters=dict(record.get("counters", {})),
+        )
+
+
+def summarize(tracer: Tracer, top_n: int = SUMMARY_TOP_N) -> TraceSummary:
+    """Fold a tracer's span forest into a :class:`TraceSummary`."""
+    by_name: Dict[str, Dict[str, Any]] = {}
+    counters: Dict[str, int] = {}
+    span_count = 0
+    for span in tracer.spans():
+        span_count += 1
+        entry = by_name.setdefault(
+            span.name, {"name": span.name, "count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.total_s
+        entry["self_s"] += span.self_s
+        for key, amount in span.counters.items():
+            counters[key] = counters.get(key, 0) + amount
+    top = sorted(by_name.values(), key=lambda e: (-e["self_s"], e["name"]))[:top_n]
+    for entry in top:
+        entry["total_s"] = round(entry["total_s"], 6)
+        entry["self_s"] = round(entry["self_s"], 6)
+    return TraceSummary(
+        schema=TRACE_SCHEMA,
+        spans=span_count,
+        total_s=round(tracer.total_s(), 6),
+        top=top,
+        counters={key: counters[key] for key in sorted(counters)},
+    )
+
+
+# ----------------------------------------------------------------------
+# The persisted artifact (schema 1)
+# ----------------------------------------------------------------------
+def trace_artifact(
+    tracer: Tracer, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the schema-1 JSON artifact of one trace.
+
+    Structure (names, nesting, counters, pre-order ids) lives in ``spans``;
+    every wall-clock number is quarantined in the parallel ``timings`` list,
+    so :func:`strip_timings` of two traces of the same deterministic job are
+    byte-identical when serialized with sorted keys.
+    """
+    spans: List[Dict[str, Any]] = []
+    timings: List[Dict[str, Any]] = []
+
+    def visit(span: Span, parent: Optional[int]) -> None:
+        span_id = len(spans)
+        spans.append(
+            {
+                "id": span_id,
+                "parent": parent,
+                "name": span.name,
+                "counters": {key: span.counters[key] for key in sorted(span.counters)},
+            }
+        )
+        timings.append(
+            {
+                "id": span_id,
+                "start_s": round(span.start_s, 9),
+                "total_s": round(span.total_s, 9),
+                "self_s": round(span.self_s, 9),
+            }
+        )
+        for child in span.children:
+            visit(child, span_id)
+
+    for root in tracer.roots:
+        visit(root, None)
+    return {
+        "schema": TRACE_SCHEMA,
+        "kind": "trace",
+        "meta": dict(meta or {}),
+        "spans": spans,
+        "timings": timings,
+    }
+
+
+def strip_timings(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic remainder of an artifact (everything but timings)."""
+    return {key: value for key, value in artifact.items() if key != "timings"}
+
+
+def write_trace(path: Union[str, Path], artifact: Dict[str, Any]) -> Path:
+    """Persist one artifact as sorted-key JSON (the byte-stable layout)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+    return target
+
+
+def read_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one artifact, rejecting newer schemas instead of misparsing."""
+    artifact = json.loads(Path(path).read_text())
+    if not isinstance(artifact, dict) or artifact.get("kind") != "trace":
+        raise ValueError(f"{path} is not a trace artifact")
+    schema = int(artifact.get("schema", 0))
+    if schema > TRACE_SCHEMA:
+        raise ValueError(
+            f"trace artifact schema {schema} is newer than supported "
+            f"schema {TRACE_SCHEMA}"
+        )
+    return artifact
+
+
+def chrome_trace(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a schema-1 artifact to Chrome trace-event JSON (Perfetto).
+
+    Complete (``"ph": "X"``) events in microseconds on one pid/tid, which is
+    what ``chrome://tracing`` and https://ui.perfetto.dev open directly.
+    """
+    timing_by_id: Dict[int, Dict[str, Any]] = {
+        entry["id"]: entry for entry in artifact.get("timings", [])
+    }
+    events: List[Dict[str, Any]] = []
+    for span in artifact.get("spans", []):
+        timing = timing_by_id.get(span["id"], {})
+        events.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "ts": round(float(timing.get("start_s", 0.0)) * 1e6, 3),
+                "dur": round(float(timing.get("total_s", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": dict(span.get("counters", {})),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _format_span_line(span: Span, depth: int) -> str:
+    counters = ""
+    if span.counters:
+        packed = ", ".join(
+            f"{key}={span.counters[key]}" for key in sorted(span.counters)
+        )
+        counters = f"  [{packed}]"
+    indent = "  " * depth
+    return (
+        f"{indent}{span.name:<{max(1, 34 - 2 * depth)}s} "
+        f"total {span.total_s * 1e3:9.2f} ms  self {span.self_s * 1e3:9.2f} ms"
+        f"{counters}"
+    )
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """Human-readable indented span tree (the ``repro profile`` output)."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        lines.append(_format_span_line(span, depth))
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    return "\n".join(lines)

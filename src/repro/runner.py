@@ -56,6 +56,7 @@ from repro.baselines import all_baselines
 from repro.core import ContangoFlow, FlowConfig
 from repro.core.report import FlowResult
 from repro.cts.spec import ClockNetworkInstance
+from repro.obs import NULL_TRACER, Tracer, TracerBase, summarize
 from repro.scenarios import parse_scenario_overrides
 from repro.seeding import derive_rng
 from repro.store.fingerprint import config_digest, job_fingerprint
@@ -79,6 +80,7 @@ __all__ = [
     "run_mc_job",
     "execute_job",
     "execute_job_guarded",
+    "execute_job_traced",
     "run_mc_job_guarded",
     "dispatch_jobs",
     "error_record",
@@ -136,26 +138,43 @@ def _make_flow(flow_name: str, config: FlowConfig) -> object:
     raise ValueError(f"unknown flow {flow_name!r}; available: {available_flows()}")
 
 
-def run_job(spec: JobSpec) -> RunRecord:
+def run_job(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunRecord:
     """Execute one synthesis job and return its typed result record.
 
     Module-level (not a method) so the process pool can pickle it by
     reference; the instance is regenerated in the worker from the spec.
+    Passing a live ``tracer`` records the job as one ``job`` span tree and
+    attaches its :class:`~repro.obs.TraceSummary` to the record.
     """
-    start = time.perf_counter()
-    instance = resolve_instance(spec)
-    # The job seed doubles as the flow's base seed, so every stochastic
-    # component downstream (variation gates, MC sampling) derives from it.
-    config = FlowConfig(engine=spec.engine, seed=spec.seed)
-    if spec.pipeline is not None:
-        config.pipeline = list(spec.pipeline)
-    result: FlowResult = _make_flow(spec.flow, config).run(instance)  # type: ignore[attr-defined]
-    # Content-address the computation for the run store: the instance's
-    # canonical-serialization hash (not the spec string) plus the config
-    # digest, so generator or config drift changes the fingerprint even when
-    # the spec text stays the same.
-    instance_fp = instance_fingerprint(instance)
-    config_fp = config_digest(config)
+    active: TracerBase = NULL_TRACER if tracer is None else tracer
+    # wall_clock_s record field; span attribution flows through the tracer.
+    start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
+    with active.span("job"):
+        with active.span("resolve_instance"):
+            instance = resolve_instance(spec)
+        # The job seed doubles as the flow's base seed, so every stochastic
+        # component downstream (variation gates, MC sampling) derives from it.
+        config = FlowConfig(engine=spec.engine, seed=spec.seed)
+        if spec.pipeline is not None:
+            config.pipeline = list(spec.pipeline)
+        result: FlowResult = _make_flow(spec.flow, config).run(  # type: ignore[attr-defined]
+            instance, tracer=tracer
+        )
+        # Content-address the computation for the run store: the instance's
+        # canonical-serialization hash (not the spec string) plus the config
+        # digest, so generator or config drift changes the fingerprint even
+        # when the spec text stays the same.
+        with active.span("fingerprint"):
+            instance_fp = instance_fingerprint(instance)
+            config_fp = config_digest(config)
+            fingerprint = job_fingerprint(
+                instance_fingerprint=instance_fp,
+                flow=spec.flow,
+                engine=spec.engine,
+                pipeline=spec.pipeline,
+                seed=spec.seed,
+                config_digest=config_fp,
+            )
     return RunRecord(
         job=spec.label,
         instance=spec.instance,
@@ -165,21 +184,15 @@ def run_job(spec: JobSpec) -> RunRecord:
         seed=spec.seed,
         instance_fingerprint=instance_fp,
         config_digest=config_fp,
-        fingerprint=job_fingerprint(
-            instance_fingerprint=instance_fp,
-            flow=spec.flow,
-            engine=spec.engine,
-            pipeline=spec.pipeline,
-            seed=spec.seed,
-            config_digest=config_fp,
-        ),
+        fingerprint=fingerprint,
         sinks=instance.sink_count,
         summary=result.typed_summary(),
         stage_table=list(result.stages),
         pass_notes={name: list(p.notes) for name, p in result.pass_results.items()},
         evaluator_cache=result.evaluator_cache,
-        wall_clock_s=time.perf_counter() - start,
+        wall_clock_s=time.perf_counter() - start,  # repro: lint-ok[untimed-wallclock]
         variation_gate=result.variation_gate or None,
+        trace=summarize(tracer).to_record() if tracer is not None else None,
     )
 
 
@@ -222,7 +235,7 @@ def variation_model_for(spec: McJobSpec, config: FlowConfig) -> VariationModel:
     return default_variation_model(family=spec.family)
 
 
-def run_mc_job(spec: McJobSpec) -> McRecord:
+def run_mc_job(spec: McJobSpec, tracer: Optional[Tracer] = None) -> McRecord:
     """Synthesize one network and Monte Carlo-evaluate its skew yield.
 
     The sampling generator is derived from the job seed plus the job's
@@ -230,38 +243,52 @@ def run_mc_job(spec: McJobSpec) -> McRecord:
     invariant stream and re-running with the same ``--seed`` is
     bit-reproducible.
     """
-    start = time.perf_counter()
-    instance = resolve_instance(JobSpec(instance=spec.instance))
-    config = FlowConfig(engine=spec.engine, seed=spec.seed)
-    config.variation_skew_limit_ps = spec.skew_limit_ps
-    # The gate must screen against the same distribution the job reports:
-    # one model instance serves both the gated synthesis and the final sweep.
-    model = variation_model_for(spec, config)
-    config.variation_model = model
-    if spec.gate_samples is not None:
-        config.variation_samples = spec.gate_samples
-    if spec.pipeline is not None:
-        config.pipeline = list(spec.pipeline)
-    elif spec.gated:  # spec validation guarantees flow == "contango" here
-        from repro.core.config import VARIATION_PIPELINE
+    active: TracerBase = NULL_TRACER if tracer is None else tracer
+    start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
+    with active.span("job"):
+        with active.span("resolve_instance"):
+            instance = resolve_instance(JobSpec(instance=spec.instance))
+        config = FlowConfig(engine=spec.engine, seed=spec.seed)
+        config.variation_skew_limit_ps = spec.skew_limit_ps
+        # The gate must screen against the same distribution the job reports:
+        # one model instance serves both the gated synthesis and the final
+        # sweep.
+        model = variation_model_for(spec, config)
+        config.variation_model = model
+        if spec.gate_samples is not None:
+            config.variation_samples = spec.gate_samples
+        if spec.pipeline is not None:
+            config.pipeline = list(spec.pipeline)
+        elif spec.gated:  # spec validation guarantees flow == "contango" here
+            from repro.core.config import VARIATION_PIPELINE
 
-        config.pipeline = list(VARIATION_PIPELINE)
-    result: FlowResult = _make_flow(spec.flow, config).run(instance)  # type: ignore[attr-defined]
-    tree = result.require_tree()
+            config.pipeline = list(VARIATION_PIPELINE)
+        result: FlowResult = _make_flow(spec.flow, config).run(  # type: ignore[attr-defined]
+            instance, tracer=tracer
+        )
+        tree = result.require_tree()
 
-    evaluator = ClockNetworkEvaluator(
-        config=EvaluatorConfig(
-            engine=spec.engine,
-            max_segment_length=config.max_segment_length,
-            slew_limit=instance.slew_limit,
-        ),
-        corners=config.corners,
-        capacitance_limit=instance.capacitance_limit,
-    )
-    rng = derive_rng(spec.seed, spec.instance, spec.flow, spec.family, spec.samples)
-    report = evaluator.evaluate_yield(
-        tree, model, samples=spec.samples, rng=rng, skew_limit_ps=spec.skew_limit_ps
-    )
+        evaluator = ClockNetworkEvaluator(
+            config=EvaluatorConfig(
+                engine=spec.engine,
+                max_segment_length=config.max_segment_length,
+                slew_limit=instance.slew_limit,
+            ),
+            corners=config.corners,
+            capacitance_limit=instance.capacitance_limit,
+        )
+        evaluator.tracer = active
+        rng = derive_rng(spec.seed, spec.instance, spec.flow, spec.family, spec.samples)
+        with active.span("yield_sweep") as sweep_span:
+            report = evaluator.evaluate_yield(
+                tree,
+                model,
+                samples=spec.samples,
+                rng=rng,
+                skew_limit_ps=spec.skew_limit_ps,
+            )
+            if sweep_span is not None:
+                sweep_span.count("samples", spec.samples)
     return McRecord(
         job=spec.label,
         instance=spec.instance,
@@ -274,8 +301,9 @@ def run_mc_job(spec: McJobSpec) -> McRecord:
         sinks=instance.sink_count,
         yield_=YieldSummary.from_record(report.summary()),
         nominal=result.typed_summary(),
-        wall_clock_s=time.perf_counter() - start,
+        wall_clock_s=time.perf_counter() - start,  # repro: lint-ok[untimed-wallclock]
         variation_gate=result.variation_gate or None,
+        trace=summarize(tracer).to_record() if tracer is not None else None,
     )
 
 
@@ -299,6 +327,23 @@ def execute_job_guarded(spec: Job) -> Record:
     """
     try:
         return execute_job(spec)
+    except Exception:
+        return error_record(spec, traceback.format_exc())
+
+
+def execute_job_traced(spec: Job) -> Record:
+    """Guarded worker that runs every job under a fresh :class:`Tracer`.
+
+    The span tree is folded into the record's ``trace`` summary before the
+    record crosses the process boundary, so tracing a pool-fanned batch needs
+    no extra IPC -- workers serialize their spans back alongside the result.
+    """
+    try:
+        if isinstance(spec, McJobSpec):
+            return run_mc_job(spec, tracer=Tracer())
+        if isinstance(spec, JobSpec):
+            return run_job(spec, tracer=Tracer())
+        raise TypeError(f"not an executable job spec: {spec!r}")
     except Exception:
         return error_record(spec, traceback.format_exc())
 
@@ -391,7 +436,8 @@ class BatchRunner:
     def run(
         self, on_result: Optional[Callable[[int, Record], None]] = None
     ) -> BatchResult:
-        start = time.perf_counter()
+        # Batch-level wall-clock field; per-job attribution is the tracer's.
+        start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
         records: List[Optional[Record]] = [None] * len(self.jobs)
         if self.executor is None and self.max_workers == 1:
             for index, spec in enumerate(self.jobs):
@@ -406,7 +452,7 @@ class BatchRunner:
                 self._dispatch(pool, records, on_result)
         return BatchResult(
             records=[record for record in records if record is not None],
-            wall_clock_s=time.perf_counter() - start,
+            wall_clock_s=time.perf_counter() - start,  # repro: lint-ok[untimed-wallclock]
             workers=self.max_workers,
         )
 

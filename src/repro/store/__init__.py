@@ -9,6 +9,7 @@ change?" is one hash comparison.
 
 from repro.store.compare import (
     COMPARE_COLUMNS,
+    COUNTER_COLUMNS,
     CompareTolerances,
     ComparisonResult,
     ComparisonRow,
@@ -21,6 +22,7 @@ from repro.store.store import STORE_SCHEMA_VERSION, RunStore
 
 __all__ = [
     "COMPARE_COLUMNS",
+    "COUNTER_COLUMNS",
     "CompareTolerances",
     "ComparisonResult",
     "ComparisonRow",

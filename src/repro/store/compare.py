@@ -33,6 +33,7 @@ __all__ = [
     "record_key",
     "diff_records",
     "COMPARE_COLUMNS",
+    "COUNTER_COLUMNS",
     "compare_rows",
 ]
 
@@ -183,13 +184,34 @@ COMPARE_COLUMNS = (
     ("flag", "flag", "s"),
 )
 
+#: Extra per-row counter deltas (``repro compare --counters``): the stage
+#: cache and variation gate counters that explain *why* a metric moved.
+COUNTER_COLUMNS = (
+    ("d_cache_hits", "d hits", "+d"),
+    ("d_cache_misses", "d misses", "+d"),
+    ("d_gate_checks", "d gate", "+d"),
+    ("d_gate_rejections", "d gate rej", "+d"),
+)
 
-def compare_rows(result: ComparisonResult) -> List[Dict[str, Any]]:
+
+def _cache_counter(record: RunRecord, key: str) -> int:
+    return int((record.evaluator_cache or {}).get(key, 0))
+
+
+def _gate_counter(record: RunRecord, key: str) -> int:
+    return int((record.variation_gate or {}).get(key, 0))
+
+
+def compare_rows(
+    result: ComparisonResult, counters: bool = False
+) -> List[Dict[str, Any]]:
     """Flatten a :class:`ComparisonResult` into :data:`COMPARE_COLUMNS` rows.
 
     The ``flag`` column highlights regressions (``REG``) and, separately,
     matched jobs whose content fingerprints differ (``fp!``) -- the metrics
-    may agree while the computation changed.
+    may agree while the computation changed.  With ``counters`` set, each row
+    additionally carries the :data:`COUNTER_COLUMNS` deltas (evaluator cache
+    hits/misses, variation-gate checks/rejections).
     """
     rows: List[Dict[str, Any]] = []
     for row in result.rows:
@@ -198,20 +220,33 @@ def compare_rows(result: ComparisonResult) -> List[Dict[str, Any]]:
             flags.append("REG")
         if row.fingerprint_changed:
             flags.append("fp!")
-        rows.append(
-            {
-                "instance": row.instance,
-                "flow": row.flow,
-                "engine": row.engine,
-                "base_skew_ps": _metric(row.baseline, "skew_ps"),
-                "cand_skew_ps": _metric(row.candidate, "skew_ps"),
-                "d_skew_ps": row.d_skew_ps,
-                "base_clr_ps": _metric(row.baseline, "clr_ps"),
-                "cand_clr_ps": _metric(row.candidate, "clr_ps"),
-                "d_clr_ps": row.d_clr_ps,
-                "d_evaluations": row.d_evaluations,
-                "d_wall_clock_s": row.d_wall_clock_s,
-                "flag": " ".join(flags),
-            }
-        )
+        flat: Dict[str, Any] = {
+            "instance": row.instance,
+            "flow": row.flow,
+            "engine": row.engine,
+            "base_skew_ps": _metric(row.baseline, "skew_ps"),
+            "cand_skew_ps": _metric(row.candidate, "skew_ps"),
+            "d_skew_ps": row.d_skew_ps,
+            "base_clr_ps": _metric(row.baseline, "clr_ps"),
+            "cand_clr_ps": _metric(row.candidate, "clr_ps"),
+            "d_clr_ps": row.d_clr_ps,
+            "d_evaluations": row.d_evaluations,
+            "d_wall_clock_s": row.d_wall_clock_s,
+            "flag": " ".join(flags),
+        }
+        if counters:
+            base, cand = row.baseline, row.candidate
+            flat["d_cache_hits"] = _cache_counter(cand, "hits") - _cache_counter(
+                base, "hits"
+            )
+            flat["d_cache_misses"] = _cache_counter(cand, "misses") - _cache_counter(
+                base, "misses"
+            )
+            flat["d_gate_checks"] = _gate_counter(cand, "checks") - _gate_counter(
+                base, "checks"
+            )
+            flat["d_gate_rejections"] = _gate_counter(
+                cand, "rejections"
+            ) - _gate_counter(base, "rejections")
+        rows.append(flat)
     return rows

@@ -70,13 +70,67 @@ class TestStreaming:
             JobSpec(instance="nope:1"),
         ]
 
-    def test_stream_yields_one_event_per_job(self):
+    def test_stream_yields_started_and_completed_events(self):
         with SynthesisService() as service:
             events = list(service.stream(self.jobs()))
-        assert [e.index for e in events] == [0, 1]
+        assert [(e.index, e.kind) for e in events] == [
+            (0, "started"),
+            (0, "completed"),
+            (1, "started"),
+            (1, "completed"),
+        ]
         assert all(e.total == 2 for e in events)
-        assert [e.failed for e in events] == [False, True]
-        assert isinstance(events[1].record, ErrorRecord)
+        assert all(e.record is None for e in events if e.kind == "started")
+        completed = [e for e in events if e.kind == "completed"]
+        assert [e.failed for e in completed] == [False, True]
+        assert isinstance(completed[1].record, ErrorRecord)
+
+    def test_pooled_stream_emits_all_started_events_up_front(self):
+        jobs = [
+            JobSpec(instance="ti:20", engine="elmore", pipeline=FAST),
+            JobSpec(instance="ti:24", engine="elmore", pipeline=FAST),
+        ]
+        with SynthesisService(max_workers=2) as service:
+            kinds = [e.kind for e in service.stream(jobs)]
+        assert kinds == ["started", "started", "completed", "completed"]
+
+    def test_traced_service_attaches_span_summaries(self):
+        with SynthesisService(trace=True) as traced:
+            record = traced.synthesize(
+                "ti:30", engine="elmore", pipeline=FAST, seed=5
+            )
+        assert record.trace is not None
+        assert record.trace["schema"] == 1
+        assert record.trace["spans"] > 0
+        names = {entry["name"] for entry in record.trace["top"]}
+        assert "flow:contango" in names
+        # Tracing never perturbs results: same job untraced, same fingerprint
+        # and summary.
+        with SynthesisService() as plain:
+            baseline = plain.synthesize(
+                "ti:30", engine="elmore", pipeline=FAST, seed=5
+            )
+        assert baseline.trace is None
+        assert baseline.fingerprint == record.fingerprint
+        traced_dict, plain_dict = record.to_record(), baseline.to_record()
+        for payload in (traced_dict, plain_dict):
+            payload.pop("trace", None)
+            payload.pop("wall_clock_s")
+            payload["summary"].pop("runtime_s")
+            for row in payload["stage_table"]:
+                row.pop("elapsed_s")
+        assert traced_dict == plain_dict
+
+    def test_traced_pool_serializes_spans_back_with_records(self):
+        jobs = [
+            JobSpec(instance="ti:20", engine="elmore", pipeline=FAST),
+            JobSpec(instance="ti:24", engine="elmore", pipeline=FAST),
+        ]
+        with SynthesisService(max_workers=2, trace=True) as service:
+            batch = service.run(jobs)
+        assert not batch.failures
+        for record in batch.records:
+            assert record.trace is not None and record.trace["spans"] > 0
 
     def test_run_fires_callback_and_collects_in_job_order(self):
         seen = []

@@ -1,0 +1,17 @@
+"""Fixture: raw monotonic-timer calls the untimed-wallclock rule must flag."""
+
+import time
+from time import monotonic, perf_counter
+
+
+def hand_rolled_timing():
+    start = time.perf_counter()
+    elapsed_ns = time.perf_counter_ns()
+    drift = time.monotonic()
+    return start, elapsed_ns, drift
+
+
+def imported_names():
+    a = perf_counter()
+    b = monotonic()
+    return a, b

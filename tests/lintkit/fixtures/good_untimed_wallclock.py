@@ -1,0 +1,19 @@
+"""Fixture: timing through tracer spans plus annotated raw-timer sites."""
+
+import time
+
+
+def traced_timing(tracer):
+    with tracer.span("evaluate"):
+        return 42
+
+
+def batch_wall_clock():
+    # A record-level wall-clock total is one of the sanctioned raw-timer
+    # sites; the annotation keeps the rule quiet.
+    start = time.perf_counter()  # repro: lint-ok[untimed-wallclock]
+    return start
+
+
+def unrelated_time_use():
+    return time.strftime("%Y")

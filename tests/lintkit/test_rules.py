@@ -33,6 +33,12 @@ CASES = [
     ("registry-drift", "bad_registry.py", "good_registry.py", 2),
     ("record-roundtrip-symmetry", "bad_roundtrip.py", "good_roundtrip.py", 2),
     ("bare-dict-record", "bad_bare_dict.py", "good_bare_dict.py", 2),
+    (
+        "untimed-wallclock",
+        "bad_untimed_wallclock.py",
+        "good_untimed_wallclock.py",
+        5,
+    ),
 ]
 
 

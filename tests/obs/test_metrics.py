@@ -1,0 +1,81 @@
+"""Unit tests for repro.obs.metrics: counters, gauges, histograms, absorb."""
+
+import pytest
+
+from repro.obs import METRICS, Metrics
+
+
+@pytest.fixture
+def metrics():
+    return Metrics()
+
+
+class TestCounters:
+    def test_count_accumulates_from_zero(self, metrics):
+        assert metrics.counter_value("jobs") == 0
+        metrics.count("jobs")
+        metrics.count("jobs", 4)
+        assert metrics.counter_value("jobs") == 5
+
+    def test_gauge_is_last_write_wins(self, metrics):
+        metrics.gauge("pool_size", 2.0)
+        metrics.gauge("pool_size", 8.0)
+        assert metrics.gauge_value("pool_size") == 8.0
+
+
+class TestHistograms:
+    def test_observe_tracks_count_sum_min_max_mean(self, metrics):
+        for value in (2.0, 8.0, 5.0):
+            metrics.observe("latency", value)
+        stats = metrics.histogram("latency")
+        assert stats.count == 3
+        assert stats.minimum == 2.0
+        assert stats.maximum == 8.0
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.to_record()["total"] == 15.0
+
+    def test_missing_histogram_reads_empty(self, metrics):
+        assert metrics.histogram("nothing").count == 0
+        assert metrics.histogram("nothing").mean == 0.0
+
+
+class TestAbsorb:
+    def test_absorbs_integer_entries_under_prefix(self, metrics):
+        metrics.absorb("evaluator", {"hits": 3, "misses": 1})
+        metrics.absorb("evaluator", {"hits": 2})
+        assert metrics.counter_value("evaluator.hits") == 5
+        assert metrics.counter_value("evaluator.misses") == 1
+
+    def test_skips_bools_floats_and_nested_values(self, metrics):
+        metrics.absorb(
+            "gate",
+            {"checks": 2, "enabled": True, "ratio": 0.5, "sub": {"x": 1}},
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"gate.checks": 2}
+
+
+class TestSnapshotReset:
+    def test_snapshot_is_sorted_and_jsonable(self, metrics):
+        metrics.count("b")
+        metrics.count("a")
+        metrics.gauge("g", 1.5)
+        metrics.observe("h", 3.0)
+        snapshot = metrics.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_everything(self, metrics):
+        metrics.count("a")
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_process_wide_registry_exists(self):
+        assert isinstance(METRICS, Metrics)
