@@ -1,0 +1,33 @@
+"""Shared CLI shim turning one registered :mod:`repro.perf` case into a smoke.
+
+The five ``*_smoke.py`` scripts used to carry their own measurement code;
+that now lives in :mod:`repro.perf.cases` where ``repro perf run`` and the
+CI ledger gate execute it.  Each smoke is a thin wrapper: run the named
+case, write its schema-versioned ledger entry where the old ``BENCH_*.json``
+landed, and exit nonzero if any check (deterministic or timing) failed --
+the old hard-floor behavior, preserved for ad-hoc local runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+
+def run_case_smoke(case_name: str, default_output: str, argv: List[str]) -> int:
+    from repro.perf import resolve_cases, run_case
+
+    output = Path(argv[1]) if len(argv) > 1 else Path(default_output)
+    entry = run_case(resolve_cases([case_name])[0])
+    output.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    failed = [
+        check
+        for check in list(entry["checks"]) + list(entry["timings"]["checks"])
+        if not check["ok"]
+    ]
+    for check in failed:
+        print(f"FAIL: {check['name']}: {check['detail']}", file=sys.stderr)
+    return 1 if failed else 0

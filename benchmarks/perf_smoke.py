@@ -1,16 +1,10 @@
-"""Performance smoke benchmark: the 200-sink TI flow with the arnoldi engine.
+"""Evaluator perf smoke: thin wrapper over the registered ``evaluator`` case.
 
-A thin wrapper over the :mod:`repro.runner` batch engine: the flow runs as a
-single runner job a few times and the best wall-clock plus evaluator cache
-statistics go to ``BENCH_evaluator.json`` (at the repository root by
-default), so successive PRs leave a machine-readable performance trajectory.
-The seed (whole-tree re-evaluation per candidate move) ran this flow in
-~1.3 s; the incremental + vectorized evaluator is expected to stay at least
-3x below that.
-
-The runner's own parallel-scaling smoke is separate: ``python -m repro
-bench`` writes ``BENCH_runner.json`` (serial vs parallel wall-clock of a
-4-job matrix).
+The measurement itself lives in :class:`repro.perf.cases.EvaluatorCase`:
+the 200-sink TI Contango flow (arnoldi) run as a traced job, its evaluator
+and cache counters quarantined from the wall-clock medians.  ``repro perf
+run --case evaluator`` is the ledger-recording way to run it; this script
+keeps the old entry point and ``BENCH_evaluator.json`` drop location.
 
 Usage::
 
@@ -19,49 +13,9 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
-from pathlib import Path
 
-from repro.runner import JobSpec, run_job
-
-SINKS = 200
-ENGINE = "arnoldi"
-REPEATS = 3
-
-
-def run_flow():
-    spec = JobSpec(instance=f"ti:{SINKS}", flow="contango", engine=ENGINE)
-    best = None
-    for _ in range(REPEATS):
-        record = run_job(spec)
-        if best is None or record.summary.runtime_s < best.summary.runtime_s:
-            best = record
-    return best
-
-
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_evaluator.json")
-    record = run_flow()
-    summary = record.summary
-    payload = {
-        "benchmark": f"ti{SINKS}_contango_{ENGINE}",
-        "sinks": SINKS,
-        "engine": ENGINE,
-        "best_runtime_s": round(summary.runtime_s, 4),
-        "evaluations": summary.evaluations,
-        "skew_ps": round(summary.skew_ps, 3),
-        "clr_ps": round(summary.clr_ps, 3),
-        "max_latency_ps": round(summary.max_latency_ps, 2),
-        "slew_violations": summary.slew_violations,
-        # The flow evaluator's own cache statistics: a caching regression
-        # shows up here as a collapsed hit count, not just as wall-clock.
-        "cache": record.evaluator_cache,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    return 0
-
+from case_smoke import run_case_smoke
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_case_smoke("evaluator", "BENCH_evaluator.json", sys.argv))

@@ -1,31 +1,12 @@
-"""Incremental-evaluation performance smoke: dirty regions + candidate batches.
+"""Propagation perf smoke: thin wrapper over the registered ``propagation`` case.
 
-Synthesizes the 200-sink TI instance once (arnoldi Contango flow), then
-measures the two incremental-evaluation paths the optimization loops lean
-on:
-
-* **dirty-region re-evaluation** -- after touching a single sink edge, an
-  incremental :meth:`ClockNetworkEvaluator.evaluate` re-propagates only the
-  dirty frontier and splices the retained timing back in.  Timed against a
-  cold (cache-bypassing) evaluation of the same tree; the acceptance floor
-  is 5x.
-* **batched candidate scoring** -- :meth:`ClockNetworkEvaluator.
-  evaluate_candidates` scores K independent moves in one numpy pass along
-  the candidates axis.  Timed against the serial reference (the identical
-  call with ``candidate_batching=False``, i.e. one full evaluation per
-  candidate); the acceptance floor is 3x.
-
-Both sections assert bit-parity against the reference path before timing
-anything, so a fast-but-wrong result can never pass the gate.  The record
-also documents the float-keyed timing-cache finding for the transient
-engine (the key embeds the raw ``drive_slew``, see
-``_transient_stage_timing``): an upstream touch wiggles every downstream
-stage's input slew, so the downstream timing entries can never hit again --
-dirty-region propagation sidesteps the lookups for retained stages instead
-of fixing the key, which would change results.
-
-The record lands in ``BENCH_propagation.json`` next to the other BENCH_*
-trajectories.
+The measurement lives in :class:`repro.perf.cases.PropagationCase`:
+dirty-region single-touch re-evaluation vs cold (5x floor), batched
+K-candidate scoring vs serial (3x floor) -- both bit-parity-gated -- plus
+the float-keyed timing-cache finding whose hit/miss deltas are now
+regression-gated counters.  ``repro perf run --case propagation`` is the
+ledger-recording way to run it; this script keeps the old entry point and
+``BENCH_propagation.json`` drop location.
 
 Usage::
 
@@ -34,245 +15,11 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from pathlib import Path
 
-from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
-from repro.core import ContangoFlow, FlowConfig
-from repro.workloads import generate_ti_benchmark
-
-SINKS = 200
-ENGINE = "arnoldi"
-TOUCH_REPEATS = 40
-BATCH_REPEATS = 20
-CANDIDATES = 12
-COLD_FLOOR = 5.0
-BATCH_FLOOR = 3.0
-
-
-def _make_evaluator(instance, **overrides) -> ClockNetworkEvaluator:
-    config = dict(engine=ENGINE, slew_limit=instance.slew_limit)
-    config.update(overrides)
-    return ClockNetworkEvaluator(
-        config=EvaluatorConfig(**config),
-        capacitance_limit=instance.capacitance_limit,
-    )
-
-
-def reports_bit_identical(a, b) -> bool:
-    if set(a.corners) != set(b.corners):
-        return False
-    for name in a.corners:
-        got, want = a.corners[name], b.corners[name]
-        if got.latency != want.latency or got.tap_slew != want.tap_slew:
-            return False
-        if got.slew != want.slew:
-            return False
-    return a.summary() == b.summary()
-
-
-def time_dirty_region(instance, tree):
-    """Single-sink-touch incremental re-evaluation vs cold evaluation."""
-    evaluator = _make_evaluator(instance)
-    evaluator.evaluate(tree)  # warm: models cached, snapshot taken
-    sinks = sorted(s.node_id for s in tree.sinks())
-
-    # Parity first: a touched tree's incremental report must equal a fresh
-    # cold evaluation bit for bit.
-    tree.add_snake(sinks[0], 1.0)
-    incremental = evaluator.evaluate(tree)
-    cold_reference = _make_evaluator(instance).evaluate(tree, incremental=False)
-    parity = reports_bit_identical(incremental, cold_reference)
-
-    start = time.perf_counter()
-    for index in range(TOUCH_REPEATS):
-        tree.add_snake(sinks[index % len(sinks)], 0.5)
-        evaluator.evaluate(tree)
-    touch_s = (time.perf_counter() - start) / TOUCH_REPEATS
-
-    start = time.perf_counter()
-    for _ in range(TOUCH_REPEATS):
-        evaluator.evaluate(tree, incremental=False)
-    cold_s = (time.perf_counter() - start) / TOUCH_REPEATS
-
-    stats = evaluator.cache_stats()
-    return {
-        "parity": parity,
-        "cold_ms": round(cold_s * 1e3, 3),
-        "touch_ms": round(touch_s * 1e3, 3),
-        "speedup": round(cold_s / touch_s, 2),
-        "stages_total": stats["stages_total"],
-        "stages_propagated": stats["stages_propagated"],
-        "propagations_partial": stats["propagations_partial"],
-        "propagations_full": stats["propagations_full"],
-    }
-
-
-def candidate_moves(tree, count=CANDIDATES):
-    """K independent content-only moves, each snaking two distinct sinks."""
-    sinks = sorted(s.node_id for s in tree.sinks())
-
-    def make(index):
-        first = sinks[(2 * index) % len(sinks)]
-        second = sinks[(2 * index + 1) % len(sinks)]
-
-        def move():
-            tree.add_snake(first, 5.0 + index)
-            tree.add_snake(second, 2.5 + index)
-            return 2
-
-        return move
-
-    return [make(index) for index in range(count)]
-
-
-def time_candidate_batch(instance, tree):
-    """Batched K-candidate scoring vs the serial one-evaluation-per-candidate."""
-    moves = candidate_moves(tree)
-    batched_eval = _make_evaluator(instance)
-    batched_eval.evaluate(tree)
-    serial_eval = _make_evaluator(instance, candidate_batching=False)
-    serial_eval.evaluate(tree)
-
-    batched = batched_eval.evaluate_candidates(tree, moves)
-    serial = serial_eval.evaluate_candidates(tree, moves)
-    parity = all(
-        fast.skew == slow.skew
-        and fast.clr == slow.clr
-        and fast.max_latency == slow.max_latency
-        and fast.worst_slew == slow.worst_slew
-        for fast, slow in zip(batched, serial)
-    )
-
-    start = time.perf_counter()
-    for _ in range(BATCH_REPEATS):
-        batched_eval.evaluate_candidates(tree, moves)
-    batched_s = (time.perf_counter() - start) / BATCH_REPEATS
-
-    start = time.perf_counter()
-    for _ in range(BATCH_REPEATS):
-        serial_eval.evaluate_candidates(tree, moves)
-    serial_s = (time.perf_counter() - start) / BATCH_REPEATS
-
-    return {
-        "parity": parity,
-        "candidates": len(moves),
-        "batched_scored": batched.batched,
-        "fallbacks": batched.fallbacks,
-        "batched_ms": round(batched_s * 1e3, 3),
-        "serial_ms": round(serial_s * 1e3, 3),
-        "speedup": round(serial_s / batched_s, 2),
-    }
-
-
-def deepest_buffer_edge(tree):
-    """Edge of the buffer with the most buffered ancestors.
-
-    Touching it leaves retained stages upstream (whose lookups hit, or are
-    skipped entirely under dirty regions) and dirty stages downstream (whose
-    timing lookups always miss -- the float-key thrash under measurement).
-    """
-    best, best_depth = None, -1
-    for node in tree.buffers():
-        depth = 0
-        up = node.parent
-        while up is not None:
-            ancestor = tree.node(up)
-            if ancestor.buffer is not None:
-                depth += 1
-            up = ancestor.parent
-        if depth > best_depth:
-            best, best_depth = node.node_id, depth
-    return best
-
-
-def timing_cache_finding(instance, tree):
-    """Hit-rate evidence for the float-keyed transient timing cache.
-
-    One mid-tree edge touch under the spice engine.  The timing key embeds
-    the raw ``drive_slew`` float, so every downstream stage's lookup misses
-    in *both* configurations (its input slew moved -- the thrash; quantizing
-    the key would change waveform results, so the key is kept honest).
-    What dirty regions change is the other side: without them every retained
-    upstream stage is still looked up each evaluation (the hits below); with
-    them those lookups never happen at all.
-    """
-    edge = deepest_buffer_edge(tree)
-    results = {}
-    for label, dirty_region in (("before_dirty_region", False), ("after", True)):
-        evaluator = _make_evaluator(instance, engine="spice", dirty_region=dirty_region)
-        evaluator.evaluate(tree)
-        warm = evaluator.cache_stats()
-        tree.add_snake(edge, 0.25)
-        evaluator.evaluate(tree)
-        stats = evaluator.cache_stats()
-        results[label] = {
-            "hits_delta": stats["hits"] - warm["hits"],
-            "misses_delta": stats["misses"] - warm["misses"],
-            "timing_entries": stats["timings"],
-        }
-    results["finding"] = (
-        "timing keys embed the raw drive_slew float, so a touch re-misses "
-        "every downstream stage identically with or without dirty regions "
-        "(equal misses_delta); dirty-region propagation instead removes the "
-        "redundant retained-stage lookups (the hits_delta drop) rather than "
-        "quantizing the key, which would change results"
-    )
-    return results
-
-
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_propagation.json")
-    instance = generate_ti_benchmark(SINKS)
-    flow_start = time.perf_counter()
-    result = ContangoFlow(FlowConfig(engine=ENGINE)).run(instance)
-    flow_s = time.perf_counter() - flow_start
-    tree = result.require_tree()
-
-    dirty = time_dirty_region(instance, tree)
-    batch = time_candidate_batch(instance, tree)
-    small = generate_ti_benchmark(40)
-    small_tree = (
-        ContangoFlow(FlowConfig(engine=ENGINE, pipeline=["initial"]))
-        .run(small)
-        .require_tree()
-    )
-    timing_cache = timing_cache_finding(small, small_tree)
-
-    payload = {
-        "benchmark": f"propagation_ti{SINKS}_{ENGINE}",
-        "sinks": SINKS,
-        "engine": ENGINE,
-        "flow_runtime_s": round(flow_s, 4),
-        "flow_evaluator_cache": result.evaluator_cache,
-        "dirty_region": dirty,
-        "candidate_batch": batch,
-        "timing_cache": timing_cache,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-
-    failed = False
-    if not dirty["parity"]:
-        print("FAIL: dirty-region re-evaluation diverged from cold evaluation",
-              file=sys.stderr)
-        failed = True
-    if not batch["parity"]:
-        print("FAIL: batched candidate scores diverged from serial scoring",
-              file=sys.stderr)
-        failed = True
-    if dirty["speedup"] < COLD_FLOOR:
-        print(f"FAIL: single-touch re-evaluation only {dirty['speedup']:.1f}x over "
-              f"cold (acceptance floor is {COLD_FLOOR:.0f}x)", file=sys.stderr)
-        failed = True
-    if batch["speedup"] < BATCH_FLOOR:
-        print(f"FAIL: batched candidate scoring only {batch['speedup']:.1f}x over "
-              f"serial (acceptance floor is {BATCH_FLOOR:.0f}x)", file=sys.stderr)
-        failed = True
-    return 1 if failed else 0
-
+from case_smoke import run_case_smoke
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(
+        run_case_smoke("propagation", "BENCH_propagation.json", sys.argv)
+    )

@@ -1,101 +1,23 @@
-"""Service-reuse smoke: warm-pool vs per-call-pool dispatch overhead.
+"""Service perf smoke: thin wrapper over the registered ``service`` case.
 
-A production service sees many small requests, not one big batch, so the
-cost that matters is per-*call*: a fresh ``ProcessPoolExecutor`` per call
-(the pre-PR5 ``BatchRunner.run`` behavior) pays pool spin-up and worker
-warm-up every time, while a :class:`repro.api.SynthesisService` pays it once
-and reuses the warm workers for every subsequent call.
+The measurement lives in :class:`repro.perf.cases.ServiceCase`: warm-pool
+vs per-call-pool dispatch of many tiny jobs, gating the reuse invariant
+(one pool for the whole warm run, identical fingerprints either way) while
+leaving the speedup an untracked trajectory -- on a 1-core host both
+variants serialize onto the same CPU.  ``repro perf run --case service`` is
+the ledger-recording way to run it; this script keeps the old entry point
+and ``BENCH_service.json`` drop location.
 
-This smoke times ``CALLS`` single-job dispatches of a deliberately tiny job
-(initial-tree-only pipeline, so dispatch overhead dominates synthesis time)
-both ways and writes the comparison to ``BENCH_service.json``.  It asserts
-the *reuse invariant* (the warm service creates exactly one pool; results
-are identical either way) and records the speedup without hard-failing on
-it: on fork-based Linux pool creation is cheap and on a loaded 1-core CI
-box timings are noisy, so the number is a tracked trajectory, not a gate.
+Usage::
 
-Run with:  PYTHONPATH=src python benchmarks/service_smoke.py [output.json]
+    PYTHONPATH=src python benchmarks/service_smoke.py [output.json]
 """
 
 from __future__ import annotations
 
-import json
-import os
 import sys
-import time
-from pathlib import Path
 
-from repro.api.jobs import JobSpec
-from repro.api.service import SynthesisService
-
-CALLS = 6
-WORKERS = 2
-#: Initial-tree-only synthesis on a small instance: all dispatch, little work.
-JOB = JobSpec(instance="ti:24", engine="elmore", pipeline=("initial",))
-
-
-def fingerprints(records):
-    return [record.fingerprint for record in records]
-
-
-def time_cold() -> "tuple[float, list]":
-    """A fresh service (and therefore a fresh pool) per call."""
-    results = []
-    start = time.perf_counter()
-    for _ in range(CALLS):
-        with SynthesisService(max_workers=WORKERS) as service:
-            results.extend(service.run([JOB]).records)
-    return time.perf_counter() - start, results
-
-
-def time_warm() -> "tuple[float, list, SynthesisService]":
-    """One service, pool created on the first call and reused afterwards."""
-    results = []
-    start = time.perf_counter()
-    with SynthesisService(max_workers=WORKERS) as service:
-        for _ in range(CALLS):
-            results.extend(service.run([JOB]).records)
-        elapsed = time.perf_counter() - start
-    return elapsed, results, service
-
-
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_service.json")
-    cold_s, cold_records = time_cold()
-    warm_s, warm_records, service = time_warm()
-
-    # Reuse invariants: one pool for the whole warm run, identical results.
-    assert service.pools_created == 1, service.pools_created
-    assert service.jobs_dispatched == CALLS
-    assert fingerprints(cold_records) == fingerprints(warm_records)
-
-    cpu_count = os.cpu_count() or 1
-    payload = {
-        "benchmark": f"service_{CALLS}call_ti24_initial_elmore",
-        "calls": CALLS,
-        "workers": WORKERS,
-        "cpu_count": cpu_count,
-        # On a 1-core box warm and cold both serialize onto the same CPU, so
-        # the speedup is noise; flag it so trajectory dashboards skip it.
-        "speedup_meaningful": cpu_count > 1,
-        "cold_pool_wall_clock_s": round(cold_s, 4),
-        "warm_pool_wall_clock_s": round(warm_s, 4),
-        "cold_per_call_s": round(cold_s / CALLS, 4),
-        "warm_per_call_s": round(warm_s / CALLS, 4),
-        "speedup": round(cold_s / warm_s, 3) if warm_s > 0 else None,
-        "pools_created_warm": service.pools_created,
-        "pools_created_cold": CALLS,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    if cpu_count == 1:
-        print(
-            "service_smoke: single-CPU host -- speedup is not meaningful "
-            "(speedup_meaningful=false in the record)",
-            file=sys.stderr,
-        )
-    return 0
-
+from case_smoke import run_case_smoke
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_case_smoke("service", "BENCH_service.json", sys.argv))

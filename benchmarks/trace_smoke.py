@@ -1,23 +1,11 @@
-"""Tracing overhead smoke: default-off instrumentation must stay near-free.
+"""Tracing perf smoke: thin wrapper over the registered ``trace`` case.
 
-Runs the 200-sink TI Contango flow (arnoldi) and holds the two properties
-the observability layer promises:
-
-* **parity** -- a traced run and an untraced run of the same job produce
-  bit-identical records (modulo the wall-clock-bearing fields and the trace
-  summary itself) and equal fingerprints.  A tracer that perturbs results
-  can never pass.
-* **disabled overhead <2%** -- with tracing off, every instrumented call
-  site costs one attribute read plus a branch (wrapper guards) or one
-  cached no-op context manager (``NULL_TRACER.span``).  The per-event cost
-  is micro-measured over many iterations, scaled by the number of span
-  events a traced run of the same job records, and compared against the
-  untraced flow runtime; the acceptance ceiling is
-  ``DISABLED_OVERHEAD_CEILING_PCT``.
-
-The enabled-tracing runtime is also recorded (informational, not gated --
-callers opting into tracing pay for what they asked for).  The record lands
-in ``BENCH_trace.json`` next to the other BENCH_* trajectories.
+The measurement lives in :class:`repro.perf.cases.TraceCase`: traced vs
+untraced record parity and fingerprint equality (deterministic checks) and
+the <2% disabled-instrumentation overhead ceiling (per-event null-span cost
+scaled by the traced run's span count, a timing check).  ``repro perf run
+--case trace`` is the ledger-recording way to run it; this script keeps the
+old entry point and ``BENCH_trace.json`` drop location.
 
 Usage::
 
@@ -26,138 +14,9 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from pathlib import Path
 
-from repro.api.jobs import JobSpec
-from repro.obs import NULL_TRACER, Tracer, summarize
-from repro.runner import run_job
-
-SINKS = 200
-ENGINE = "arnoldi"
-NULL_SPAN_ITERATIONS = 200_000
-FLOW_REPEATS = 3
-DISABLED_OVERHEAD_CEILING_PCT = 2.0
-
-#: Fields that legitimately differ between two runs of the same job.
-WALLCLOCK_FIELDS = ("wall_clock_s",)
-
-
-def spec() -> JobSpec:
-    return JobSpec(instance=f"ti:{SINKS}", engine=ENGINE, seed=11)
-
-
-def comparable(record) -> dict:
-    payload = record.to_record()
-    payload.pop("trace", None)
-    for field in WALLCLOCK_FIELDS:
-        payload.pop(field, None)
-    if isinstance(payload.get("summary"), dict):
-        payload["summary"].pop("runtime_s", None)
-    for row in payload.get("stage_table", []):
-        row.pop("elapsed_s", None)
-    return payload
-
-
-def check_parity() -> dict:
-    tracer = Tracer()
-    traced = run_job(spec(), tracer=tracer)
-    plain = run_job(spec())
-    summary = summarize(tracer)
-    return {
-        "parity": comparable(traced) == comparable(plain),
-        "fingerprints_equal": traced.fingerprint == plain.fingerprint,
-        "span_events": summary.spans,
-        "trace_total_s": summary.total_s,
-    }
-
-
-def time_untraced_flow() -> float:
-    best = float("inf")
-    for _ in range(FLOW_REPEATS):
-        start = time.perf_counter()
-        run_job(spec())
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def time_traced_flow() -> float:
-    start = time.perf_counter()
-    run_job(spec(), tracer=Tracer())
-    return time.perf_counter() - start
-
-
-def null_span_cost_s() -> float:
-    """Per-event cost of the disabled path, upper-bounded.
-
-    One iteration covers both disabled idioms: the ``tracer.enabled`` guard
-    branch of the wrapper methods *and* a full enter/exit of the cached
-    no-op context manager the unconditional ``with tracer.span(...)`` sites
-    use -- strictly more work than any single real call site does.
-    """
-    tracer = NULL_TRACER
-    start = time.perf_counter()
-    for _ in range(NULL_SPAN_ITERATIONS):
-        if tracer.enabled:  # the wrapper-guard branch
-            raise AssertionError("NULL_TRACER must be disabled")
-        with tracer.span("x"):  # the unconditional-span path
-            pass
-    return (time.perf_counter() - start) / NULL_SPAN_ITERATIONS
-
-
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_trace.json")
-
-    parity = check_parity()
-    untraced_s = time_untraced_flow()
-    traced_s = time_traced_flow()
-    per_event_s = null_span_cost_s()
-    disabled_overhead_s = per_event_s * parity["span_events"]
-    disabled_overhead_pct = 100.0 * disabled_overhead_s / untraced_s
-
-    payload = {
-        "benchmark": f"trace_ti{SINKS}_{ENGINE}",
-        "sinks": SINKS,
-        "engine": ENGINE,
-        "parity": parity["parity"],
-        "fingerprints_equal": parity["fingerprints_equal"],
-        "span_events": parity["span_events"],
-        "untraced_runtime_s": round(untraced_s, 4),
-        "traced_runtime_s": round(traced_s, 4),
-        "traced_overhead_pct": round(100.0 * (traced_s - untraced_s) / untraced_s, 2),
-        "null_span_cost_ns": round(per_event_s * 1e9, 1),
-        "disabled_overhead_s": round(disabled_overhead_s, 6),
-        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
-        "disabled_overhead_ceiling_pct": DISABLED_OVERHEAD_CEILING_PCT,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-
-    failed = False
-    if not parity["parity"]:
-        print(
-            "FAIL: traced and untraced records of the same job diverged",
-            file=sys.stderr,
-        )
-        failed = True
-    if not parity["fingerprints_equal"]:
-        print(
-            "FAIL: tracing changed the job's content fingerprint",
-            file=sys.stderr,
-        )
-        failed = True
-    if disabled_overhead_pct >= DISABLED_OVERHEAD_CEILING_PCT:
-        print(
-            f"FAIL: disabled-tracing overhead {disabled_overhead_pct:.2f}% of the "
-            f"ti:{SINKS} flow runtime (ceiling "
-            f"{DISABLED_OVERHEAD_CEILING_PCT:.0f}%)",
-            file=sys.stderr,
-        )
-        failed = True
-    return 1 if failed else 0
-
+from case_smoke import run_case_smoke
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_case_smoke("trace", "BENCH_trace.json", sys.argv))

@@ -1,23 +1,11 @@
-"""Variation-engine performance smoke: batched vs. per-sample Monte Carlo.
+"""Variation perf smoke: thin wrapper over the registered ``variation`` case.
 
-Synthesizes the 200-sink TI instance once (arnoldi Contango flow), then
-times a 1000-sample Monte Carlo skew-yield evaluation two ways:
-
-* **batched** -- :meth:`ClockNetworkEvaluator.evaluate_yield`, which pushes
-  every sample and both transitions through one
-  :func:`~repro.analysis.arnoldi.batched_tap_moments` call per stage and
-  corner;
-* **serial reference** -- the pre-subsystem way: one
-  :meth:`ClockNetworkEvaluator.evaluate` call per sample against globally
-  perturbed :class:`~repro.analysis.corners.Corner` objects (a fresh
-  evaluator per sample, as a naive sweep would do).  Only a subset of
-  samples is actually run and the per-sample rate extrapolated, because the
-  full serial sweep would dominate CI time -- which is rather the point.
-
-The record lands in ``BENCH_variation.json`` (samples/sec both ways, the
-speedup, and a zero-variance bit-parity check) so the variation engine's
-performance trajectory is machine-readable across PRs, next to
-``BENCH_evaluator.json`` and ``BENCH_runner.json``.
+The measurement lives in :class:`repro.perf.cases.VariationCase`: batched
+1000-sample Monte Carlo skew-yield evaluation against the serial
+one-``Corner``-at-a-time reference, with the zero-variance bit-parity check
+(deterministic) and the 20x speedup floor (timing check).  ``repro perf run
+--case variation`` is the ledger-recording way to run it; this script keeps
+the old entry point and ``BENCH_variation.json`` drop location.
 
 Usage::
 
@@ -26,120 +14,9 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from pathlib import Path
 
-import numpy as np
-
-from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
-from repro.analysis.variation import VariationModel, default_variation_model
-from repro.core import ContangoFlow, FlowConfig
-from repro.seeding import derive_rng
-from repro.workloads import generate_ti_benchmark
-
-SINKS = 200
-ENGINE = "arnoldi"
-SAMPLES = 1000
-SERIAL_SAMPLES = 30
-SEED = 7
-
-
-def _make_evaluator(instance, corners=None) -> ClockNetworkEvaluator:
-    return ClockNetworkEvaluator(
-        config=EvaluatorConfig(engine=ENGINE, slew_limit=instance.slew_limit),
-        corners=corners,
-        capacitance_limit=instance.capacitance_limit,
-    )
-
-
-def serial_reference_rate(instance, tree, model: VariationModel) -> float:
-    """Per-sample wall-clock of the naive one-``Corner``-at-a-time sweep.
-
-    Each sample draws one global multiplier set from the model's marginal
-    and evaluates the tree at correspondingly scaled corners with a fresh
-    evaluator -- the only way to express the perturbation through the
-    nominal :meth:`evaluate` API.
-    """
-    rng = derive_rng(SEED, "variation-bench-serial")
-    base_corners = FlowConfig().corners
-    start = time.perf_counter()
-    for _ in range(SERIAL_SAMPLES):
-        draw = model.sample(1, rng, n_stages=1)
-        corners = [
-            corner.scaled(
-                driver=float(draw.driver[0, 0]),
-                wire=float(draw.wire_res[0, 0]),
-            )
-            for corner in base_corners
-        ]
-        _make_evaluator(instance, corners).evaluate(tree)
-    return (time.perf_counter() - start) / SERIAL_SAMPLES
-
-
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_variation.json")
-    instance = generate_ti_benchmark(SINKS)
-    flow_start = time.perf_counter()
-    result = ContangoFlow(FlowConfig(engine=ENGINE)).run(instance)
-    flow_s = time.perf_counter() - flow_start
-    tree = result.require_tree()
-    model = default_variation_model()
-
-    evaluator = _make_evaluator(instance)
-    # Cold pass populates the base-moment cache; the timed pass measures the
-    # steady-state throughput an optimization loop would see.
-    evaluator.evaluate_yield(tree, model, samples=8, rng=derive_rng(SEED, "warmup"))
-    start = time.perf_counter()
-    report = evaluator.evaluate_yield(
-        tree, model, samples=SAMPLES, rng=derive_rng(SEED, "variation-bench")
-    )
-    batched_s = time.perf_counter() - start
-
-    serial_per_sample = serial_reference_rate(instance, tree, model)
-    speedup = serial_per_sample / (batched_s / SAMPLES)
-
-    nominal = evaluator.evaluate(tree)
-    zero = evaluator.evaluate_yield(
-        tree, VariationModel(), samples=4, rng=derive_rng(SEED, "parity")
-    )
-    parity = bool(
-        np.all(zero.skew_samples == nominal.skew)
-        and np.all(zero.clr_samples == nominal.clr)
-        and np.all(zero.worst_slew_samples == nominal.worst_slew)
-    )
-
-    payload = {
-        "benchmark": f"variation_ti{SINKS}_{ENGINE}_mc{SAMPLES}",
-        "sinks": SINKS,
-        "engine": ENGINE,
-        "samples": SAMPLES,
-        "seed": SEED,
-        "model": model.describe(),
-        "flow_runtime_s": round(flow_s, 4),
-        "batched_wall_clock_s": round(batched_s, 4),
-        "batched_samples_per_s": round(SAMPLES / batched_s, 1),
-        "serial_reference_samples": SERIAL_SAMPLES,
-        "serial_samples_per_s": round(1.0 / serial_per_sample, 1),
-        "speedup_vs_serial": round(speedup, 1),
-        "zero_variance_bit_parity": parity,
-        "skew_p95_ps": round(report.skew_p95, 3),
-        "skew_yield": report.skew_yield,
-        "cache": evaluator.cache_stats(),
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    if not parity:
-        print("FAIL: zero-variance Monte Carlo diverged from nominal evaluation",
-              file=sys.stderr)
-        return 1
-    if speedup < 20.0:
-        print(f"FAIL: batched path only {speedup:.1f}x over the serial reference "
-              "(acceptance floor is 20x)", file=sys.stderr)
-        return 1
-    return 0
-
+from case_smoke import run_case_smoke
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(run_case_smoke("variation", "BENCH_variation.json", sys.argv))

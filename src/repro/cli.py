@@ -36,7 +36,16 @@ Six subcommands:
   (``--chrome``, opens in Perfetto) exports;
 * ``repro trace`` -- read the compact trace summaries back out of a run
   store selection (``STORE[@RUN_ID]``): top spans by self-time plus the
-  merged counters of each traced record.
+  merged counters of each traced record; ``--diff OTHER[@RUN_ID]`` turns it
+  into a counters-only diff by span path (exit 1 on any difference, the
+  ``diff`` convention);
+* ``repro perf`` -- the performance ledger: ``perf run`` executes registered
+  :mod:`repro.perf` cases and appends schema-versioned entries to an
+  append-only ledger (``--ledger``) and/or one merged ``BENCH_all.json``
+  (``--output``); ``perf compare`` diffs two ledgers/merged files with a
+  hard exact-match gate on deterministic counters and soft IQR-banded gates
+  on timings, localizing timing regressions to the moved span subtree;
+  ``perf trend`` renders per-case history tables across a ledger.
 
 ``repro --version`` prints the installed package version.  The JSON output
 flags are uniform across subcommands: ``--output-dir DIR`` streams one
@@ -60,6 +69,11 @@ Examples::
     python -m repro table --input results --stages
     python -m repro profile scenario:banks:clusters=8 --flow contango
     python -m repro trace results/store@nightly
+    python -m repro trace results/store@baseline --diff results/store@nightly
+    python -m repro perf run --ledger benchmarks/perf_ledger --output BENCH_all.json
+    python -m repro perf compare benchmarks/perf_ledger perf_candidate \
+        --fail-on-counter-regression
+    python -m repro perf trend benchmarks/perf_ledger --case evaluator
 """
 
 from __future__ import annotations
@@ -459,6 +473,127 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         metavar="N",
         help="span names shown per record, heaviest self-time first (default 8)",
+    )
+    trace.add_argument(
+        "--diff",
+        metavar="STORE[@RUN_ID]",
+        help="diff the selection's stored span-path counters against this "
+        "other selection (counters only, matched by job label; exit 1 on "
+        "any difference)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark-case registry: run cases, gate regressions, render trends",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_run = perf_sub.add_parser(
+        "run", help="run registered perf cases and record their ledger entries"
+    )
+    perf_run.add_argument(
+        "--case",
+        action="append",
+        metavar="NAME",
+        help="case to run (repeatable; default: every registered case, sorted)",
+    )
+    perf_run.add_argument(
+        "--repeats",
+        type=int,
+        metavar="N",
+        help="wall-clock repeats per case (default: each case's own setting; "
+        "counters must not depend on it)",
+    )
+    perf_run.add_argument(
+        "--ledger",
+        metavar="DIR",
+        help="append every entry to the perf ledger at DIR/perf.jsonl",
+    )
+    perf_run.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write all entries as one merged BENCH_all-style JSON document",
+    )
+    perf_run.add_argument(
+        "--list-cases",
+        action="store_true",
+        help="print the registered cases with descriptions and exit",
+    )
+
+    perf_compare = perf_sub.add_parser(
+        "compare",
+        help="diff two perf sources: exact counter gate, IQR-banded timing gate",
+    )
+    perf_compare.add_argument(
+        "baseline",
+        metavar="SOURCE",
+        help="baseline: a ledger directory (latest entry per case) or a "
+        "merged perf-run JSON file",
+    )
+    perf_compare.add_argument(
+        "candidate",
+        metavar="SOURCE",
+        help="candidate source, same forms as the baseline",
+    )
+    perf_compare.add_argument(
+        "--case",
+        action="append",
+        metavar="NAME",
+        help="restrict the comparison to these cases (repeatable)",
+    )
+    perf_compare.add_argument(
+        "--iqr-band",
+        type=float,
+        default=3.0,
+        metavar="K",
+        help="timing noise band: flag only beyond median + K*IQR (default 3.0)",
+    )
+    perf_compare.add_argument(
+        "--rel-floor",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative noise floor: never flag below median*(1+FRAC) "
+        "(default 0.25)",
+    )
+    perf_compare.add_argument(
+        "--abs-floor",
+        type=float,
+        default=0.005,
+        metavar="S",
+        help="absolute noise floor in seconds: never flag below median+S "
+        "(default 0.005)",
+    )
+    perf_compare.add_argument(
+        "--fail-on-counter-regression",
+        action="store_true",
+        help="exit 1 when any deterministic counter changed, a check failed, "
+        "or a baseline case is missing from the candidate",
+    )
+    perf_compare.add_argument(
+        "--fail-on-timing-regression",
+        action="store_true",
+        help="exit 1 when any timing escaped its noise bands",
+    )
+
+    perf_trend = perf_sub.add_parser(
+        "trend", help="render per-case history tables across a perf ledger"
+    )
+    perf_trend.add_argument(
+        "ledger", metavar="DIR", help="perf ledger directory (DIR/perf.jsonl)"
+    )
+    perf_trend.add_argument(
+        "--case",
+        action="append",
+        metavar="NAME",
+        help="case to render (repeatable; default: every case in the ledger)",
+    )
+    perf_trend.add_argument(
+        "--counter",
+        action="append",
+        metavar="NAME",
+        help="counter column to include (repeatable; default: the evaluator "
+        "trio present in the entries)",
     )
 
     lint = sub.add_parser(
@@ -935,7 +1070,75 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_paths(record: Dict) -> Dict[str, Dict[str, int]]:
+    """Per-span-path counters of one traced record.
+
+    Records stored before the ``paths`` field existed fall back to their
+    merged counters under the ``*`` pseudo-path, so old baselines stay
+    diffable (at merged granularity).
+    """
+    summary = TraceSummary.from_record(record["trace"])
+    if summary.paths:
+        return summary.paths
+    if summary.counters:
+        return {"*": dict(summary.counters)}
+    return {}
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.perf.compare import COUNTER_COLUMNS as PERF_COUNTER_COLUMNS
+    from repro.perf.compare import diff_path_counters
+
+    try:
+        base_records = _resolve_selection(args.selection)
+        cand_records = _resolve_selection(args.diff)
+    except ValueError as error:
+        print(f"repro trace: {error}", file=sys.stderr)
+        return 2
+
+    def by_job(records: List[Dict]) -> Dict[str, Dict]:
+        return {
+            str(record.get("job")): record
+            for record in records
+            if isinstance(record, dict) and record.get("trace")
+        }
+
+    base_jobs, cand_jobs = by_job(base_records), by_job(cand_records)
+    if not base_jobs or not cand_jobs:
+        print(
+            "repro trace: both selections need traced records to diff",
+            file=sys.stderr,
+        )
+        return 2
+
+    differs = False
+    for job in sorted(set(base_jobs) - set(cand_jobs)):
+        print(f"only in baseline: {job}", file=sys.stderr)
+        differs = True
+    for job in sorted(set(cand_jobs) - set(base_jobs)):
+        print(f"only in candidate: {job}", file=sys.stderr)
+        differs = True
+    for job in sorted(set(base_jobs) & set(cand_jobs)):
+        try:
+            diffs = diff_path_counters(
+                _trace_paths(base_jobs[job]), _trace_paths(cand_jobs[job])
+            )
+        except (TypeError, ValueError) as error:
+            print(f"repro trace: {job}: {error}", file=sys.stderr)
+            return 2
+        print(f"== {job} ==")
+        if diffs:
+            differs = True
+            print(render_table([d.to_row() for d in diffs], PERF_COUNTER_COLUMNS))
+        else:
+            print("span-path counters identical")
+        print()
+    return 1 if differs else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.diff:
+        return _cmd_trace_diff(args)
     try:
         records = _resolve_selection(args.selection)
     except ValueError as error:
@@ -968,6 +1171,198 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"counters: {packed}")
         print()
     return 0
+
+
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import PerfLedger, available_cases, resolve_cases, run_case
+    from repro.perf.case import CASE_REGISTRY, PERF_SCHEMA
+
+    if args.list_cases:
+        for name in available_cases():
+            print(f"{name:16s} {CASE_REGISTRY[name].description}")
+        return 0
+    try:
+        cases = resolve_cases(args.case)
+    except KeyError as error:
+        print(f"repro perf run: {error}", file=sys.stderr)
+        return 2
+
+    ledger = PerfLedger(args.ledger) if args.ledger else None
+    entries: Dict[str, Dict] = {}
+    failed_checks: List[str] = []
+    # Sorted execution order keeps the merged document independent of the
+    # --case flag order (the ledger-determinism contract).
+    for case in sorted(cases, key=lambda c: c.name):
+        entry = run_case(case, repeats=args.repeats, package_version=package_version())
+        entries[case.name] = entry
+        checks = list(entry["checks"]) + list(entry["timings"]["checks"])
+        for check in checks:
+            if not check["ok"]:
+                failed_checks.append(f"{case.name}: {check['name']}: {check['detail']}")
+        wall = entry["timings"]["wall_clock_s"]
+        print(
+            f"{case.name}: wall {wall['median']:.3f} s (IQR {wall['iqr']:.3f}, "
+            f"n={wall['n']}), {len(entry['counters'])} counter(s), "
+            f"{sum(1 for c in checks if c['ok'])}/{len(checks)} check(s) ok"
+        )
+        if ledger is not None:
+            ledger.append(entry)
+    if ledger is not None:
+        print(f"ledger: {ledger.path} ({len(ledger)} entr(y/ies))")
+    if args.output:
+        payload = {
+            "schema": PERF_SCHEMA,
+            "kind": "perf-batch",
+            "package_version": package_version(),
+            "cases": {name: entries[name] for name in sorted(entries)},
+        }
+        Path(args.output).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"merged record: {args.output}")
+    for failure in failed_checks:
+        print(f"FAILED CHECK {failure}", file=sys.stderr)
+    return 1 if failed_checks else 0
+
+
+def _load_perf_entries(source: str) -> Dict[str, Dict]:
+    """Latest entry per case from a ledger directory or a merged JSON file."""
+    from repro.perf import PerfLedger
+    from repro.perf.case import PERF_SCHEMA
+
+    path = Path(source)
+    if path.is_file():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("kind") != "perf-batch":
+            raise ValueError(f"{source} is not a merged perf-run document")
+        schema = payload.get("schema")
+        if not isinstance(schema, int) or schema > PERF_SCHEMA:
+            raise ValueError(
+                f"{source}: schema {schema!r} is newer than supported "
+                f"version {PERF_SCHEMA}"
+            )
+        return dict(payload.get("cases", {}))
+    ledger = PerfLedger(source)
+    if not ledger.path.exists():
+        raise ValueError(f"no perf ledger at {ledger.path}")
+    entries: Dict[str, Dict] = {}
+    for case in ledger.cases():
+        latest = ledger.latest(case)
+        assert latest is not None  # cases() only names present cases
+        entries[case] = latest
+    return entries
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf.compare import (
+        COUNTER_COLUMNS as PERF_COUNTER_COLUMNS,
+        TIMING_COLUMNS,
+        TimingBands,
+        compare_entries,
+    )
+
+    try:
+        base_entries = _load_perf_entries(args.baseline)
+        cand_entries = _load_perf_entries(args.candidate)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"repro perf compare: {error}", file=sys.stderr)
+        return 2
+    selected = args.case or sorted(set(base_entries) | set(cand_entries))
+    bands = TimingBands(
+        k_iqr=args.iqr_band, rel_floor=args.rel_floor, abs_floor_s=args.abs_floor
+    )
+
+    counter_regressions: List[str] = []
+    timing_regressions: List[str] = []
+    compared = 0
+    for name in selected:
+        base, cand = base_entries.get(name), cand_entries.get(name)
+        if base is None or cand is None:
+            side = "baseline" if base is None else "candidate"
+            print(f"{name}: missing from the {side}", file=sys.stderr)
+            if cand is None:
+                # Coverage gap: the candidate never re-measured this case.
+                counter_regressions.append(name)
+            continue
+        try:
+            comparison = compare_entries(base, cand, bands)
+        except ValueError as error:
+            print(f"repro perf compare: {name}: {error}", file=sys.stderr)
+            return 2
+        compared += 1
+        for note in comparison.notes:
+            print(f"{name}: note: {note}")
+        if comparison.counter_regression:
+            counter_regressions.append(name)
+            print(f"== {name}: COUNTER REGRESSION ==")
+            if comparison.counter_diffs:
+                print(
+                    render_table(
+                        [d.to_row() for d in comparison.counter_diffs],
+                        PERF_COUNTER_COLUMNS,
+                    )
+                )
+            for check in comparison.failed_checks:
+                print(f"failed check: {check}")
+        if comparison.timing_regression:
+            timing_regressions.append(name)
+            print(f"== {name}: timing regression ==")
+            print(
+                render_table(
+                    [f.to_row() for f in comparison.timing_flags], TIMING_COLUMNS
+                )
+            )
+            sources = ", ".join(f.path for f in comparison.timing_sources)
+            print(f"localized to: {sources}")
+        if not comparison.counter_regression and not comparison.timing_regression:
+            print(f"{name}: ok (counters exact, timings within bands)")
+
+    print(
+        f"\n{compared} case(s) compared, {len(counter_regressions)} counter "
+        f"regression(s), {len(timing_regressions)} timing regression(s)"
+    )
+    if args.fail_on_counter_regression and compared == 0:
+        print("repro perf compare: no common cases to gate on", file=sys.stderr)
+        return 1
+    if args.fail_on_counter_regression and counter_regressions:
+        return 1
+    if args.fail_on_timing_regression and timing_regressions:
+        return 1
+    return 0
+
+
+def _cmd_perf_trend(args: argparse.Namespace) -> int:
+    from repro.perf import PerfLedger, trend_columns, trend_rows
+
+    ledger = PerfLedger(args.ledger)
+    if not ledger.path.exists():
+        print(f"repro perf trend: no perf ledger at {ledger.path}", file=sys.stderr)
+        return 2
+    try:
+        cases = args.case or ledger.cases()
+    except ValueError as error:
+        print(f"repro perf trend: {error}", file=sys.stderr)
+        return 2
+    if not cases:
+        print(f"repro perf trend: {ledger.path} is empty", file=sys.stderr)
+        return 1
+    for name in cases:
+        rows, counters = trend_rows(ledger, name, args.counter)
+        print(f"== {name} ==")
+        if rows:
+            print(render_table(rows, trend_columns(counters)))
+        else:
+            print("no entries")
+        print()
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "run":
+        return _cmd_perf_run(args)
+    if args.perf_command == "compare":
+        return _cmd_perf_compare(args)
+    return _cmd_perf_trend(args)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -1018,6 +1413,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_table(args)

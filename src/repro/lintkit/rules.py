@@ -35,6 +35,7 @@ __all__ = [
     "PoolUnpicklableRule",
     "FingerprintCompareFieldRule",
     "RegistryDriftRule",
+    "PerfCaseRegisteredRule",
     "RecordRoundtripSymmetryRule",
     "BareDictRecordRule",
     "UntimedWallclockRule",
@@ -720,6 +721,28 @@ class RegistryDriftRule(LintRule):
                 if isinstance(target, ast.Name):
                     return target.id
         return None
+
+
+# ----------------------------------------------------------------------
+# 6b. perfcase-registered
+# ----------------------------------------------------------------------
+@register_rule
+class PerfCaseRegisteredRule(RegistryDriftRule):
+    """Every concrete :class:`~repro.perf.case.PerfCase` must reach the registry.
+
+    A benchmark case with a concrete ``name`` that is never passed to
+    ``register_case`` silently drops out of ``repro perf run`` -- the
+    performance ledger stops tracking it and the CI counter gate can no
+    longer notice it regressing.  Same machinery as ``registry-drift``,
+    scoped to the perf-case registry.
+    """
+
+    name = "perfcase-registered"
+    description = "concrete PerfCase subclass never passed to register_case"
+    defaults: Mapping[str, Any] = {
+        "subclass_registrars": {"PerfCase": "register_case"},
+        "instance_registrars": {},
+    }
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,8 @@ from repro.obs.trace import (
     Tracer,
     TracerBase,
     chrome_trace,
+    path_counters,
+    path_timings,
     read_trace,
     render_span_tree,
     strip_timings,
@@ -51,6 +53,8 @@ __all__ = [
     "NULL_TRACER",
     "TraceSummary",
     "summarize",
+    "path_counters",
+    "path_timings",
     "trace_artifact",
     "write_trace",
     "read_trace",

@@ -28,7 +28,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, ContextManager, Dict, Iterator, List, Optional, Union
+from typing import Any, ContextManager, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -39,6 +39,8 @@ __all__ = [
     "NULL_TRACER",
     "TraceSummary",
     "summarize",
+    "path_counters",
+    "path_timings",
     "trace_artifact",
     "write_trace",
     "read_trace",
@@ -207,6 +209,65 @@ class Tracer(TracerBase):
 
 
 # ----------------------------------------------------------------------
+# Span-path aggregation (the counter-export helpers)
+# ----------------------------------------------------------------------
+#: Separator joining span names into a span *path* ("job/flow:contango/...").
+PATH_SEPARATOR = "/"
+
+
+def _walk_paths(tracer: Tracer) -> Iterator[Tuple[str, Span]]:
+    """Every span with its slash-joined name path, pre-order."""
+
+    def visit(span: Span, prefix: str) -> Iterator[Tuple[str, Span]]:
+        path = f"{prefix}{PATH_SEPARATOR}{span.name}" if prefix else span.name
+        yield path, span
+        for child in span.children:
+            yield from visit(child, path)
+
+    for root in tracer.roots:
+        yield from visit(root, "")
+
+
+def path_counters(tracer: Tracer) -> Dict[str, Dict[str, int]]:
+    """Deterministic counters aggregated by span path, sorted both ways.
+
+    Spans sharing a path (e.g. every ``ivc_round`` under the same pass)
+    merge their counters; paths without any counter are omitted, so the
+    result is exactly the deterministic counter payload of a trace --
+    the block ``repro.perf`` gates exactly and ``repro trace --diff``
+    compares.
+    """
+    merged: Dict[str, Dict[str, int]] = {}
+    for path, span in _walk_paths(tracer):
+        if not span.counters:
+            continue
+        bucket = merged.setdefault(path, {})
+        for key, amount in span.counters.items():
+            bucket[key] = bucket.get(key, 0) + amount
+    return {
+        path: {key: merged[path][key] for key in sorted(merged[path])}
+        for path in sorted(merged)
+    }
+
+
+def path_timings(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Wall-clock aggregated by span path: count plus total/self seconds.
+
+    The quarantined complement of :func:`path_counters` -- everything here
+    is timing and must never be compared exactly.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for path, span in _walk_paths(tracer):
+        bucket = merged.setdefault(
+            path, {"count": 0.0, "total_s": 0.0, "self_s": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["total_s"] += span.total_s
+        bucket["self_s"] += span.self_s
+    return {path: merged[path] for path in sorted(merged)}
+
+
+# ----------------------------------------------------------------------
 # The compact record-attachable digest
 # ----------------------------------------------------------------------
 @dataclass
@@ -215,8 +276,10 @@ class TraceSummary:
 
     ``top`` holds the :data:`SUMMARY_TOP_N` span *names* heaviest by
     aggregated self-time (one entry per distinct name, not per span);
-    ``counters`` merges every span's counters.  Serialized under the
-    record key ``"trace"`` -- conditionally, so untraced runs stay
+    ``counters`` merges every span's counters and ``paths`` keeps the same
+    counters keyed by span path (:func:`path_counters`), which is what
+    ``repro trace --diff`` localizes counter drift with.  Serialized under
+    the record key ``"trace"`` -- conditionally, so untraced runs stay
     byte-identical to their historical shapes.
     """
 
@@ -225,6 +288,7 @@ class TraceSummary:
     total_s: float = 0.0
     top: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    paths: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def to_record(self) -> Dict[str, Any]:
         return {
@@ -233,6 +297,7 @@ class TraceSummary:
             "total_s": self.total_s,
             "top": self.top,
             "counters": self.counters,
+            "paths": self.paths,
         }
 
     @classmethod
@@ -249,6 +314,13 @@ class TraceSummary:
             total_s=float(record.get("total_s", 0.0)),
             top=list(record.get("top", [])),
             counters=dict(record.get("counters", {})),
+            # Pre-paths summaries (schema-1 records written before the perf
+            # subsystem) parse with an empty mapping; consumers fall back to
+            # the merged counters.
+            paths={
+                str(path): dict(counters)
+                for path, counters in dict(record.get("paths", {})).items()
+            },
         )
 
 
@@ -277,6 +349,7 @@ def summarize(tracer: Tracer, top_n: int = SUMMARY_TOP_N) -> TraceSummary:
         total_s=round(tracer.total_s(), 6),
         top=top,
         counters={key: counters[key] for key in sorted(counters)},
+        paths=path_counters(tracer),
     )
 
 

@@ -1,0 +1,544 @@
+"""The registered perf cases -- the five bench smokes, absorbed.
+
+Each case reproduces one ``benchmarks/*_smoke.py`` measurement as a
+registered :class:`~repro.perf.case.PerfCase`: the workload runs under the
+supplied tracer (so span paths and span counters land in the ledger entry),
+every timed region is a span (``span.total_s`` after the ``with`` block --
+no raw ``time.perf_counter`` calls, per the ``untimed-wallclock`` rule),
+deterministic facts become counters or deterministic checks, and the old
+hard acceptance floors (variation 20x, dirty-region 5x, candidate batch 3x,
+disabled-trace overhead <2%) become ``timing=True`` checks so they gate in
+``repro perf compare`` without contaminating the byte-stable remainder.
+
+The smoke scripts remain as thin CLI wrappers over these cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
+from repro.analysis.variation import VariationModel, default_variation_model
+from repro.api.jobs import JobSpec
+from repro.api.service import SynthesisService
+from repro.core import ContangoFlow, FlowConfig
+from repro.obs import NULL_TRACER, Span, Tracer, TracerBase, summarize
+from repro.perf.case import CaseCheck, CaseOutcome, PerfCase, register_case
+from repro.runner import run_job
+from repro.seeding import derive_rng
+from repro.workloads import generate_ti_benchmark, instance_fingerprint
+
+__all__ = [
+    "EvaluatorCase",
+    "VariationCase",
+    "ServiceCase",
+    "PropagationCase",
+    "TraceCase",
+]
+
+SINKS = 200
+ENGINE = "arnoldi"
+
+
+def _span_s(span: Optional[Span]) -> float:
+    """Elapsed seconds of a closed span (0.0 under a disabled tracer)."""
+    return span.total_s if span is not None else 0.0
+
+
+def _prefixed(prefix: str, stats: Dict[str, int]) -> Dict[str, int]:
+    return {f"{prefix}{key}": int(value) for key, value in stats.items()}
+
+
+@register_case
+class EvaluatorCase(PerfCase):
+    """The 200-sink TI Contango flow as one traced runner job.
+
+    Absorbs ``benchmarks/perf_smoke.py``: the flow's evaluator counters
+    (evaluations, cache hits/misses, propagation splits) arrive through the
+    span tree, quality metrics stay with the store regression gate, and the
+    old best-of-3 wall-clock becomes the entry's median over repeats.
+    """
+
+    name = "evaluator"
+    description = f"ti:{SINKS} contango flow ({ENGINE}): evaluator + cache counters"
+    repeats = 3
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(SINKS))
+        return self._fingerprint
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        record = run_job(
+            JobSpec(instance=f"ti:{SINKS}", flow="contango", engine=ENGINE),
+            tracer=tracer,
+        )
+        outcome = CaseOutcome()
+        outcome.counters["slew_violations"] = int(record.summary.slew_violations)
+        outcome.counters.update(_prefixed("cache_", record.evaluator_cache))
+        return outcome
+
+
+@register_case
+class VariationCase(PerfCase):
+    """Batched vs per-sample Monte Carlo skew-yield evaluation.
+
+    Absorbs ``benchmarks/variation_smoke.py``: the zero-variance bit-parity
+    check stays deterministic, the 20x-over-serial floor becomes a timing
+    check, and both wall-clocks land in the ``timings.extra`` series.
+    """
+
+    name = "variation"
+    description = f"ti:{SINKS} {ENGINE} Monte Carlo: batched vs serial reference"
+    repeats = 2
+
+    SAMPLES = 1000
+    SERIAL_SAMPLES = 30
+    SEED = 7
+    SPEEDUP_FLOOR = 20.0
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(SINKS))
+        return self._fingerprint
+
+    def _make_evaluator(self, instance: Any, corners: Any = None) -> ClockNetworkEvaluator:
+        return ClockNetworkEvaluator(
+            config=EvaluatorConfig(engine=ENGINE, slew_limit=instance.slew_limit),
+            corners=corners,
+            capacitance_limit=instance.capacitance_limit,
+        )
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        instance = generate_ti_benchmark(SINKS)
+        with tracer.span("synthesize"):
+            result = ContangoFlow(FlowConfig(engine=ENGINE)).run(instance)
+        tree = result.require_tree()
+        model = default_variation_model()
+
+        evaluator = self._make_evaluator(instance)
+        with tracer.span("warmup"):
+            evaluator.evaluate_yield(
+                tree, model, samples=8, rng=derive_rng(self.SEED, "warmup")
+            )
+        with tracer.span("batched_mc") as batched_span:
+            report = evaluator.evaluate_yield(
+                tree,
+                model,
+                samples=self.SAMPLES,
+                rng=derive_rng(self.SEED, "variation-bench"),
+            )
+        batched_s = _span_s(batched_span)
+
+        rng = derive_rng(self.SEED, "variation-bench-serial")
+        base_corners = FlowConfig().corners
+        with tracer.span("serial_reference") as serial_span:
+            for _ in range(self.SERIAL_SAMPLES):
+                draw = model.sample(1, rng, n_stages=1)
+                corners = [
+                    corner.scaled(
+                        driver=float(draw.driver[0, 0]),
+                        wire=float(draw.wire_res[0, 0]),
+                    )
+                    for corner in base_corners
+                ]
+                self._make_evaluator(instance, corners).evaluate(tree)
+        serial_per_sample = _span_s(serial_span) / self.SERIAL_SAMPLES
+
+        nominal = evaluator.evaluate(tree)
+        zero = evaluator.evaluate_yield(
+            tree, VariationModel(), samples=4, rng=derive_rng(self.SEED, "parity")
+        )
+        parity = bool(
+            np.all(zero.skew_samples == nominal.skew)
+            and np.all(zero.clr_samples == nominal.clr)
+            and np.all(zero.worst_slew_samples == nominal.worst_slew)
+        )
+        speedup = (
+            serial_per_sample / (batched_s / self.SAMPLES) if batched_s > 0 else 0.0
+        )
+
+        outcome = CaseOutcome()
+        outcome.counters["mc_samples"] = self.SAMPLES
+        outcome.counters["serial_reference_samples"] = self.SERIAL_SAMPLES
+        outcome.counters["skew_yield_millis"] = int(round(report.skew_yield * 1000))
+        outcome.counters.update(_prefixed("cache_", evaluator.cache_stats()))
+        outcome.timings["batched_mc_s"] = batched_s
+        outcome.timings["serial_per_sample_s"] = serial_per_sample
+        outcome.checks.append(
+            CaseCheck(
+                name="zero_variance_bit_parity",
+                ok=parity,
+                detail="zero-variance Monte Carlo equals nominal evaluation bit "
+                "for bit",
+            )
+        )
+        outcome.checks.append(
+            CaseCheck(
+                name="batched_speedup_floor",
+                ok=speedup >= self.SPEEDUP_FLOOR,
+                detail=f"batched path {speedup:.1f}x over the serial reference "
+                f"(floor {self.SPEEDUP_FLOOR:.0f}x)",
+                timing=True,
+            )
+        )
+        return outcome
+
+
+@register_case
+class ServiceCase(PerfCase):
+    """Warm-pool vs per-call-pool dispatch of many tiny jobs.
+
+    Absorbs ``benchmarks/service_smoke.py``: the reuse invariant (one pool
+    for the whole warm run, identical fingerprints either way) gates
+    deterministically; the speedup stays an untracked trajectory because a
+    1-core host serializes both variants onto the same CPU.
+    """
+
+    name = "service"
+    description = "warm-pool vs per-call-pool dispatch overhead (ti:24 initial)"
+    repeats = 2
+
+    CALLS = 4
+    WORKERS = 2
+    JOB = JobSpec(instance="ti:24", engine="elmore", pipeline=("initial",))
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(24))
+        return self._fingerprint
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        cold_records: List[Any] = []
+        with tracer.span("cold_pools") as cold_span:
+            for _ in range(self.CALLS):
+                with SynthesisService(max_workers=self.WORKERS) as service:
+                    cold_records.extend(service.run([self.JOB]).records)
+
+        warm_records: List[Any] = []
+        with tracer.span("warm_pool") as warm_span:
+            with SynthesisService(max_workers=self.WORKERS) as service:
+                for _ in range(self.CALLS):
+                    warm_records.extend(service.run([self.JOB]).records)
+
+        cold_fps = [record.fingerprint for record in cold_records]
+        warm_fps = [record.fingerprint for record in warm_records]
+
+        outcome = CaseOutcome()
+        outcome.counters["calls"] = self.CALLS
+        outcome.counters["pools_created_warm"] = int(service.pools_created)
+        outcome.counters["jobs_dispatched_warm"] = int(service.jobs_dispatched)
+        outcome.timings["cold_pools_s"] = _span_s(cold_span)
+        outcome.timings["warm_pool_s"] = _span_s(warm_span)
+        outcome.checks.append(
+            CaseCheck(
+                name="single_warm_pool",
+                ok=service.pools_created == 1,
+                detail="the warm service creates exactly one pool for all calls",
+            )
+        )
+        outcome.checks.append(
+            CaseCheck(
+                name="cold_warm_fingerprints_equal",
+                ok=bool(cold_fps) and cold_fps == warm_fps,
+                detail="pool reuse does not change job results",
+            )
+        )
+        return outcome
+
+
+@register_case
+class PropagationCase(PerfCase):
+    """Dirty-region re-evaluation and batched candidate scoring.
+
+    Absorbs ``benchmarks/propagation_smoke.py``: bit-parity against the
+    cold/serial references gates deterministically, the 5x (dirty) and 3x
+    (batch) floors become timing checks, and the float-keyed timing-cache
+    finding's hit/miss deltas become counters so the finding itself is
+    regression-gated.
+    """
+
+    name = "propagation"
+    description = f"ti:{SINKS} {ENGINE} dirty-region + candidate-batch speedups"
+    repeats = 2
+
+    TOUCH_REPEATS = 20
+    BATCH_REPEATS = 10
+    CANDIDATES = 12
+    COLD_FLOOR = 5.0
+    BATCH_FLOOR = 3.0
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(SINKS))
+        return self._fingerprint
+
+    def _make_evaluator(self, instance: Any, **overrides: Any) -> ClockNetworkEvaluator:
+        config: Dict[str, Any] = dict(engine=ENGINE, slew_limit=instance.slew_limit)
+        config.update(overrides)
+        return ClockNetworkEvaluator(
+            config=EvaluatorConfig(**config),
+            capacitance_limit=instance.capacitance_limit,
+        )
+
+    @staticmethod
+    def _reports_bit_identical(a: Any, b: Any) -> bool:
+        if set(a.corners) != set(b.corners):
+            return False
+        for name in a.corners:
+            got, want = a.corners[name], b.corners[name]
+            if got.latency != want.latency or got.tap_slew != want.tap_slew:
+                return False
+            if got.slew != want.slew:
+                return False
+        return bool(a.summary() == b.summary())
+
+    def _candidate_moves(self, tree: Any) -> List[Any]:
+        sinks = sorted(s.node_id for s in tree.sinks())
+
+        def make(index: int) -> Any:
+            first = sinks[(2 * index) % len(sinks)]
+            second = sinks[(2 * index + 1) % len(sinks)]
+
+            def move() -> int:
+                tree.add_snake(first, 5.0 + index)
+                tree.add_snake(second, 2.5 + index)
+                return 2
+
+            return move
+
+        return [make(index) for index in range(self.CANDIDATES)]
+
+    @staticmethod
+    def _deepest_buffer_edge(tree: Any) -> Any:
+        best, best_depth = None, -1
+        for node in tree.buffers():
+            depth = 0
+            up = node.parent
+            while up is not None:
+                ancestor = tree.node(up)
+                if ancestor.buffer is not None:
+                    depth += 1
+                up = ancestor.parent
+            if depth > best_depth:
+                best, best_depth = node.node_id, depth
+        return best
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        outcome = CaseOutcome()
+        instance = generate_ti_benchmark(SINKS)
+        with tracer.span("synthesize"):
+            tree = ContangoFlow(FlowConfig(engine=ENGINE)).run(instance).require_tree()
+
+        # Dirty-region re-evaluation: parity first, then the timed loops.
+        evaluator = self._make_evaluator(instance)
+        evaluator.evaluate(tree)
+        sinks = sorted(s.node_id for s in tree.sinks())
+        tree.add_snake(sinks[0], 1.0)
+        incremental = evaluator.evaluate(tree)
+        cold_reference = self._make_evaluator(instance).evaluate(tree, incremental=False)
+        dirty_parity = self._reports_bit_identical(incremental, cold_reference)
+
+        with tracer.span("dirty_touch_loop") as touch_span:
+            for index in range(self.TOUCH_REPEATS):
+                tree.add_snake(sinks[index % len(sinks)], 0.5)
+                evaluator.evaluate(tree)
+        touch_s = _span_s(touch_span) / self.TOUCH_REPEATS
+        with tracer.span("cold_eval_loop") as cold_span:
+            for _ in range(self.TOUCH_REPEATS):
+                evaluator.evaluate(tree, incremental=False)
+        cold_s = _span_s(cold_span) / self.TOUCH_REPEATS
+        dirty_speedup = cold_s / touch_s if touch_s > 0 else 0.0
+        outcome.counters.update(_prefixed("dirty_", evaluator.cache_stats()))
+
+        # Batched candidate scoring vs the serial reference.
+        moves = self._candidate_moves(tree)
+        batched_eval = self._make_evaluator(instance)
+        batched_eval.evaluate(tree)
+        serial_eval = self._make_evaluator(instance, candidate_batching=False)
+        serial_eval.evaluate(tree)
+        batched = batched_eval.evaluate_candidates(tree, moves)
+        serial = serial_eval.evaluate_candidates(tree, moves)
+        batch_parity = all(
+            fast.skew == slow.skew
+            and fast.clr == slow.clr
+            and fast.max_latency == slow.max_latency
+            and fast.worst_slew == slow.worst_slew
+            for fast, slow in zip(batched, serial)
+        )
+        with tracer.span("batched_candidates") as batched_span:
+            for _ in range(self.BATCH_REPEATS):
+                batched_eval.evaluate_candidates(tree, moves)
+        with tracer.span("serial_candidates") as serial_span:
+            for _ in range(self.BATCH_REPEATS):
+                serial_eval.evaluate_candidates(tree, moves)
+        batched_s = _span_s(batched_span) / self.BATCH_REPEATS
+        serial_s = _span_s(serial_span) / self.BATCH_REPEATS
+        batch_speedup = serial_s / batched_s if batched_s > 0 else 0.0
+        outcome.counters["candidates"] = len(moves)
+        outcome.counters["candidates_batched"] = int(batched.batched)
+        outcome.counters["candidate_fallbacks"] = int(batched.fallbacks)
+
+        # Float-keyed timing-cache finding (spice engine, small instance).
+        small = generate_ti_benchmark(40)
+        with tracer.span("timing_cache_finding"):
+            small_tree = (
+                ContangoFlow(FlowConfig(engine=ENGINE, pipeline=["initial"]))
+                .run(small)
+                .require_tree()
+            )
+            edge = self._deepest_buffer_edge(small_tree)
+            for label, dirty_region in (("nodirty", False), ("dirty", True)):
+                spice = self._make_evaluator(
+                    small, engine="spice", dirty_region=dirty_region
+                )
+                spice.evaluate(small_tree)
+                warm = spice.cache_stats()
+                small_tree.add_snake(edge, 0.25)
+                spice.evaluate(small_tree)
+                stats = spice.cache_stats()
+                outcome.counters[f"timing_cache_{label}_hits_delta"] = (
+                    stats["hits"] - warm["hits"]
+                )
+                outcome.counters[f"timing_cache_{label}_misses_delta"] = (
+                    stats["misses"] - warm["misses"]
+                )
+
+        outcome.timings["dirty_touch_s"] = touch_s
+        outcome.timings["cold_eval_s"] = cold_s
+        outcome.timings["batched_candidates_s"] = batched_s
+        outcome.timings["serial_candidates_s"] = serial_s
+        outcome.checks.extend(
+            [
+                CaseCheck(
+                    name="dirty_region_bit_parity",
+                    ok=dirty_parity,
+                    detail="incremental re-evaluation equals a cold evaluation "
+                    "bit for bit",
+                ),
+                CaseCheck(
+                    name="candidate_batch_bit_parity",
+                    ok=batch_parity,
+                    detail="batched candidate scores equal serial scoring",
+                ),
+                CaseCheck(
+                    name="dirty_region_speedup_floor",
+                    ok=dirty_speedup >= self.COLD_FLOOR,
+                    detail=f"single-touch re-evaluation {dirty_speedup:.1f}x over "
+                    f"cold (floor {self.COLD_FLOOR:.0f}x)",
+                    timing=True,
+                ),
+                CaseCheck(
+                    name="candidate_batch_speedup_floor",
+                    ok=batch_speedup >= self.BATCH_FLOOR,
+                    detail=f"batched candidate scoring {batch_speedup:.1f}x over "
+                    f"serial (floor {self.BATCH_FLOOR:.0f}x)",
+                    timing=True,
+                ),
+            ]
+        )
+        return outcome
+
+
+@register_case
+class TraceCase(PerfCase):
+    """Tracing parity and the disabled-instrumentation overhead ceiling.
+
+    Absorbs ``benchmarks/trace_smoke.py``: traced/untraced record parity
+    and fingerprint equality gate deterministically; the <2% disabled
+    overhead ceiling (per-event null-span cost scaled by the traced run's
+    span count, against the untraced flow runtime) is a timing check.
+    """
+
+    name = "trace"
+    description = f"ti:{SINKS} {ENGINE} tracing parity + disabled overhead"
+    repeats = 2
+
+    NULL_SPAN_ITERATIONS = 200_000
+    OVERHEAD_CEILING_PCT = 2.0
+    SEED = 11
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(SINKS))
+        return self._fingerprint
+
+    def _spec(self) -> JobSpec:
+        return JobSpec(instance=f"ti:{SINKS}", engine=ENGINE, seed=self.SEED)
+
+    @staticmethod
+    def _comparable(record: Any) -> Dict[str, Any]:
+        payload = record.to_record()
+        payload.pop("trace", None)
+        payload.pop("wall_clock_s", None)
+        if isinstance(payload.get("summary"), dict):
+            payload["summary"].pop("runtime_s", None)
+        for row in payload.get("stage_table", []):
+            row.pop("elapsed_s", None)
+        return payload
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        inner = Tracer()
+        with tracer.span("traced_job"):
+            traced = run_job(self._spec(), tracer=inner)
+        with tracer.span("untraced_job") as untraced_span:
+            plain = run_job(self._spec())
+        untraced_s = _span_s(untraced_span)
+        summary = summarize(inner)
+
+        null = NULL_TRACER
+        with tracer.span("null_span_loop") as null_span:
+            for _ in range(self.NULL_SPAN_ITERATIONS):
+                if null.enabled:  # the wrapper-guard branch
+                    raise AssertionError("NULL_TRACER must be disabled")
+                with null.span("x"):  # the unconditional-span path
+                    pass
+        per_event_s = _span_s(null_span) / self.NULL_SPAN_ITERATIONS
+        overhead_pct = (
+            100.0 * per_event_s * summary.spans / untraced_s if untraced_s > 0 else 0.0
+        )
+
+        outcome = CaseOutcome()
+        outcome.counters["span_events"] = int(summary.spans)
+        outcome.timings["untraced_job_s"] = untraced_s
+        outcome.timings["null_span_cost_ns"] = per_event_s * 1e9
+        outcome.checks.extend(
+            [
+                CaseCheck(
+                    name="traced_untraced_parity",
+                    ok=self._comparable(traced) == self._comparable(plain),
+                    detail="traced and untraced records of the same job agree "
+                    "outside wall-clock fields",
+                ),
+                CaseCheck(
+                    name="fingerprints_equal",
+                    ok=traced.fingerprint == plain.fingerprint,
+                    detail="tracing does not change the job's content fingerprint",
+                ),
+                CaseCheck(
+                    name="disabled_overhead_ceiling",
+                    ok=overhead_pct < self.OVERHEAD_CEILING_PCT,
+                    detail=f"disabled-tracing overhead {overhead_pct:.3f}% of the "
+                    f"untraced flow (ceiling {self.OVERHEAD_CEILING_PCT:.0f}%)",
+                    timing=True,
+                ),
+            ]
+        )
+        return outcome

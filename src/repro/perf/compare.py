@@ -1,0 +1,322 @@
+"""Ledger-entry comparison: exact counter gates, banded timing gates.
+
+The comparison core treats the two halves of an entry by their nature:
+
+* **Counters are gated hard.**  :func:`diff_counter_maps` demands an exact
+  match -- any added, removed or changed counter is a regression, the same
+  zero-tolerance the store regression gate applies to solver results.  The
+  per-span-path variant powers both ``repro perf compare`` and
+  ``repro trace --diff``.
+* **Timings are gated soft.**  A candidate median only flags when it
+  clears *every* noise allowance at once: ``base_median + k * base_IQR``
+  (measured run-to-run noise), ``base_median * (1 + rel_floor)`` and
+  ``base_median + abs_floor`` (guards for near-zero or single-sample
+  baselines whose IQR is degenerate).  Flagged span paths are then
+  **localized**: a path is reported as a regression *source* only when no
+  descendant path is itself flagged, so a slowdown inside ``propagate``
+  blames ``.../evaluate/propagate``, not every ancestor it inflated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import PATH_SEPARATOR
+
+__all__ = [
+    "TimingBands",
+    "CounterDiff",
+    "TimingFlag",
+    "PerfComparison",
+    "diff_counter_maps",
+    "diff_path_counters",
+    "timing_regression",
+    "compare_entries",
+    "COUNTER_COLUMNS",
+    "TIMING_COLUMNS",
+]
+
+
+@dataclass(frozen=True)
+class TimingBands:
+    """Noise allowances of the soft timing gate (all must be exceeded)."""
+
+    k_iqr: float = 3.0
+    rel_floor: float = 0.25
+    abs_floor_s: float = 0.005
+
+
+@dataclass(frozen=True)
+class CounterDiff:
+    """One counter whose value differs between baseline and candidate."""
+
+    path: str  # span path, or "" for the merged counter block
+    counter: str
+    base: Optional[int]
+    cand: Optional[int]
+
+    @property
+    def status(self) -> str:
+        if self.base is None:
+            return "added"
+        if self.cand is None:
+            return "removed"
+        return "changed"
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "path": self.path or "*",
+            "counter": self.counter,
+            "base": self.base,
+            "cand": self.cand,
+            "status": self.status,
+        }
+
+
+@dataclass(frozen=True)
+class TimingFlag:
+    """One span path whose median timing escaped every noise band."""
+
+    path: str
+    metric: str  # "self_s" | "total_s" | "wall_clock_s" | extra label
+    base_median: float
+    base_iqr: float
+    cand_median: float
+    source: bool = False  # no flagged descendant -> the localized culprit
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "metric": self.metric,
+            "base_median": self.base_median,
+            "base_iqr": self.base_iqr,
+            "cand_median": self.cand_median,
+            "source": "<-- source" if self.source else "",
+        }
+
+
+COUNTER_COLUMNS: List[Tuple[str, str, str]] = [
+    ("path", "path", "s"),
+    ("counter", "counter", "s"),
+    ("base", "base", ""),
+    ("cand", "cand", ""),
+    ("status", "status", "s"),
+]
+
+TIMING_COLUMNS: List[Tuple[str, str, str]] = [
+    ("path", "path", "s"),
+    ("metric", "metric", "s"),
+    ("base_median", "base_median_s", ".6f"),
+    ("base_iqr", "base_iqr_s", ".6f"),
+    ("cand_median", "cand_median_s", ".6f"),
+    ("source", "", "s"),
+]
+
+
+def diff_counter_maps(
+    base: Dict[str, int], cand: Dict[str, int], path: str = ""
+) -> List[CounterDiff]:
+    """Exact-match diff of two counter dicts (sorted by counter name)."""
+    diffs: List[CounterDiff] = []
+    for counter in sorted(set(base) | set(cand)):
+        base_value = base.get(counter)
+        cand_value = cand.get(counter)
+        if base_value != cand_value:
+            diffs.append(
+                CounterDiff(path=path, counter=counter, base=base_value, cand=cand_value)
+            )
+    return diffs
+
+
+def diff_path_counters(
+    base: Dict[str, Dict[str, int]], cand: Dict[str, Dict[str, int]]
+) -> List[CounterDiff]:
+    """Exact-match diff of per-span-path counter maps, sorted by path."""
+    diffs: List[CounterDiff] = []
+    for path in sorted(set(base) | set(cand)):
+        diffs.extend(diff_counter_maps(base.get(path, {}), cand.get(path, {}), path))
+    return diffs
+
+
+def timing_regression(
+    base_median: float,
+    base_iqr: float,
+    cand_median: float,
+    bands: TimingBands,
+) -> bool:
+    """True when the candidate median escapes *every* noise allowance."""
+    allowance = max(
+        base_median + bands.k_iqr * base_iqr,
+        base_median * (1.0 + bands.rel_floor),
+        base_median + bands.abs_floor_s,
+    )
+    return cand_median > allowance
+
+
+def _stats(block: Dict[str, Any], *keys: str) -> Tuple[float, float]:
+    """(median, iqr) of a nested timing-stats block, 0.0 when absent."""
+    node: Any = block
+    for key in keys:
+        if not isinstance(node, dict):
+            return 0.0, 0.0
+        node = node.get(key, {})
+    if not isinstance(node, dict):
+        return 0.0, 0.0
+    return float(node.get("median", 0.0)), float(node.get("iqr", 0.0))
+
+
+def _localize(flags: List[TimingFlag]) -> List[TimingFlag]:
+    """Mark the flagged paths with no flagged descendant as the sources."""
+    flagged_paths = {flag.path for flag in flags}
+    localized: List[TimingFlag] = []
+    for flag in flags:
+        prefix = flag.path + PATH_SEPARATOR
+        has_flagged_descendant = any(
+            other != flag.path and other.startswith(prefix) for other in flagged_paths
+        )
+        localized.append(
+            TimingFlag(
+                path=flag.path,
+                metric=flag.metric,
+                base_median=flag.base_median,
+                base_iqr=flag.base_iqr,
+                cand_median=flag.cand_median,
+                source=not has_flagged_descendant,
+            )
+        )
+    return localized
+
+
+@dataclass
+class PerfComparison:
+    """The verdict of comparing one candidate entry against its baseline."""
+
+    case: str
+    counter_diffs: List[CounterDiff] = field(default_factory=list)
+    timing_flags: List[TimingFlag] = field(default_factory=list)
+    failed_checks: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def counter_regression(self) -> bool:
+        return bool(self.counter_diffs) or bool(self.failed_checks)
+
+    @property
+    def timing_regression(self) -> bool:
+        return bool(self.timing_flags)
+
+    @property
+    def timing_sources(self) -> List[TimingFlag]:
+        return [flag for flag in self.timing_flags if flag.source]
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "case": self.case,
+            "counter_regression": self.counter_regression,
+            "timing_regression": self.timing_regression,
+            "counter_diffs": [diff.to_row() for diff in self.counter_diffs],
+            "timing_flags": [flag.to_row() for flag in self.timing_flags],
+            "timing_sources": [flag.path for flag in self.timing_sources],
+            "failed_checks": list(self.failed_checks),
+            "notes": list(self.notes),
+        }
+
+
+def compare_entries(
+    base: Dict[str, Any],
+    cand: Dict[str, Any],
+    bands: Optional[TimingBands] = None,
+) -> PerfComparison:
+    """Compare one candidate ledger entry against its baseline entry.
+
+    Counters (merged and per span path) plus deterministic checks gate
+    hard; span self-times, the traced wall-clock and the case's extra
+    timing series gate soft through ``bands``, with flagged span paths
+    localized to the deepest moved subtree.
+    """
+    if bands is None:
+        bands = TimingBands()
+    comparison = PerfComparison(case=str(cand.get("case", "")))
+
+    if base.get("case") != cand.get("case"):
+        raise ValueError(
+            f"cannot compare entries of different cases: "
+            f"{base.get('case')!r} vs {cand.get('case')!r}"
+        )
+    if base.get("fingerprint") != cand.get("fingerprint"):
+        comparison.notes.append(
+            "fingerprint changed ({} -> {}): the workload itself differs, "
+            "counter diffs reflect that".format(
+                base.get("fingerprint"), cand.get("fingerprint")
+            )
+        )
+
+    comparison.counter_diffs.extend(
+        diff_counter_maps(
+            dict(base.get("counters", {})), dict(cand.get("counters", {}))
+        )
+    )
+    comparison.counter_diffs.extend(
+        diff_path_counters(
+            dict(base.get("span_counters", {})), dict(cand.get("span_counters", {}))
+        )
+    )
+
+    for check in cand.get("checks", []):
+        if not check.get("ok", False):
+            comparison.failed_checks.append(str(check.get("name", "?")))
+
+    flags: List[TimingFlag] = []
+    base_timings = dict(base.get("timings", {}))
+    cand_timings = dict(cand.get("timings", {}))
+
+    base_spans = dict(base_timings.get("spans", {}))
+    cand_spans = dict(cand_timings.get("spans", {}))
+    for path in sorted(set(base_spans) & set(cand_spans)):
+        base_median, base_iqr = _stats(base_spans, path, "self_s")
+        cand_median, _ = _stats(cand_spans, path, "self_s")
+        if timing_regression(base_median, base_iqr, cand_median, bands):
+            flags.append(
+                TimingFlag(
+                    path=path,
+                    metric="self_s",
+                    base_median=base_median,
+                    base_iqr=base_iqr,
+                    cand_median=cand_median,
+                )
+            )
+    comparison.timing_flags.extend(_localize(flags))
+
+    base_median, base_iqr = _stats(base_timings, "wall_clock_s")
+    cand_median, _ = _stats(cand_timings, "wall_clock_s")
+    if timing_regression(base_median, base_iqr, cand_median, bands):
+        comparison.timing_flags.append(
+            TimingFlag(
+                path="(wall clock)",
+                metric="wall_clock_s",
+                base_median=base_median,
+                base_iqr=base_iqr,
+                cand_median=cand_median,
+                source=not comparison.timing_sources,
+            )
+        )
+
+    base_extra = dict(base_timings.get("extra", {}))
+    cand_extra = dict(cand_timings.get("extra", {}))
+    for label in sorted(set(base_extra) & set(cand_extra)):
+        base_median, base_iqr = _stats(base_extra, label)
+        cand_median, _ = _stats(cand_extra, label)
+        if timing_regression(base_median, base_iqr, cand_median, bands):
+            comparison.timing_flags.append(
+                TimingFlag(
+                    path=f"(extra) {label}",
+                    metric=label,
+                    base_median=base_median,
+                    base_iqr=base_iqr,
+                    cand_median=cand_median,
+                    source=True,
+                )
+            )
+
+    return comparison

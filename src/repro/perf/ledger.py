@@ -1,0 +1,135 @@
+"""Append-only JSONL performance ledger (the :class:`RunStore` idioms).
+
+One line per perf-case entry, exactly as :func:`repro.perf.case.run_case`
+produced it, plus a ``recorded_at`` stamp tucked *inside the entry's
+``timings`` block* -- the stamp is wall-clock metadata, so it lives with
+the wall-clock and :func:`repro.obs.strip_timings` keeps ledger lines
+byte-comparable across runs.  Appending never rewrites existing lines;
+the schema version rides on every line and readers reject lines from a
+newer schema rather than misinterpreting them.
+
+Entries are keyed by ``(case, fingerprint, package_version)`` -- the
+trajectory of one case on one workload across package versions is the
+slice ``repro perf trend`` renders, and ``repro perf compare`` only diffs
+entries whose case and fingerprint agree.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.perf.case import PERF_SCHEMA
+
+__all__ = ["PerfLedger", "entry_key"]
+
+
+def entry_key(entry: Dict[str, Any]) -> Tuple[str, str, str]:
+    """The identity a ledger entry is keyed (and compared) by."""
+    return (
+        str(entry.get("case", "")),
+        str(entry.get("fingerprint", "")),
+        str(entry.get("package_version", "")),
+    )
+
+
+class PerfLedger:
+    """An append-only JSONL ledger of perf-case entries under one directory."""
+
+    FILENAME = "perf.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, entry: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one perf-case entry; returns the stored line's payload.
+
+        The entry must already carry its identity (``case``,
+        ``fingerprint``, ``package_version``) and schema; the ledger only
+        adds the ``recorded_at`` stamp -- inside ``timings`` so the
+        deterministic remainder stays byte-stable.
+        """
+        if entry.get("kind") != "perf-case" or not entry.get("case"):
+            raise ValueError("only perf-case entries with a case name are ledgerable")
+        stored = dict(entry)
+        stored["timings"] = dict(stored.get("timings", {}))
+        stored["timings"]["recorded_at"] = datetime.now(timezone.utc).isoformat()
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stored, sort_keys=True) + "\n")
+        return stored
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(
+        self,
+        case: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        package_version: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stored entries, in append order, filtered by the key axes."""
+        if not self.path.exists():
+            return []
+        selected: List[Dict[str, Any]] = []
+        for line_number, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{self.path}:{line_number}: corrupt ledger line: {exc}"
+                ) from exc
+            schema = entry.get("schema")
+            if not isinstance(schema, int) or schema > PERF_SCHEMA:
+                raise ValueError(
+                    f"{self.path}:{line_number}: schema {schema!r} is newer than "
+                    f"supported version {PERF_SCHEMA}"
+                )
+            if case is not None and entry.get("case") != case:
+                continue
+            if fingerprint is not None and entry.get("fingerprint") != fingerprint:
+                continue
+            if (
+                package_version is not None
+                and entry.get("package_version") != package_version
+            ):
+                continue
+            selected.append(entry)
+        return selected
+
+    def cases(self) -> List[str]:
+        """Distinct case names in first-appended order."""
+        seen: List[str] = []
+        for entry in self.entries():
+            name = str(entry.get("case", ""))
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def latest(
+        self,
+        case: str,
+        fingerprint: Optional[str] = None,
+        package_version: Optional[str] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """The most recent entry of ``case`` (``None`` if absent)."""
+        matching = self.entries(
+            case=case, fingerprint=fingerprint, package_version=package_version
+        )
+        return matching[-1] if matching else None

@@ -1,0 +1,70 @@
+"""Per-case trend tables across ledger history.
+
+``repro perf trend`` walks one case's entries in append order and renders
+one row per entry: package version, workload fingerprint (shortened),
+recording stamp, the wall-clock median/IQR, and any requested counters.
+The table is a *reading* aid -- gating stays in ``repro perf compare`` --
+so drift is visible at a glance before it grows into a regression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.ledger import PerfLedger
+
+__all__ = ["trend_rows", "trend_columns", "DEFAULT_TREND_COUNTERS"]
+
+#: Counters shown by default when the caller requests none explicitly --
+#: the evaluator trio every optimization PR so far has moved.
+DEFAULT_TREND_COUNTERS = ("evaluations", "cache_hits", "cache_misses")
+
+
+def trend_rows(
+    ledger: PerfLedger,
+    case: str,
+    counters: Optional[Sequence[str]] = None,
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """(rows, counter-names) of one case's ledger history, append order.
+
+    ``counters`` defaults to the :data:`DEFAULT_TREND_COUNTERS` that are
+    actually present in at least one entry, so cases without an evaluator
+    (e.g. a pure-trace case) don't render dead columns.
+    """
+    entries = ledger.entries(case=case)
+    if counters is None:
+        present = {
+            name for entry in entries for name in entry.get("counters", {})
+        }
+        selected = [name for name in DEFAULT_TREND_COUNTERS if name in present]
+    else:
+        selected = list(counters)
+
+    rows: List[Dict[str, Any]] = []
+    for entry in entries:
+        timings = entry.get("timings", {})
+        wall = timings.get("wall_clock_s", {})
+        row: Dict[str, Any] = {
+            "version": entry.get("package_version", "?"),
+            "fingerprint": str(entry.get("fingerprint", ""))[:12],
+            "recorded_at": str(timings.get("recorded_at", ""))[:19],
+            "wall_median": wall.get("median"),
+            "wall_iqr": wall.get("iqr"),
+        }
+        for name in selected:
+            row[name] = entry.get("counters", {}).get(name)
+        rows.append(row)
+    return rows, selected
+
+
+def trend_columns(counter_names: Sequence[str]) -> List[Tuple[str, str, str]]:
+    """render_table column spec matching :func:`trend_rows` output."""
+    columns: List[Tuple[str, str, str]] = [
+        ("version", "version", "s"),
+        ("fingerprint", "fingerprint", "s"),
+        ("recorded_at", "recorded_at", "s"),
+        ("wall_median", "wall_median_s", ".4f"),
+        ("wall_iqr", "wall_iqr_s", ".4f"),
+    ]
+    columns.extend((name, name, "") for name in counter_names)
+    return columns

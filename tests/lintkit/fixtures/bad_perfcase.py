@@ -1,0 +1,17 @@
+"""Fixture: concrete perf cases that never reach the case registry."""
+
+from repro.perf.case import PerfCase
+
+
+class ForgottenCase(PerfCase):
+    name = "forgotten-case"
+
+    def fingerprint(self):
+        return "deadbeef"
+
+    def run_once(self, tracer):
+        return None
+
+
+class ForgottenSubCase(ForgottenCase):
+    name = "forgotten-sub-case"

@@ -1,0 +1,31 @@
+"""Fixture: every concrete perf case reaches the case registry."""
+
+from repro.perf.case import PerfCase, register_case
+
+
+@register_case
+class RegisteredCase(PerfCase):
+    name = "registered-case"
+
+    def fingerprint(self):
+        return "deadbeef"
+
+    def run_once(self, tracer):
+        return None
+
+
+class AbstractTimingCase(PerfCase):
+    """No concrete ``name``: an intermediate base, not a runnable case."""
+
+
+class LaterCase(PerfCase):
+    name = "later-case"
+
+    def fingerprint(self):
+        return "deadbeef"
+
+    def run_once(self, tracer):
+        return None
+
+
+register_case(LaterCase)

@@ -31,6 +31,7 @@ CASES = [
     ("pool-unpicklable", "bad_pool.py", "good_pool.py", 3),
     ("fingerprint-compare-field", "bad_compare_field.py", "good_compare_field.py", 3),
     ("registry-drift", "bad_registry.py", "good_registry.py", 2),
+    ("perfcase-registered", "bad_perfcase.py", "good_perfcase.py", 2),
     ("record-roundtrip-symmetry", "bad_roundtrip.py", "good_roundtrip.py", 2),
     ("bare-dict-record", "bad_bare_dict.py", "good_bare_dict.py", 2),
     (

@@ -18,6 +18,7 @@ from repro.obs import (
     trace_artifact,
     write_trace,
 )
+from repro.obs import path_counters, path_timings
 from repro.obs.trace import TRACE_SCHEMA
 
 
@@ -137,6 +138,42 @@ class TestSummarize:
     def test_from_record_rejects_newer_schema(self):
         with pytest.raises(ValueError, match="newer"):
             TraceSummary.from_record({"schema": TRACE_SCHEMA + 1})
+
+
+class TestPathHelpers:
+    def test_path_counters_merge_same_path_and_skip_counterless(self):
+        tracer = Tracer()
+        record_tree(tracer)
+        paths = path_counters(tracer)
+        # The two sibling "evaluate" spans share one slash-joined path.
+        assert paths["job/evaluate"] == {"stages": 5, "cache_hits": 1}
+        assert paths["job/propagate"] == {"corners": 4}
+        # The counter-less root is omitted entirely.
+        assert "job" not in paths
+        assert list(paths) == sorted(paths)
+
+    def test_path_timings_accumulate_count_total_and_self(self):
+        tracer = Tracer()
+        record_tree(tracer)
+        timings = path_timings(tracer)
+        assert timings["job/evaluate"]["count"] == 2
+        assert timings["job"]["count"] == 1
+        assert timings["job"]["total_s"] >= timings["job"]["self_s"]
+        assert set(timings["job"]) == {"count", "total_s", "self_s"}
+
+    def test_summary_carries_paths_and_round_trips(self):
+        tracer = Tracer()
+        record_tree(tracer)
+        summary = summarize(tracer)
+        assert summary.paths == path_counters(tracer)
+        assert TraceSummary.from_record(summary.to_record()) == summary
+
+    def test_pre_paths_records_parse_with_empty_paths(self):
+        tracer = Tracer()
+        record_tree(tracer)
+        record = summarize(tracer).to_record()
+        del record["paths"]
+        assert TraceSummary.from_record(record).paths == {}
 
 
 class TestArtifact:

@@ -1,0 +1,350 @@
+"""End-to-end tests for ``repro perf run|compare|trend`` and ``repro trace --diff``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Tracer, strip_timings, summarize
+from repro.perf.case import PERF_SCHEMA
+from repro.perf.ledger import PerfLedger
+from repro.store import RunStore
+
+
+def make_entry(case="tiny", **overrides):
+    entry = {
+        "schema": PERF_SCHEMA,
+        "kind": "perf-case",
+        "case": case,
+        "description": "stub",
+        "package_version": "1.0.0",
+        "fingerprint": "f00d",
+        "counters": {"evaluations": 10},
+        "span_counters": {"job/evaluate": {"evaluations": 10}},
+        "checks": [{"name": "always", "ok": True, "detail": "", "timing": False}],
+        "timings": {
+            "repeats": 2,
+            "wall_clock_s": {"n": 2, "median": 0.1, "iqr": 0.001},
+            "spans": {
+                "job": {
+                    "total_s": {"median": 0.1, "iqr": 0.0},
+                    "self_s": {"median": 0.02, "iqr": 0.0},
+                },
+                "job/evaluate": {
+                    "total_s": {"median": 0.08, "iqr": 0.0},
+                    "self_s": {"median": 0.08, "iqr": 0.0},
+                },
+            },
+            "extra": {},
+            "checks": [],
+        },
+    }
+    entry.update(overrides)
+    return entry
+
+
+def write_ledger(root, *entries):
+    ledger = PerfLedger(root)
+    for entry in entries:
+        ledger.append(entry)
+    return ledger
+
+
+class TestPerfRun:
+    def test_list_cases_names_the_full_registry(self, capsys):
+        assert main(["perf", "run", "--list-cases"]) == 0
+        printed = capsys.readouterr().out
+        for name in ("evaluator", "variation", "service", "propagation", "trace"):
+            assert name in printed
+
+    def test_unknown_case_is_a_usage_error(self, capsys):
+        assert main(["perf", "run", "--case", "nope"]) == 2
+        assert "unknown perf case" in capsys.readouterr().err
+
+    def test_run_records_ledger_and_merged_document(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        output = tmp_path / "BENCH_all.json"
+        code = main(
+            ["perf", "run", "--case", "service", "--repeats", "1",
+             "--ledger", str(ledger_dir), "--output", str(output)]
+        )
+        assert code == 0
+        (entry,) = PerfLedger(ledger_dir).entries()
+        assert entry["case"] == "service"
+        assert "recorded_at" in entry["timings"]
+        payload = json.loads(output.read_text())
+        assert payload["kind"] == "perf-batch"
+        assert list(payload["cases"]) == ["service"]
+        printed = capsys.readouterr().out
+        assert "service: wall" in printed
+        assert "check(s) ok" in printed
+
+    def test_merged_counters_are_deterministic_and_order_independent(
+        self, tmp_path, capsys
+    ):
+        """The ledger-determinism contract: two runs of the same cases --
+        with the --case flags in opposite orders -- agree byte-for-byte
+        once wall-clock is stripped."""
+        outputs = []
+        for label, selection in (
+            ("a", ["--case", "evaluator", "--case", "service"]),
+            ("b", ["--case", "service", "--case", "evaluator"]),
+        ):
+            output = tmp_path / f"BENCH_{label}.json"
+            assert main(
+                ["perf", "run", "--repeats", "1", "--output", str(output)]
+                + selection
+            ) == 0
+            payload = json.loads(output.read_text())
+            outputs.append(
+                json.dumps(
+                    {
+                        name: strip_timings(entry)
+                        for name, entry in payload["cases"].items()
+                    },
+                    sort_keys=True,
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestPerfCompare:
+    def test_identical_ledgers_pass_the_gate(self, tmp_path, capsys):
+        write_ledger(tmp_path / "base", make_entry())
+        write_ledger(tmp_path / "cand", make_entry())
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-counter-regression"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "tiny: ok" in printed
+        assert "0 counter regression(s)" in printed
+
+    def test_counter_change_fails_the_gate_with_an_exact_diff(
+        self, tmp_path, capsys
+    ):
+        write_ledger(tmp_path / "base", make_entry())
+        write_ledger(
+            tmp_path / "cand", make_entry(counters={"evaluations": 15})
+        )
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-counter-regression"]
+        )
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "COUNTER REGRESSION" in printed
+        assert "evaluations" in printed and "15" in printed
+
+    def test_counter_change_without_the_flag_reports_but_passes(
+        self, tmp_path, capsys
+    ):
+        write_ledger(tmp_path / "base", make_entry())
+        write_ledger(
+            tmp_path / "cand", make_entry(counters={"evaluations": 15})
+        )
+        assert main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand")]
+        ) == 0
+        assert "COUNTER REGRESSION" in capsys.readouterr().out
+
+    def test_timing_regression_is_localized_to_the_moved_span(
+        self, tmp_path, capsys
+    ):
+        cand = make_entry()
+        cand["timings"]["spans"]["job/evaluate"]["self_s"] = {
+            "median": 4.0, "iqr": 0.0,
+        }
+        write_ledger(tmp_path / "base", make_entry())
+        write_ledger(tmp_path / "cand", cand)
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-timing-regression"]
+        )
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "timing regression" in printed
+        assert "localized to: job/evaluate" in printed
+        assert "<-- source" in printed
+
+    def test_failed_candidate_check_fails_the_counter_gate(self, tmp_path, capsys):
+        cand = make_entry(
+            checks=[{"name": "parity", "ok": False, "detail": "", "timing": False}]
+        )
+        write_ledger(tmp_path / "base", make_entry())
+        write_ledger(tmp_path / "cand", cand)
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-counter-regression"]
+        )
+        assert code == 1
+        assert "failed check: parity" in capsys.readouterr().out
+
+    def test_case_missing_from_candidate_is_a_coverage_gap(self, tmp_path, capsys):
+        write_ledger(tmp_path / "base", make_entry(), make_entry(case="other"))
+        write_ledger(tmp_path / "cand", make_entry())
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-counter-regression"]
+        )
+        assert code == 1
+        assert "other: missing from the candidate" in capsys.readouterr().err
+
+    def test_no_common_cases_cannot_pass_the_gate(self, tmp_path, capsys):
+        write_ledger(tmp_path / "base", make_entry(case="a"))
+        write_ledger(tmp_path / "cand", make_entry(case="b"))
+        code = main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--fail-on-counter-regression"]
+        )
+        assert code == 1
+        assert "no common cases" in capsys.readouterr().err
+
+    def test_merged_documents_are_accepted_as_sources(self, tmp_path, capsys):
+        batch = {
+            "schema": PERF_SCHEMA,
+            "kind": "perf-batch",
+            "package_version": "1.0.0",
+            "cases": {"tiny": make_entry()},
+        }
+        path = tmp_path / "BENCH_all.json"
+        path.write_text(json.dumps(batch))
+        write_ledger(tmp_path / "base", make_entry())
+        assert main(
+            ["perf", "compare", str(tmp_path / "base"), str(path),
+             "--fail-on-counter-regression"]
+        ) == 0
+
+    def test_bad_sources_are_usage_errors(self, tmp_path, capsys):
+        write_ledger(tmp_path / "base", make_entry())
+        assert main(
+            ["perf", "compare", str(tmp_path / "missing"), str(tmp_path / "base")]
+        ) == 2
+        assert "no perf ledger" in capsys.readouterr().err
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"kind": "other"}))
+        assert main(
+            ["perf", "compare", str(tmp_path / "base"), str(bogus)]
+        ) == 2
+        assert "not a merged perf-run document" in capsys.readouterr().err
+
+    def test_case_filter_restricts_the_comparison(self, tmp_path, capsys):
+        write_ledger(tmp_path / "base", make_entry(), make_entry(case="other"))
+        write_ledger(
+            tmp_path / "cand",
+            make_entry(),
+            make_entry(case="other", counters={"evaluations": 99}),
+        )
+        assert main(
+            ["perf", "compare", str(tmp_path / "base"), str(tmp_path / "cand"),
+             "--case", "tiny", "--fail-on-counter-regression"]
+        ) == 0
+
+
+class TestPerfTrend:
+    def test_renders_one_table_per_case(self, tmp_path, capsys):
+        write_ledger(
+            tmp_path,
+            make_entry(package_version="1.0.0"),
+            make_entry(package_version="1.1.0", counters={"evaluations": 8}),
+        )
+        assert main(["perf", "trend", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "== tiny ==" in printed
+        assert "1.0.0" in printed and "1.1.0" in printed
+        assert "evaluations" in printed
+
+    def test_missing_ledger_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["perf", "trend", str(tmp_path / "nope")]) == 2
+        assert "no perf ledger" in capsys.readouterr().err
+
+    def test_counter_selection_is_respected(self, tmp_path, capsys):
+        write_ledger(tmp_path, make_entry())
+        assert main(
+            ["perf", "trend", str(tmp_path), "--counter", "evaluations"]
+        ) == 0
+        assert "evaluations" in capsys.readouterr().out
+
+
+def traced_record(job, stages=3):
+    tracer = Tracer()
+    with tracer.span("job"):
+        with tracer.span("evaluate") as span:
+            span.count("stages", stages)
+        with tracer.span("propagate") as span:
+            span.count("corners", 4)
+    return {
+        "job": job,
+        "fingerprint": "f00d",
+        "trace": summarize(tracer).to_record(),
+    }
+
+
+def write_store(root, records, run_id="r1"):
+    store = RunStore(root)
+    for record in records:
+        store.append(record, run_id)
+    return store
+
+
+class TestTraceDiff:
+    def test_identical_traces_diff_clean(self, tmp_path, capsys):
+        write_store(tmp_path / "base", [traced_record("jobA")])
+        write_store(tmp_path / "cand", [traced_record("jobA")])
+        code = main(
+            ["trace", str(tmp_path / "base"), "--diff", str(tmp_path / "cand")]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "== jobA ==" in printed
+        assert "span-path counters identical" in printed
+
+    def test_counter_drift_exits_nonzero_with_the_span_path(
+        self, tmp_path, capsys
+    ):
+        write_store(tmp_path / "base", [traced_record("jobA", stages=3)])
+        write_store(tmp_path / "cand", [traced_record("jobA", stages=5)])
+        code = main(
+            ["trace", str(tmp_path / "base"), "--diff", str(tmp_path / "cand")]
+        )
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "job/evaluate" in printed
+        assert "stages" in printed and "changed" in printed
+
+    def test_job_membership_differences_are_reported(self, tmp_path, capsys):
+        write_store(
+            tmp_path / "base", [traced_record("jobA"), traced_record("jobB")]
+        )
+        write_store(tmp_path / "cand", [traced_record("jobA")])
+        code = main(
+            ["trace", str(tmp_path / "base"), "--diff", str(tmp_path / "cand")]
+        )
+        assert code == 1
+        assert "only in baseline: jobB" in capsys.readouterr().err
+
+    def test_pre_paths_records_fall_back_to_merged_counters(
+        self, tmp_path, capsys
+    ):
+        old_base = traced_record("jobA", stages=3)
+        old_cand = traced_record("jobA", stages=5)
+        for record in (old_base, old_cand):
+            del record["trace"]["paths"]  # a record from before the field
+        write_store(tmp_path / "base", [old_base])
+        write_store(tmp_path / "cand", [old_cand])
+        code = main(
+            ["trace", str(tmp_path / "base"), "--diff", str(tmp_path / "cand")]
+        )
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "*" in printed and "stages" in printed
+
+    def test_untraced_selections_are_usage_errors(self, tmp_path, capsys):
+        write_store(tmp_path / "base", [{"job": "jobA", "fingerprint": "x"}])
+        write_store(tmp_path / "cand", [traced_record("jobA")])
+        code = main(
+            ["trace", str(tmp_path / "base"), "--diff", str(tmp_path / "cand")]
+        )
+        assert code == 2
+        assert "need traced records" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Unit tests for perf-entry comparison: hard counter gates, banded timing
+gates, and span-subtree localization of timing regressions."""
+
+import pytest
+
+from repro.perf.compare import (
+    CounterDiff,
+    TimingBands,
+    compare_entries,
+    diff_counter_maps,
+    diff_path_counters,
+    timing_regression,
+)
+
+BANDS = TimingBands(k_iqr=3.0, rel_floor=0.25, abs_floor_s=0.005)
+
+
+def stats(median, iqr=0.0):
+    return {"n": 3, "median": median, "iqr": iqr, "min": median, "max": median}
+
+
+def make_entry(**overrides):
+    entry = {
+        "schema": 1,
+        "kind": "perf-case",
+        "case": "tiny",
+        "package_version": "1.0.0",
+        "fingerprint": "f00d",
+        "counters": {"evaluations": 10, "cache_hits": 7},
+        "span_counters": {"job/evaluate": {"evaluations": 10}},
+        "checks": [{"name": "always", "ok": True, "detail": "", "timing": False}],
+        "timings": {
+            "repeats": 3,
+            "wall_clock_s": stats(1.0, 0.01),
+            "spans": {
+                "job": {"total_s": stats(1.0), "self_s": stats(0.1, 0.01)},
+                "job/evaluate": {"total_s": stats(0.9), "self_s": stats(0.5, 0.02)},
+                "job/evaluate/propagate": {
+                    "total_s": stats(0.4),
+                    "self_s": stats(0.4, 0.02),
+                },
+            },
+            "extra": {"phase_s": stats(0.2, 0.01)},
+        },
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestCounterDiffs:
+    def test_exact_match_yields_no_diffs(self):
+        assert diff_counter_maps({"a": 1}, {"a": 1}) == []
+
+    def test_added_removed_changed_statuses(self):
+        diffs = diff_counter_maps({"gone": 1, "moved": 2}, {"moved": 3, "new": 4})
+        assert [(d.counter, d.status) for d in diffs] == [
+            ("gone", "removed"),
+            ("moved", "changed"),
+            ("new", "added"),
+        ]
+        assert diffs[0].to_row()["path"] == "*"
+
+    def test_path_variant_sorts_by_path_then_counter(self):
+        diffs = diff_path_counters(
+            {"b/span": {"x": 1}, "a/span": {"y": 2}},
+            {"b/span": {"x": 9}, "a/span": {"y": 5}},
+        )
+        assert [d.path for d in diffs] == ["a/span", "b/span"]
+
+    def test_zero_is_distinct_from_absent(self):
+        (diff,) = diff_counter_maps({"hits": 0}, {})
+        assert diff == CounterDiff(path="", counter="hits", base=0, cand=None)
+
+
+class TestTimingBands:
+    def test_within_every_band_is_quiet(self):
+        # 1.0 + max(3*0.1, 25%, 5ms) = 1.3 allowance
+        assert not timing_regression(1.0, 0.1, 1.29, BANDS)
+
+    def test_iqr_band_dominates_when_noise_is_large(self):
+        # 3 * 0.5 IQR allows up to 2.5 even though rel_floor says 1.25
+        assert not timing_regression(1.0, 0.5, 2.4, BANDS)
+        assert timing_regression(1.0, 0.5, 2.6, BANDS)
+
+    def test_rel_floor_guards_degenerate_iqr(self):
+        assert not timing_regression(1.0, 0.0, 1.24, BANDS)
+        assert timing_regression(1.0, 0.0, 1.26, BANDS)
+
+    def test_abs_floor_guards_near_zero_baselines(self):
+        # rel floor on 1ms would be 1.25ms; the 5ms absolute floor wins
+        assert not timing_regression(0.001, 0.0, 0.005, BANDS)
+        assert timing_regression(0.001, 0.0, 0.0075, BANDS)
+
+
+class TestCompareEntries:
+    def test_identical_entries_are_clean(self):
+        comparison = compare_entries(make_entry(), make_entry(), BANDS)
+        assert not comparison.counter_regression
+        assert not comparison.timing_regression
+        assert comparison.notes == []
+
+    def test_case_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different cases"):
+            compare_entries(make_entry(), make_entry(case="other"), BANDS)
+
+    def test_counter_change_is_a_hard_regression(self):
+        cand = make_entry(counters={"evaluations": 11, "cache_hits": 7})
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        assert comparison.counter_regression
+        (diff,) = comparison.counter_diffs
+        assert (diff.counter, diff.base, diff.cand) == ("evaluations", 10, 11)
+
+    def test_span_counter_change_reports_the_path(self):
+        cand = make_entry(span_counters={"job/evaluate": {"evaluations": 12}})
+        (diff,) = compare_entries(make_entry(), cand, BANDS).counter_diffs
+        assert diff.path == "job/evaluate"
+
+    def test_failed_candidate_check_is_a_hard_regression(self):
+        cand = make_entry(
+            checks=[{"name": "parity", "ok": False, "detail": "", "timing": False}]
+        )
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        assert comparison.failed_checks == ["parity"]
+        assert comparison.counter_regression
+
+    def test_fingerprint_change_is_a_note_not_an_error(self):
+        cand = make_entry(fingerprint="beef")
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        assert any("fingerprint changed" in note for note in comparison.notes)
+
+    def test_timing_flag_localizes_to_the_deepest_moved_span(self):
+        cand = make_entry()
+        # Slow the leaf 10x; every ancestor's total inflates, but only the
+        # leaf's *self* time moves, so only the leaf self_s flags -- and it
+        # is the source.
+        cand["timings"]["spans"]["job/evaluate/propagate"]["self_s"] = stats(4.0)
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        assert comparison.timing_regression
+        sources = [flag.path for flag in comparison.timing_sources]
+        assert sources == ["job/evaluate/propagate"]
+
+    def test_ancestor_flags_are_not_sources_when_a_descendant_flagged(self):
+        cand = make_entry()
+        cand["timings"]["spans"]["job/evaluate"]["self_s"] = stats(5.0)
+        cand["timings"]["spans"]["job/evaluate/propagate"]["self_s"] = stats(4.0)
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        flagged = {flag.path: flag.source for flag in comparison.timing_flags}
+        assert flagged["job/evaluate"] is False
+        assert flagged["job/evaluate/propagate"] is True
+
+    def test_wall_clock_flag_defers_to_span_sources(self):
+        cand = make_entry()
+        cand["timings"]["wall_clock_s"] = stats(5.0)
+        cand["timings"]["spans"]["job/evaluate/propagate"]["self_s"] = stats(4.0)
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        wall = next(f for f in comparison.timing_flags if f.metric == "wall_clock_s")
+        assert wall.source is False
+        # Without any span flag the wall clock is itself the source.
+        lone = make_entry()
+        lone["timings"]["wall_clock_s"] = stats(5.0)
+        comparison = compare_entries(make_entry(), lone, BANDS)
+        (flag,) = comparison.timing_flags
+        assert flag.source is True
+
+    def test_extra_timing_series_flag_and_are_their_own_source(self):
+        cand = make_entry()
+        cand["timings"]["extra"]["phase_s"] = stats(2.0)
+        comparison = compare_entries(make_entry(), cand, BANDS)
+        (flag,) = comparison.timing_flags
+        assert flag.path == "(extra) phase_s"
+        assert flag.source is True
+
+    def test_new_spans_in_only_one_entry_are_ignored(self):
+        cand = make_entry()
+        cand["timings"]["spans"]["job/new_phase"] = {"self_s": stats(9.0)}
+        assert not compare_entries(make_entry(), cand, BANDS).timing_flags
+
+    def test_to_record_is_json_shaped(self):
+        cand = make_entry(counters={"evaluations": 11, "cache_hits": 7})
+        record = compare_entries(make_entry(), cand, BANDS).to_record()
+        assert record["counter_regression"] is True
+        assert record["timing_regression"] is False
+        assert record["counter_diffs"][0]["status"] == "changed"

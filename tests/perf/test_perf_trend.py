@@ -1,0 +1,79 @@
+"""Unit tests for the per-case ledger trend tables."""
+
+from repro.perf.case import PERF_SCHEMA
+from repro.perf.ledger import PerfLedger
+from repro.perf.trend import DEFAULT_TREND_COUNTERS, trend_columns, trend_rows
+
+
+def make_entry(version="1.0.0", counters=None):
+    return {
+        "schema": PERF_SCHEMA,
+        "kind": "perf-case",
+        "case": "tiny",
+        "package_version": version,
+        "fingerprint": "f00d",
+        "counters": dict(counters or {}),
+        "span_counters": {},
+        "checks": [],
+        "timings": {"repeats": 1, "wall_clock_s": {"median": 0.01, "iqr": 0.0}},
+    }
+
+
+def seeded_ledger(tmp_path):
+    ledger = PerfLedger(tmp_path)
+    ledger.append(
+        make_entry(version="1.0.0", counters={"evaluations": 10, "widgets": 1})
+    )
+    ledger.append(
+        make_entry(version="1.1.0", counters={"evaluations": 8, "widgets": 1})
+    )
+    return ledger
+
+
+class TestTrendRows:
+    def test_one_row_per_entry_in_append_order(self, tmp_path):
+        rows, _ = trend_rows(seeded_ledger(tmp_path), "tiny")
+        assert [row["version"] for row in rows] == ["1.0.0", "1.1.0"]
+        assert rows[0]["fingerprint"] == "f00d"
+        assert rows[0]["wall_median"] == 0.01
+        # recorded_at comes from the timings block, truncated to seconds.
+        assert len(rows[0]["recorded_at"]) == 19
+
+    def test_default_counters_are_the_present_evaluator_trio(self, tmp_path):
+        rows, selected = trend_rows(seeded_ledger(tmp_path), "tiny")
+        # Only "evaluations" of the default trio is present in any entry.
+        assert selected == ["evaluations"]
+        assert [row["evaluations"] for row in rows] == [10, 8]
+
+    def test_explicit_counters_override_the_default(self, tmp_path):
+        rows, selected = trend_rows(
+            seeded_ledger(tmp_path), "tiny", counters=["widgets", "missing"]
+        )
+        assert selected == ["widgets", "missing"]
+        assert rows[0]["widgets"] == 1
+        assert rows[0]["missing"] is None
+
+    def test_unknown_case_yields_no_rows(self, tmp_path):
+        rows, selected = trend_rows(seeded_ledger(tmp_path), "nope")
+        assert rows == [] and selected == []
+
+
+class TestTrendColumns:
+    def test_fixed_prefix_then_one_column_per_counter(self):
+        columns = trend_columns(["evaluations"])
+        keys = [key for key, _, _ in columns]
+        assert keys[:5] == [
+            "version",
+            "fingerprint",
+            "recorded_at",
+            "wall_median",
+            "wall_iqr",
+        ]
+        assert keys[5:] == ["evaluations"]
+
+    def test_default_trio_is_what_the_docs_promise(self):
+        assert DEFAULT_TREND_COUNTERS == (
+            "evaluations",
+            "cache_hits",
+            "cache_misses",
+        )

@@ -1,0 +1,34 @@
+"""Single-source-of-truth guard: the package version matches pyproject.toml.
+
+PR 8 shipped with ``repro.__version__`` trailing the pyproject version --
+exactly the drift that makes perf-ledger entries (keyed by package version)
+ambiguous.  The pyproject is parsed with a line regex rather than
+``tomllib`` so the guard runs on every supported Python.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+def pyproject_version() -> str:
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(encoding="utf-8"), re.M
+    )
+    assert match is not None, f"no version line in {PYPROJECT}"
+    return match.group(1)
+
+
+def test_module_version_matches_pyproject():
+    assert repro.__version__ == pyproject_version()
+
+
+def test_cli_reports_the_same_version():
+    from repro.cli import package_version
+
+    assert package_version() == pyproject_version()
