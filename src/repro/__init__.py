@@ -16,6 +16,6 @@ See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
 
 #: Kept in lockstep with ``pyproject.toml``; ``repro --version`` prefers the
 #: installed distribution metadata and falls back to this constant.
-__version__ = "0.10.0"
+__version__ = "0.11.0"
 
 __all__ = ["__version__"]

@@ -43,6 +43,7 @@ from repro.api.records import (
     YieldSummary,
     mc_table_row,
     record_from_dict,
+    stable_record,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for annotations only
@@ -68,6 +69,7 @@ __all__ = [
     "Record",
     "ResultRecord",
     "record_from_dict",
+    "stable_record",
     "mc_table_row",
     "STAGE_TABLE_COLUMNS",
     "RUN_SUMMARY_COLUMNS",

@@ -28,6 +28,7 @@ on the schemas without import cycles.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -42,6 +43,7 @@ __all__ = [
     "Record",
     "ResultRecord",
     "record_from_dict",
+    "stable_record",
     "STAGE_TABLE_COLUMNS",
     "RUN_SUMMARY_COLUMNS",
     "MC_TABLE_COLUMNS",
@@ -385,6 +387,31 @@ def record_from_dict(record: Union[Mapping[str, Any], Record]) -> Record:
     if "yield" in record:
         return McRecord.from_record(record)
     return RunRecord.from_record(record)
+
+
+def stable_record(record: Union[Mapping[str, Any], "Record"]) -> Dict[str, Any]:
+    """The record's serialized form with every wall-clock field removed.
+
+    Two executions of the same fingerprint must agree on *this* projection
+    bit-for-bit -- the content of a run is everything except how long it
+    took.  It is the comparison key of the traced/untraced parity perf check
+    and of the serve-layer cache invariant (a cached completion equals a
+    fresh run outside ``wall_clock_s``, ``trace``, the summary runtimes and
+    the per-stage elapsed times).
+    """
+    payload = copy.deepcopy(
+        dict(record) if isinstance(record, Mapping) else record.to_record()
+    )
+    payload.pop("wall_clock_s", None)
+    payload.pop("trace", None)
+    for key in ("summary", "nominal"):
+        summary = payload.get(key)
+        if isinstance(summary, dict):
+            summary.pop("runtime_s", None)
+    for row in payload.get("stage_table") or []:
+        if isinstance(row, dict):
+            row.pop("elapsed_s", None)
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -35,7 +35,8 @@ one short-lived service each.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+import traceback
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -55,6 +56,7 @@ from repro.api.records import ErrorRecord, McRecord, Record, RunRecord
 from repro.runner import (
     JobError,
     dispatch_jobs,
+    error_record,
     execute_job_guarded,
     execute_job_traced,
 )
@@ -73,8 +75,16 @@ class JobEvent:
       ``None``); long sweeps show liveness before the first completion.
     * ``"completed"`` -- the job finished; ``record`` carries its typed
       result (an :class:`~repro.api.records.ErrorRecord` on failure).
-    * ``"progress"`` is reserved for future mid-job heartbeats (live span
-      summaries); no current producer emits it.
+    * ``"progress"`` -- a mid-batch heartbeat for a job that is still
+      pending: :meth:`SynthesisService.stream` emits one per still-waiting
+      job after every completion when asked (``progress=True``), and the
+      :mod:`repro.serve` scheduler forwards them down per-client streams.
+      ``note`` carries the human-readable heartbeat text.
+
+    ``cached`` marks a completion served from the content-addressed result
+    cache of :mod:`repro.serve` (no worker ran for *this* submission); both
+    new fields default to their zero values so events from producers that
+    predate them are indistinguishable from before.
     """
 
     index: int
@@ -82,6 +92,8 @@ class JobEvent:
     job: Job
     record: Optional[Record] = None
     kind: str = "completed"
+    cached: bool = False
+    note: str = ""
 
     @property
     def failed(self) -> bool:
@@ -194,8 +206,8 @@ class SynthesisService:
     # ------------------------------------------------------------------
     # Core streaming execution
     # ------------------------------------------------------------------
-    def stream(self, jobs: Iterable[Job]) -> Iterator[JobEvent]:
-        """Execute ``jobs``, yielding ``started`` and ``completed`` events.
+    def stream(self, jobs: Iterable[Job], progress: bool = False) -> Iterator[JobEvent]:
+        """Execute ``jobs``, yielding ``started``/``progress``/``completed`` events.
 
         Every job produces a ``kind="started"`` event when it is handed to a
         worker and a ``kind="completed"`` event when it finishes.  With
@@ -204,6 +216,12 @@ class SynthesisService:
         execution interleaves started/completed in job order.  Every completed
         record is appended to the attached store before its event is
         delivered.
+
+        ``progress=True`` additionally emits one ``kind="progress"`` heartbeat
+        per *still-pending* job after every completion (``note`` says how far
+        the batch is), so a consumer watching one job of a long batch sees
+        monotone liveness instead of silence until its own completion.  The
+        default leaves the event sequence exactly as it has always been.
         """
         job_list = list(jobs)
         if not job_list:
@@ -218,19 +236,86 @@ class SynthesisService:
                 record = self._worker(job)
                 self._record(record)
                 yield JobEvent(index=index, total=total, job=job, record=record)
+                if progress:
+                    yield from self._progress_events(
+                        job_list, pending=range(index + 1, total), done=index + 1
+                    )
             return
         pool = self._pool()
         for index, job in enumerate(job_list):
             yield JobEvent(index=index, total=total, job=job, kind="started")
+        pending_set = set(range(total))
         for index, record in dispatch_jobs(pool, job_list, self._worker):
             self._record(record)
+            pending_set.discard(index)
             yield JobEvent(
                 index=index, total=total, job=job_list[index], record=record
+            )
+            if progress:
+                yield from self._progress_events(
+                    job_list,
+                    pending=sorted(pending_set),
+                    done=total - len(pending_set),
+                )
+
+    @staticmethod
+    def _progress_events(
+        job_list: List[Job], pending: Iterable[int], done: int
+    ) -> Iterator[JobEvent]:
+        total = len(job_list)
+        note = f"{done}/{total} completed"
+        for index in pending:
+            yield JobEvent(
+                index=index,
+                total=total,
+                job=job_list[index],
+                kind="progress",
+                note=note,
             )
 
     def _record(self, record: Record) -> None:
         if self.store is not None:
             self.store.append(record, run_id=self.run_id)
+
+    def submit(self, job: Job) -> "Future[Record]":
+        """Dispatch one job and return a future for its record, never blocking
+        on the *result* (at ``max_workers=1`` the job runs inline before the
+        call returns, exactly like every other in-process code path).
+
+        The returned future always resolves to a :class:`Record` -- pool
+        infrastructure failures (a dead worker, a broken pipe) degrade to the
+        job's :class:`~repro.api.records.ErrorRecord` just as they do in
+        :func:`repro.runner.dispatch_jobs` -- and the record is appended to
+        the attached store *before* the future resolves, so a waiter that
+        sees the result can rely on it being recorded.  This is the
+        :mod:`repro.serve` scheduler's dispatch primitive: it hands the
+        future to ``asyncio.wrap_future`` and awaits it off-loop.
+        """
+        if self._closed:
+            raise RuntimeError("SynthesisService is closed")
+        self.jobs_dispatched += 1
+        result: "Future[Record]" = Future()
+        result.set_running_or_notify_cancel()
+        if self.max_workers == 1:
+            try:
+                record = self._worker(job)
+            except Exception:  # the guarded worker never raises; belt-and-braces
+                record = error_record(job, traceback.format_exc())
+            self._record(record)
+            result.set_result(record)
+            return result
+        pool_future = self._pool().submit(self._worker, job)
+
+        def _resolve(done: "Future[Record]") -> None:
+            try:
+                record = done.result()
+            except Exception:  # pool infrastructure failure
+                record = error_record(job, traceback.format_exc())
+            self._record(record)
+            result.set_result(record)
+
+        pool_future.add_done_callback(_resolve)
+        return result
 
     def run(
         self, jobs: Iterable[Job], on_event: Optional[EventCallback] = None

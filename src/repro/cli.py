@@ -46,6 +46,12 @@ Six subcommands:
   hard exact-match gate on deterministic counters and soft IQR-banded gates
   on timings, localizing timing regressions to the moved span subtree;
   ``perf trend`` renders per-case history tables across a ledger.
+* ``repro serve`` -- the HTTP/JSON job server: an asyncio scheduler over one
+  warm :class:`~repro.api.service.SynthesisService` pool with bounded
+  fair queueing, in-flight coalescing of identical submissions and a
+  content-addressed result cache over the attached run store.  The serving
+  stack (and :mod:`asyncio` itself) is imported only inside this handler,
+  so the plain batch commands never load it.
 
 ``repro --version`` prints the installed package version.  The JSON output
 flags are uniform across subcommands: ``--output-dir DIR`` streams one
@@ -594,6 +600,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="counter column to include (repeatable; default: the evaluator "
         "trio present in the entries)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve synthesis jobs over HTTP/JSON (async scheduler + result cache)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 binds an ephemeral port (default 8765)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the bound port to FILE once the server accepts connections",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="warm synthesis pool size (default 1: in-process execution)",
+    )
+    serve.add_argument(
+        "--store", metavar="DIR",
+        help="run-store directory; completed jobs append to DIR/runs.jsonl and "
+        "previously stored records are served as cache hits",
+    )
+    serve.add_argument(
+        "--run-id", metavar="ID", help="store tag for served jobs (default serve)"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="scheduler queue capacity (default 64)",
+    )
+    serve.add_argument(
+        "--queue-policy", choices=("wait", "reject"), default="wait",
+        help="full-queue backpressure: park the submitter or reject with "
+        "429 (default wait)",
     )
 
     lint = sub.add_parser(
@@ -1365,6 +1408,39 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return _cmd_perf_trend(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # The serving stack (and asyncio itself) loads only inside this handler:
+    # run/sweep/mc and the rest of the CLI never import it.
+    import asyncio
+
+    from repro.serve import run_app
+
+    store = RunStore(args.store) if args.store else None
+    run_id = args.run_id or "serve"
+
+    def ready(port: int) -> None:
+        print(f"repro serve: listening on http://{args.host}:{port}", flush=True)
+
+    with SynthesisService(
+        max_workers=args.workers, store=store, run_id=run_id
+    ) as service:
+        try:
+            asyncio.run(
+                run_app(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    max_queue=args.max_queue,
+                    policy=args.queue_policy,
+                    port_file=args.port_file,
+                    ready=ready,
+                )
+            )
+        except KeyboardInterrupt:
+            print("repro serve: shutting down")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lintkit import (
         RULE_REGISTRY,
@@ -1415,6 +1491,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_table(args)

@@ -39,6 +39,7 @@ __all__ = [
     "RecordRoundtripSymmetryRule",
     "BareDictRecordRule",
     "UntimedWallclockRule",
+    "BlockingInAsyncRule",
 ]
 
 
@@ -989,3 +990,86 @@ class UntimedWallclockRule(LintRule):
                 "artifacts and repro profile",
                 severity,
             )
+
+
+# ----------------------------------------------------------------------
+# 10. blocking-in-async
+# ----------------------------------------------------------------------
+@register_rule
+class BlockingInAsyncRule(LintRule):
+    """No synchronous waiting inside ``async def`` bodies.
+
+    One blocking call on the event loop stalls *every* client of the serving
+    layer at once: ``time.sleep`` freezes the loop outright, and
+    ``Future.result()`` / ``concurrent.futures.wait`` /
+    ``Executor.shutdown`` park it behind pool work that may itself need the
+    loop to progress (deadlock, not just latency).  Async code must await
+    instead -- ``asyncio.sleep``, ``asyncio.wrap_future``, or a
+    ``run_in_executor`` bridge for genuinely blocking sections; the few
+    sanctioned bridge sites carry a ``# repro: lint-ok[blocking-in-async]``
+    annotation.  Nested plain ``def`` bodies are exempt (they are the
+    functions a bridge executes *off* the loop), as is any call that is
+    directly awaited.
+    """
+
+    name = "blocking-in-async"
+    description = (
+        "blocking wait (time.sleep / Future.result / pool wait) inside async def"
+    )
+    defaults: Mapping[str, Any] = {
+        "forbidden": (
+            "time.sleep",
+            "concurrent.futures.wait",
+            "concurrent.futures.as_completed",
+        ),
+        #: Method names whose bare-attribute calls block on pool machinery.
+        "blocking_methods": ("result", "shutdown"),
+    }
+
+    @staticmethod
+    def _async_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes executing in ``func``'s async context (not nested functions)."""
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # a new function scope runs outside this coroutine
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(
+        self,
+        ctx: ModuleContext,
+        project: LintProject,
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        forbidden = frozenset(_option_names(options, "forbidden"))
+        methods = frozenset(_option_names(options, "blocking_methods"))
+        severity = _severity(self, options)
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in self._async_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(ctx.parents.get(node), ast.Await):
+                    continue  # directly awaited -> not a synchronous wait
+                qualified = ctx.resolve(node.func)
+                if qualified is not None and qualified in forbidden:
+                    blocking = f"{qualified}()"
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in methods
+                ):
+                    blocking = f".{node.func.attr}()"
+                else:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking call {blocking} inside async def "
+                    f"{func.name!r}; await it off-loop (asyncio.sleep, "
+                    "wrap_future, or a run_in_executor bridge)",
+                    severity,
+                )

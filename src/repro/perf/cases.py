@@ -1,4 +1,4 @@
-"""The registered perf cases -- the five bench smokes, absorbed.
+"""The registered perf cases -- the five bench smokes, absorbed, plus serve.
 
 Each case reproduces one ``benchmarks/*_smoke.py`` measurement as a
 registered :class:`~repro.perf.case.PerfCase`: the workload runs under the
@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis import ClockNetworkEvaluator, EvaluatorConfig
 from repro.analysis.variation import VariationModel, default_variation_model
 from repro.api.jobs import JobSpec
+from repro.api.records import stable_record
 from repro.api.service import SynthesisService
 from repro.core import ContangoFlow, FlowConfig
 from repro.obs import NULL_TRACER, Span, Tracer, TracerBase, summarize
@@ -36,6 +37,7 @@ __all__ = [
     "ServiceCase",
     "PropagationCase",
     "TraceCase",
+    "ServeCase",
 ]
 
 SINKS = 200
@@ -483,17 +485,6 @@ class TraceCase(PerfCase):
     def _spec(self) -> JobSpec:
         return JobSpec(instance=f"ti:{SINKS}", engine=ENGINE, seed=self.SEED)
 
-    @staticmethod
-    def _comparable(record: Any) -> Dict[str, Any]:
-        payload = record.to_record()
-        payload.pop("trace", None)
-        payload.pop("wall_clock_s", None)
-        if isinstance(payload.get("summary"), dict):
-            payload["summary"].pop("runtime_s", None)
-        for row in payload.get("stage_table", []):
-            row.pop("elapsed_s", None)
-        return payload
-
     def run_once(self, tracer: TracerBase) -> CaseOutcome:
         inner = Tracer()
         with tracer.span("traced_job"):
@@ -523,7 +514,7 @@ class TraceCase(PerfCase):
             [
                 CaseCheck(
                     name="traced_untraced_parity",
-                    ok=self._comparable(traced) == self._comparable(plain),
+                    ok=stable_record(traced) == stable_record(plain),
                     detail="traced and untraced records of the same job agree "
                     "outside wall-clock fields",
                 ),
@@ -537,6 +528,140 @@ class TraceCase(PerfCase):
                     ok=overhead_pct < self.OVERHEAD_CEILING_PCT,
                     detail=f"disabled-tracing overhead {overhead_pct:.3f}% of the "
                     f"untraced flow (ceiling {self.OVERHEAD_CEILING_PCT:.0f}%)",
+                    timing=True,
+                ),
+            ]
+        )
+        return outcome
+
+
+@register_case
+class ServeCase(PerfCase):
+    """Scheduler dedup latency: cold executions vs coalesced vs cache hit.
+
+    The serve subsystem's acceptance case.  Three submissions over two
+    distinct fingerprints (one cold job, one duplicate pair) plus a
+    post-completion resubmit must produce *exactly two* pool executions:
+    the duplicate coalesces onto its in-flight leader and the resubmit is
+    served from the :class:`~repro.serve.cache.ResultCache`, both flagged
+    ``cached``.  The cache-hit record must equal a fresh :func:`run_job`
+    of the same spec outside wall-clock fields
+    (:func:`~repro.api.records.stable_record` parity).  The scheduler's
+    ``serve.cache.hits/misses/coalesced`` and ``serve.pool.executions``
+    counters land in the entry through :data:`~repro.obs.METRICS`
+    absorption, so ``repro perf compare`` gates them exactly.
+    """
+
+    name = "serve"
+    description = "ti:24 scheduler dedup: cold vs coalesced vs cache-hit latency"
+    repeats = 2
+
+    COLD_JOB = JobSpec(instance="ti:24", engine="elmore", pipeline=("initial",))
+    PAIR_JOB = JobSpec(instance="ti:24", engine="elmore", pipeline=("initial",), seed=3)
+    HIT_SPEEDUP_FLOOR = 3.0
+
+    def __init__(self) -> None:
+        self._fingerprint = ""
+
+    def fingerprint(self) -> str:
+        if not self._fingerprint:
+            self._fingerprint = instance_fingerprint(generate_ti_benchmark(24))
+        return self._fingerprint
+
+    async def _drive(self, tracer: TracerBase) -> Dict[str, Any]:
+        # Imported here (with asyncio below) so the serving stack never loads
+        # on the plain ``repro run`` path that imports this module's siblings.
+        from repro.serve import JobScheduler
+
+        with SynthesisService(max_workers=1) as service:
+            scheduler = JobScheduler(service, max_queue=8)
+            try:
+                # Submitting before start() is the deterministic-coalescing
+                # window: nothing executes until the dispatch loops exist, so
+                # the duplicate always attaches to its in-flight leader
+                # instead of racing the leader's completion.
+                cold = await scheduler.submit(self.COLD_JOB, client="cold")
+                leader = await scheduler.submit(self.PAIR_JOB, client="pair")
+                with tracer.span("coalesced_submit") as coalesced_span:
+                    follower = await scheduler.submit(
+                        self.PAIR_JOB, client="pair-dup"
+                    )
+                with tracer.span("cold_executions") as cold_span:
+                    await scheduler.start()
+                    await scheduler.drain()
+                with tracer.span("cache_hit_submit") as hit_span:
+                    hit = await scheduler.submit(self.COLD_JOB, client="hit")
+            finally:
+                await scheduler.close()
+        return {
+            "cold": cold,
+            "leader": leader,
+            "follower": follower,
+            "hit": hit,
+            "pool_executions": scheduler.pool_executions,
+            "dispatched": list(scheduler.dispatch_order),
+            "cache": scheduler.cache.stats(),
+            "jobs": len(scheduler.registry),
+            "cold_s": _span_s(cold_span),
+            "hit_s": _span_s(hit_span),
+            "coalesced_s": _span_s(coalesced_span),
+        }
+
+    def run_once(self, tracer: TracerBase) -> CaseOutcome:
+        import asyncio
+
+        with tracer.span("fresh_reference"):
+            fresh = run_job(self.COLD_JOB)
+        driven = asyncio.run(self._drive(tracer))
+
+        cold, leader = driven["cold"], driven["leader"]
+        follower, hit = driven["follower"], driven["hit"]
+        cache: Dict[str, int] = driven["cache"]
+        distinct = len({cold.fingerprint, leader.fingerprint})
+        hit_s, cold_s = driven["hit_s"], driven["cold_s"]
+        hit_speedup = cold_s / hit_s if hit_s > 0 else 0.0
+
+        outcome = CaseOutcome()
+        outcome.counters["serve_jobs"] = int(driven["jobs"])
+        outcome.counters["serve_distinct_fingerprints"] = distinct
+        outcome.counters["serve_cache_memory_entries"] = cache["memory_entries"]
+        outcome.timings["cold_executions_s"] = cold_s
+        outcome.timings["cache_hit_submit_s"] = hit_s
+        outcome.timings["coalesced_submit_s"] = driven["coalesced_s"]
+        outcome.checks.extend(
+            [
+                CaseCheck(
+                    name="one_execution_per_fingerprint",
+                    ok=driven["pool_executions"] == distinct == 2
+                    and len(driven["dispatched"]) == 2,
+                    detail="four submissions over two fingerprints dispatch "
+                    "exactly two pool executions",
+                ),
+                CaseCheck(
+                    name="duplicates_served_without_dispatch",
+                    ok=follower.coalesced
+                    and follower.cached
+                    and follower.record is leader.record
+                    and hit.cached
+                    and not hit.coalesced
+                    and cache["hits"] == 1
+                    and cache["misses"] == 2
+                    and cache["coalesced"] == 1,
+                    detail="the coalesced duplicate shares its leader's record "
+                    "and the resubmit completes from cache, both flagged cached",
+                ),
+                CaseCheck(
+                    name="cached_record_bit_identical",
+                    ok=hit.record is not None
+                    and stable_record(hit.record) == stable_record(fresh),
+                    detail="the cache-hit record equals a fresh run_job of the "
+                    "same spec outside wall-clock fields",
+                ),
+                CaseCheck(
+                    name="cache_hit_speedup_floor",
+                    ok=hit_speedup >= self.HIT_SPEEDUP_FLOOR,
+                    detail=f"cache-hit completion {hit_speedup:.1f}x faster than "
+                    f"the cold executions (floor {self.HIT_SPEEDUP_FLOOR:.0f}x)",
                     timing=True,
                 ),
             ]

@@ -76,6 +76,9 @@ __all__ = [
     "BatchRunner",
     "available_flows",
     "resolve_instance",
+    "job_flow_config",
+    "mc_flow_config",
+    "spec_fingerprint",
     "run_job",
     "run_mc_job",
     "execute_job",
@@ -138,6 +141,20 @@ def _make_flow(flow_name: str, config: FlowConfig) -> object:
     raise ValueError(f"unknown flow {flow_name!r}; available: {available_flows()}")
 
 
+def job_flow_config(spec: JobSpec) -> FlowConfig:
+    """The exact :class:`FlowConfig` :func:`run_job` executes ``spec`` under.
+
+    Factored out so the serving layer can digest the same config a worker
+    will use -- :func:`spec_fingerprint` must agree bit-for-bit with the
+    ``fingerprint`` field of the record the job eventually produces, and the
+    only way to guarantee that is to build the config in exactly one place.
+    """
+    config = FlowConfig(engine=spec.engine, seed=spec.seed)
+    if spec.pipeline is not None:
+        config.pipeline = list(spec.pipeline)
+    return config
+
+
 def run_job(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunRecord:
     """Execute one synthesis job and return its typed result record.
 
@@ -154,9 +171,7 @@ def run_job(spec: JobSpec, tracer: Optional[Tracer] = None) -> RunRecord:
             instance = resolve_instance(spec)
         # The job seed doubles as the flow's base seed, so every stochastic
         # component downstream (variation gates, MC sampling) derives from it.
-        config = FlowConfig(engine=spec.engine, seed=spec.seed)
-        if spec.pipeline is not None:
-            config.pipeline = list(spec.pipeline)
+        config = job_flow_config(spec)
         result: FlowResult = _make_flow(spec.flow, config).run(  # type: ignore[attr-defined]
             instance, tracer=tracer
         )
@@ -235,6 +250,28 @@ def variation_model_for(spec: McJobSpec, config: FlowConfig) -> VariationModel:
     return default_variation_model(family=spec.family)
 
 
+def mc_flow_config(spec: McJobSpec) -> FlowConfig:
+    """The exact :class:`FlowConfig` :func:`run_mc_job` synthesizes under.
+
+    Always carries the variation model instance (the gate must screen against
+    the same distribution the job reports, so one model serves both the gated
+    synthesis and the final sweep); shared with :func:`spec_fingerprint` so
+    the serving layer digests the config a worker will actually run.
+    """
+    config = FlowConfig(engine=spec.engine, seed=spec.seed)
+    config.variation_skew_limit_ps = spec.skew_limit_ps
+    config.variation_model = variation_model_for(spec, config)
+    if spec.gate_samples is not None:
+        config.variation_samples = spec.gate_samples
+    if spec.pipeline is not None:
+        config.pipeline = list(spec.pipeline)
+    elif spec.gated:  # spec validation guarantees flow == "contango" here
+        from repro.core.config import VARIATION_PIPELINE
+
+        config.pipeline = list(VARIATION_PIPELINE)
+    return config
+
+
 def run_mc_job(spec: McJobSpec, tracer: Optional[Tracer] = None) -> McRecord:
     """Synthesize one network and Monte Carlo-evaluate its skew yield.
 
@@ -248,21 +285,9 @@ def run_mc_job(spec: McJobSpec, tracer: Optional[Tracer] = None) -> McRecord:
     with active.span("job"):
         with active.span("resolve_instance"):
             instance = resolve_instance(JobSpec(instance=spec.instance))
-        config = FlowConfig(engine=spec.engine, seed=spec.seed)
-        config.variation_skew_limit_ps = spec.skew_limit_ps
-        # The gate must screen against the same distribution the job reports:
-        # one model instance serves both the gated synthesis and the final
-        # sweep.
-        model = variation_model_for(spec, config)
-        config.variation_model = model
-        if spec.gate_samples is not None:
-            config.variation_samples = spec.gate_samples
-        if spec.pipeline is not None:
-            config.pipeline = list(spec.pipeline)
-        elif spec.gated:  # spec validation guarantees flow == "contango" here
-            from repro.core.config import VARIATION_PIPELINE
-
-            config.pipeline = list(VARIATION_PIPELINE)
+        config = mc_flow_config(spec)
+        model = config.variation_model
+        assert model is not None  # mc_flow_config always sets it
         result: FlowResult = _make_flow(spec.flow, config).run(  # type: ignore[attr-defined]
             instance, tracer=tracer
         )
@@ -305,6 +330,62 @@ def run_mc_job(spec: McJobSpec, tracer: Optional[Tracer] = None) -> McRecord:
         variation_gate=result.variation_gate or None,
         trace=summarize(tracer).to_record() if tracer is not None else None,
     )
+
+
+def spec_fingerprint(spec: Job) -> str:
+    """Content fingerprint of ``spec`` *without executing it*.
+
+    For a :class:`JobSpec` this is bit-identical to the ``fingerprint`` field
+    :func:`run_job` puts on the job's record (same resolved-instance hash,
+    same config digest), so it doubles as the lookup key into a
+    :class:`~repro.store.RunStore` -- the serving layer's result cache
+    resolves "has this exact computation already run?" before paying for a
+    worker.  :class:`McRecord` carries no fingerprint field, so Monte Carlo
+    jobs get a serve-side key instead: the same payload hash re-keyed over
+    the MC axes (samples/family/skew limit/gating), which can never collide
+    with a plain synthesis fingerprint because the inner hash replaces the
+    instance fingerprint.
+    """
+    if isinstance(spec, McJobSpec):
+        config = mc_flow_config(spec)
+        instance = resolve_instance(JobSpec(instance=spec.instance))
+        base = job_fingerprint(
+            instance_fingerprint=instance_fingerprint(instance),
+            flow=spec.flow,
+            engine=spec.engine,
+            pipeline=spec.pipeline,
+            seed=spec.seed,
+            config_digest=config_digest(config),
+        )
+        return job_fingerprint(
+            instance_fingerprint=base,
+            flow=spec.flow,
+            engine=spec.engine,
+            pipeline=spec.pipeline,
+            seed=spec.seed,
+            config_digest=config_digest(
+                {
+                    "mc": {
+                        "samples": spec.samples,
+                        "family": spec.family,
+                        "skew_limit_ps": spec.skew_limit_ps,
+                        "gated": spec.gated,
+                        "gate_samples": spec.gate_samples,
+                    }
+                }
+            ),
+        )
+    if isinstance(spec, JobSpec):
+        instance = resolve_instance(spec)
+        return job_fingerprint(
+            instance_fingerprint=instance_fingerprint(instance),
+            flow=spec.flow,
+            engine=spec.engine,
+            pipeline=spec.pipeline,
+            seed=spec.seed,
+            config_digest=config_digest(job_flow_config(spec)),
+        )
+    raise TypeError(f"not a fingerprintable job spec: {spec!r}")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""``repro.serve`` -- the multi-client serving layer over the warm pool.
+
+Where :class:`~repro.api.service.SynthesisService` (PR 5) is one-caller,
+call-and-block, this package turns it into a real server:
+
+* :mod:`repro.serve.queue` -- bounded priority intake with per-client
+  round-robin fairness and a reject-or-wait backpressure policy;
+* :mod:`repro.serve.cache` -- the content-addressed
+  :class:`ResultCache`, keyed by :func:`repro.runner.spec_fingerprint` (for
+  plain jobs: exactly the store's golden-pinned job fingerprint), serving
+  completed fingerprints from memory or the attached
+  :class:`~repro.store.RunStore` bit-identically and never caching errors;
+* :mod:`repro.serve.session` -- per-job replayable
+  ``started``/``progress``/``completed`` event streams and the job registry;
+* :mod:`repro.serve.scheduler` -- the asyncio :class:`JobScheduler`
+  coalescing identical in-flight submissions onto one pool execution and
+  dispatching off-loop via :meth:`SynthesisService.submit`;
+* :mod:`repro.serve.http` -- the stdlib HTTP/JSON front end
+  (``repro serve``), with :class:`ServerHandle` for in-process hosting.
+
+Nothing outside this package imports it at module scope: ``repro.cli``
+loads it lazily inside the ``serve`` handler, so the plain ``repro run``
+path never pays for (or even imports) :mod:`asyncio`.
+"""
+
+from __future__ import annotations
+
+from repro.serve.cache import ResultCache
+from repro.serve.http import HttpError, ServeApp, ServerHandle, job_from_payload, run_app
+from repro.serve.queue import FairQueue, QueuedItem, QueueFullError
+from repro.serve.scheduler import JobScheduler
+from repro.serve.session import JobState, SessionRegistry
+
+__all__ = [
+    "FairQueue",
+    "QueuedItem",
+    "QueueFullError",
+    "ResultCache",
+    "JobState",
+    "SessionRegistry",
+    "JobScheduler",
+    "ServeApp",
+    "ServerHandle",
+    "HttpError",
+    "job_from_payload",
+    "run_app",
+]

@@ -34,6 +34,13 @@ class RunStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # Fingerprint -> latest record, built lazily on the first
+        # latest_by_fingerprint() call and maintained on append.  The file
+        # size at indexing time detects out-of-band appends (another store
+        # handle on the same directory): a mismatch invalidates the index
+        # and the next lookup rebuilds it from the file.
+        self._fingerprint_index: Optional[Dict[str, Dict]] = None
+        self._indexed_bytes = -1
 
     @property
     def path(self) -> Path:
@@ -84,8 +91,19 @@ class RunStore:
             "record": record,
         }
         self.root.mkdir(parents=True, exist_ok=True)
+        size_before = self._file_size()
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(envelope, sort_keys=True) + "\n")
+        if self._fingerprint_index is not None:
+            if size_before == self._indexed_bytes:
+                # Nothing was appended behind our back: extend in place.
+                if envelope["fingerprint"] is not None:
+                    self._fingerprint_index[str(envelope["fingerprint"])] = record
+                self._indexed_bytes = self._file_size()
+            else:
+                # Out-of-band growth; drop the index and rebuild on demand.
+                self._fingerprint_index = None
+                self._indexed_bytes = -1
         return envelope
 
     # ------------------------------------------------------------------
@@ -128,6 +146,35 @@ class RunStore:
                 continue
             selected.append(envelope)
         return selected
+
+    def _file_size(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def latest_by_fingerprint(self, fingerprint: str) -> Optional[Dict]:
+        """The most recently appended record with this content fingerprint.
+
+        Equivalent to scanning :meth:`records` backwards for a matching
+        ``fingerprint`` field, but O(1) after the first call: the lookup is
+        backed by an in-memory index built from the file once and maintained
+        on every :meth:`append`.  Appends from *other* handles on the same
+        directory are detected by file growth and trigger a rebuild, so the
+        index never serves a stale miss for a record that is already on
+        disk.  Error records store ``fingerprint: null`` and are therefore
+        never returned -- a failure must not shadow (or impersonate) a
+        completed computation.
+        """
+        if (
+            self._fingerprint_index is None
+            or self._file_size() != self._indexed_bytes
+        ):
+            index: Dict[str, Dict] = {}
+            for envelope in self.entries():
+                stored = envelope.get("fingerprint")
+                if stored is not None:
+                    index[str(stored)] = envelope["record"]
+            self._fingerprint_index = index
+            self._indexed_bytes = self._file_size()
+        return self._fingerprint_index.get(fingerprint)
 
     def records(self, **filters: Optional[str]) -> List[Dict]:
         """The job-record payloads of :meth:`entries` (same filters)."""

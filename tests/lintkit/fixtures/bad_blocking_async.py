@@ -1,0 +1,21 @@
+"""Fixture: synchronous waits inside async defs the blocking-in-async rule flags."""
+
+import time
+from concurrent.futures import as_completed, wait
+
+
+async def sleepy_handler():
+    time.sleep(0.5)
+    return "late"
+
+
+async def pool_waiter(pool, jobs):
+    futures = [pool.submit(job) for job in jobs]
+    wait(futures)
+    first = next(as_completed(futures))
+    return first.result()
+
+
+class Server:
+    async def close(self, pool):
+        pool.shutdown(wait=True)

@@ -1,0 +1,36 @@
+"""Fixture: async code that waits properly (awaits, bridges, sync helpers)."""
+
+import asyncio
+import time
+
+
+async def patient_handler():
+    await asyncio.sleep(0.5)
+    return "on time"
+
+
+async def bridged(pool, job):
+    # The sanctioned pattern: blocking work runs on an executor bridge and
+    # the coroutine awaits the loop-native future.
+    loop = asyncio.get_running_loop()
+    record = await loop.run_in_executor(pool, run_blocking, job)
+    future = pool.submit(run_blocking, job)
+    return record, await asyncio.wrap_future(future)
+
+
+async def annotated_teardown(pool):
+    pool.shutdown(wait=False)  # repro: lint-ok[blocking-in-async] non-blocking teardown
+
+
+async def with_sync_helper(jobs):
+    def collect(futures):
+        # A nested plain def is the function a bridge executes off-loop;
+        # blocking here is its whole point.
+        return [future.result() for future in futures]
+
+    return collect(jobs)
+
+
+def plain_sync(future):
+    time.sleep(0.01)
+    return future.result()

@@ -40,6 +40,7 @@ CASES = [
         "good_untimed_wallclock.py",
         5,
     ),
+    ("blocking-in-async", "bad_blocking_async.py", "good_blocking_async.py", 5),
 ]
 
 

@@ -1,0 +1,80 @@
+"""Tests for the content-addressed result cache (repro.serve.cache)."""
+
+import pytest
+
+from repro.api.jobs import JobSpec
+from repro.api.records import stable_record
+from repro.runner import error_record, run_job, spec_fingerprint
+from repro.serve import ResultCache
+from repro.store import RunStore
+
+SPEC = JobSpec(instance="ti:16", engine="elmore", pipeline=("initial",))
+
+
+@pytest.fixture(scope="module")
+def completed():
+    """One real completed record and its serve-side cache key."""
+    return spec_fingerprint(SPEC), run_job(SPEC)
+
+
+class TestMemoryCache:
+    def test_empty_cache_misses(self, completed):
+        fingerprint, _ = completed
+        cache = ResultCache()
+        assert cache.lookup(fingerprint) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "coalesced": 0, "memory_entries": 0,
+        }
+
+    def test_put_then_lookup_hits_with_the_same_object(self, completed):
+        fingerprint, record = completed
+        cache = ResultCache()
+        assert cache.put(fingerprint, record)
+        assert cache.lookup(fingerprint) is record
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["memory_entries"] == 1
+
+    def test_error_records_are_never_cached(self, completed):
+        fingerprint, _ = completed
+        cache = ResultCache()
+        failure = error_record(SPEC, "transient failure")
+        assert not cache.put(fingerprint, failure)
+        assert cache.lookup(fingerprint) is None
+        assert cache.stats()["memory_entries"] == 0
+
+    def test_note_coalesced_counts(self):
+        cache = ResultCache()
+        cache.note_coalesced()
+        cache.note_coalesced()
+        assert cache.stats()["coalesced"] == 2
+
+
+class TestStoreBackedCache:
+    def test_prior_process_records_serve_as_hits(self, tmp_path, completed):
+        fingerprint, record = completed
+        store = RunStore(tmp_path)
+        store.append(record, run_id="earlier")
+        # A brand-new cache over the same store: no memory, disk hit.
+        cache = ResultCache(RunStore(tmp_path))
+        cached = cache.lookup(fingerprint)
+        assert cached is not None
+        assert cache.stats()["hits"] == 1
+        assert stable_record(cached) == stable_record(record)
+        assert cached.fingerprint == record.fingerprint
+        # The disk hit is memoized: the next lookup needs no store read.
+        assert cache.lookup(fingerprint) is cached
+        assert cache.stats()["memory_entries"] == 1
+
+    def test_stored_error_records_do_not_shadow_the_fingerprint(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(error_record(SPEC, "boom"), run_id="earlier")
+        cache = ResultCache(RunStore(tmp_path))
+        assert cache.lookup(spec_fingerprint(SPEC)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_plain_job_cache_key_is_the_record_fingerprint(self, completed):
+        # The serve cache key for plain synthesis jobs IS the fingerprint
+        # their records carry -- the invariant that makes every stored record
+        # a valid cache entry (CONTRIBUTING "Fingerprint-cache invariants").
+        fingerprint, record = completed
+        assert fingerprint == record.fingerprint

@@ -1,8 +1,11 @@
 """Tests for the append-only run store (repro.store.store)."""
 
 import json
+import tempfile
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.store import STORE_SCHEMA_VERSION, RunStore
 
@@ -124,3 +127,79 @@ class TestSchema:
         with store.path.open("a") as handle:
             handle.write("\n\n")
         assert len(store.entries()) == 1
+
+
+class TestFingerprintIndex:
+    """latest_by_fingerprint: the serve cache's O(1) store lookup."""
+
+    @staticmethod
+    def latest_linear(store, fingerprint):
+        """The reference semantics: scan the envelopes backwards."""
+        for envelope in reversed(store.entries()):
+            if envelope.get("fingerprint") == fingerprint:
+                return envelope["record"]
+        return None
+
+    def test_empty_store_and_unknown_fingerprint_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.latest_by_fingerprint("fp-x") is None
+        store.append(record(), run_id="r1")
+        assert store.latest_by_fingerprint("fp-x") is None
+
+    def test_duplicate_fingerprints_resolve_to_the_latest_append(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(skew=1.0, fingerprint="fp-dup"), run_id="r1")
+        store.append(record(skew=2.0, fingerprint="fp-dup"), run_id="r2")
+        found = store.latest_by_fingerprint("fp-dup")
+        assert found["summary"]["skew_ps"] == 2.0
+
+    def test_index_extends_in_place_on_same_handle_appends(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(fingerprint="fp-1"), run_id="r1")
+        assert store.latest_by_fingerprint("fp-1") is not None  # index built
+        store.append(record(fingerprint="fp-2"), run_id="r1")
+        assert store.latest_by_fingerprint("fp-2") is not None
+
+    def test_null_fingerprint_error_records_are_never_indexed(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(record(fingerprint=None), run_id="r1")
+        store.append(record(fingerprint="fp-ok"), run_id="r1")
+        assert store.latest_by_fingerprint("fp-ok") is not None
+        assert store.latest_by_fingerprint("None") is None
+
+    def test_out_of_band_appends_are_detected_by_file_growth(self, tmp_path):
+        primary = RunStore(tmp_path)
+        primary.append(record(fingerprint="fp-1"), run_id="r1")
+        assert primary.latest_by_fingerprint("fp-2") is None  # index built
+        # A second handle (another process in real life) appends behind the
+        # primary's back: the index must not serve a stale miss.
+        RunStore(tmp_path).append(record(fingerprint="fp-2"), run_id="r2")
+        assert primary.latest_by_fingerprint("fp-2") is not None
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(),  # append through the primary or a second handle
+                st.sampled_from(["fp-a", "fp-b", "fp-c", None]),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_index_matches_linear_scan_under_interleaved_appends(self, ops):
+        with tempfile.TemporaryDirectory() as root:
+            primary = RunStore(root)
+            other = RunStore(root)
+            for serial, (use_primary, fingerprint) in enumerate(ops):
+                handle = primary if use_primary else other
+                handle.append(
+                    record(skew=float(serial), fingerprint=fingerprint),
+                    run_id="r1",
+                )
+                # Query mid-sequence so both index paths run: in-place
+                # extension (primary appends) and growth-triggered rebuilds
+                # (appends behind the primary's back).
+                for probe in ("fp-a", "fp-b", "fp-c", "fp-missing"):
+                    assert primary.latest_by_fingerprint(
+                        probe
+                    ) == self.latest_linear(primary, probe)
